@@ -1,0 +1,58 @@
+// Command smartly-bench regenerates the paper's evaluation: Table II
+// (AIG areas, Yosys vs smaRTLy), Table III (per-method reductions) and
+// the §IV-B industrial summary.
+//
+// Usage:
+//
+//	smartly-bench [-scale 1.0] [-table 2|3|all] [-industrial n] [-check] [-v]
+//
+// Scale 1.0 runs the calibrated case sizes (minutes); smaller scales
+// reproduce the table shape faster. The paper's absolute circuit sizes
+// correspond to roughly scale 100 — see EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "benchmark scale factor")
+	table := flag.String("table", "all", "which table to regenerate: 2, 3 or all")
+	industrial := flag.Int("industrial", 0, "also run n industrial test points")
+	check := flag.Bool("check", false, "equivalence-check every optimized netlist (slow)")
+	verbose := flag.Bool("v", false, "log per-pipeline progress")
+	flag.Parse()
+
+	opts := harness.Options{Scale: *scale, Check: *check}
+	if *verbose {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	if *table == "2" || *table == "3" || *table == "all" {
+		results, err := harness.RunAll(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smartly-bench:", err)
+			os.Exit(1)
+		}
+		if *table != "3" {
+			fmt.Println(harness.TableII(results))
+		}
+		if *table != "2" {
+			fmt.Println(harness.TableIII(results))
+		}
+	}
+	if *industrial > 0 {
+		res, err := harness.RunIndustrial(*industrial, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smartly-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.IndustrialSummary())
+	}
+}

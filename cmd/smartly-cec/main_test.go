@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cec"
+)
+
+func TestReadTopAndCheck(t *testing.T) {
+	a, err := readTop("../../testdata/fig3.v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := readTop("../../testdata/fig3.v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cec.Check(a, b, nil); err != nil {
+		t.Fatalf("file not equivalent to itself: %v", err)
+	}
+}
+
+func TestReadTopMutatedDiffers(t *testing.T) {
+	src, err := os.ReadFile("../../testdata/fig3.v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := filepath.Join(t.TempDir(), "mut.v")
+	text := string(src)
+	text = replaceOnce(text, "? a : b", "? b : a")
+	if err := os.WriteFile(mutated, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := readTop("../../testdata/fig3.v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := readTop(mutated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cec.Check(a, b, nil); err == nil {
+		t.Error("mutated design reported equivalent")
+	}
+}
+
+func replaceOnce(s, old, new string) string {
+	i := indexOf(s, old)
+	if i < 0 {
+		panic("pattern not found")
+	}
+	return s[:i] + new + s[i+len(old):]
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,116 @@
+// Command smartly optimizes an RTL netlist with the smaRTLy passes.
+//
+// It reads a design from a Verilog source file (.v) or a JSON netlist
+// (.json, as written by -o), runs the selected optimization pipeline,
+// prints before/after statistics and AIG areas, and optionally writes
+// the optimized netlist back out as JSON.
+//
+// Usage:
+//
+//	smartly [-pipeline yosys|sat|rebuild|full] [-o out.json] [-check] design.v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cec"
+	"repro/internal/rtlil"
+
+	"repro"
+)
+
+func main() {
+	pipeline := flag.String("pipeline", "full", "optimization pipeline: yosys|sat|rebuild|full")
+	outPath := flag.String("o", "", "write optimized netlist as JSON to this path")
+	check := flag.Bool("check", false, "equivalence-check the optimized netlist against the input")
+	quiet := flag.Bool("q", false, "print only the final area line")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: smartly [flags] design.v|design.json")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *pipeline, *outPath, *check, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "smartly:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, pipelineName, outPath string, check, quiet bool) error {
+	design, err := readDesign(path)
+	if err != nil {
+		return err
+	}
+	pipe, err := smartly.ParsePipeline(pipelineName)
+	if err != nil {
+		return err
+	}
+	for _, m := range design.Modules() {
+		orig := m.Clone()
+		before, err := smartly.Area(m)
+		if err != nil {
+			return fmt.Errorf("module %s: %w", m.Name, err)
+		}
+		if !quiet {
+			fmt.Printf("== module %s ==\n", m.Name)
+			fmt.Print(rtlil.CollectStats(m))
+		}
+		rep, err := smartly.Optimize(m, pipe)
+		if err != nil {
+			return fmt.Errorf("module %s: %w", m.Name, err)
+		}
+		after, err := smartly.Area(m)
+		if err != nil {
+			return err
+		}
+		if check {
+			if err := cec.Check(orig, m, nil); err != nil {
+				return fmt.Errorf("module %s failed equivalence check: %w", m.Name, err)
+			}
+			if !quiet {
+				fmt.Println("equivalence check passed")
+			}
+		}
+		if !quiet {
+			fmt.Println("after optimization:")
+			fmt.Print(rtlil.CollectStats(m))
+			for k, v := range rep.Details {
+				fmt.Printf("  %s: %d\n", k, v)
+			}
+		}
+		reduction := 0.0
+		if before > 0 {
+			reduction = 100 * float64(before-after) / float64(before)
+		}
+		fmt.Printf("%s: AIG area %d -> %d (%.2f%% reduction, pipeline=%s)\n",
+			m.Name, before, after, reduction, pipe)
+	}
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rtlil.WriteJSON(f, design); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Printf("wrote %s\n", outPath)
+		}
+	}
+	return nil
+}
+
+func readDesign(path string) (*smartly.Design, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".json") {
+		return rtlil.ReadJSON(strings.NewReader(string(data)))
+	}
+	return smartly.ParseVerilog(string(data))
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/rtlil"
+)
+
+func TestRunVerilogInput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.json")
+	if err := run("../../testdata/fig3.v", "full", out, true, true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := rtlil.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Top() == nil || d.Top().NumCells() == 0 {
+		t.Error("optimized JSON netlist empty")
+	}
+}
+
+func TestRunJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	first := filepath.Join(dir, "a.json")
+	if err := run("../../testdata/case4.v", "yosys", first, false, true); err != nil {
+		t.Fatal(err)
+	}
+	// Feed the JSON back in with a different pipeline.
+	second := filepath.Join(dir, "b.json")
+	if err := run(first, "full", second, true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllPipelines(t *testing.T) {
+	for _, p := range []string{"yosys", "sat", "rebuild", "full"} {
+		if err := run("../../testdata/case4.v", p, "", true, true); err != nil {
+			t.Errorf("pipeline %s: %v", p, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("missing.v", "full", "", false, true); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run("../../testdata/fig3.v", "bogus", "", false, true); err == nil ||
+		!strings.Contains(err.Error(), "unknown pipeline") {
+		t.Errorf("bogus pipeline: %v", err)
+	}
+}

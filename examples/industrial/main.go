@@ -1,0 +1,54 @@
+// Industrial reproduces the paper's §IV-B experiment at example scale:
+// an industrial-style netlist (selection-logic heavy, controls logically
+// dependent rather than identical) where the Yosys baseline barely
+// helps and smaRTLy removes nearly half of the remaining AIG area.
+//
+// Run with: go run ./examples/industrial [-scale 0.2] [-points 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/rtlil"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.15, "circuit scale factor")
+	points := flag.Int("points", 2, "number of industrial test points")
+	flag.Parse()
+
+	fmt.Printf("%-8s %10s %10s %10s %10s\n", "point", "original", "yosys", "smartly", "extra")
+	var sum float64
+	for p := 0; p < *points; p++ {
+		m := smartly.GenerateIndustrial(p, *scale)
+		stats := rtlil.CollectStats(m)
+		orig, err := smartly.Area(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		areas := map[smartly.Pipeline]int{}
+		for _, pipe := range []smartly.Pipeline{smartly.PipelineYosys, smartly.PipelineFull} {
+			work := m.Clone()
+			if _, err := smartly.Optimize(work, pipe); err != nil {
+				log.Fatal(err)
+			}
+			a, err := smartly.Area(work)
+			if err != nil {
+				log.Fatal(err)
+			}
+			areas[pipe] = a
+		}
+		extra := 100 * float64(areas[smartly.PipelineYosys]-areas[smartly.PipelineFull]) /
+			float64(areas[smartly.PipelineYosys])
+		sum += extra
+		fmt.Printf("%-8d %10d %10d %10d %9.1f%%   (%d cells, %d muxes)\n",
+			p, orig, areas[smartly.PipelineYosys], areas[smartly.PipelineFull], extra,
+			stats.NumCells, stats.NumMuxes)
+	}
+	fmt.Printf("\naverage extra reduction vs Yosys: %.1f%% (paper reports 47.2%%)\n",
+		sum/float64(*points))
+}

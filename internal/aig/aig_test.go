@@ -1,0 +1,165 @@
+package aig
+
+import (
+	"testing"
+
+	"repro/internal/sat"
+)
+
+func TestLitOps(t *testing.T) {
+	l := MkLit(5, false)
+	if l.Node() != 5 || l.Compl() {
+		t.Error("MkLit positive wrong")
+	}
+	if !l.Not().Compl() || l.Not().Node() != 5 {
+		t.Error("Not wrong")
+	}
+	if Const1 != Const0.Not() {
+		t.Error("constants wrong")
+	}
+}
+
+func TestAndSimplifications(t *testing.T) {
+	g := New()
+	a, b := g.NewInput(), g.NewInput()
+	if g.And(a, Const0) != Const0 || g.And(Const0, b) != Const0 {
+		t.Error("x & 0 != 0")
+	}
+	if g.And(a, Const1) != a || g.And(Const1, b) != b {
+		t.Error("x & 1 != x")
+	}
+	if g.And(a, a) != a {
+		t.Error("x & x != x")
+	}
+	if g.And(a, a.Not()) != Const0 {
+		t.Error("x & ~x != 0")
+	}
+	if g.NumAnds() != 0 {
+		t.Errorf("trivial cases created %d nodes", g.NumAnds())
+	}
+}
+
+func TestStructuralHashing(t *testing.T) {
+	g := New()
+	a, b := g.NewInput(), g.NewInput()
+	x := g.And(a, b)
+	y := g.And(b, a) // commuted
+	if x != y {
+		t.Error("strash missed commuted AND")
+	}
+	if g.NumAnds() != 1 {
+		t.Errorf("NumAnds = %d, want 1", g.NumAnds())
+	}
+	// Xor twice shares structure.
+	x1 := g.Xor(a, b)
+	before := g.NumAnds()
+	x2 := g.Xor(a, b)
+	if x1 != x2 || g.NumAnds() != before {
+		t.Error("strash missed repeated XOR")
+	}
+}
+
+func TestEvalTruthTables(t *testing.T) {
+	g := New()
+	a, b, s := g.NewInput(), g.NewInput(), g.NewInput()
+	and := g.And(a, b)
+	or := g.Or(a, b)
+	xor := g.Xor(a, b)
+	mux := g.Mux(a, b, s)
+	for m := 0; m < 8; m++ {
+		va, vb, vs := m&1 == 1, m&2 == 2, m&4 == 4
+		in := map[Lit]bool{a: va, b: vb, s: vs}
+		got := g.Eval(in, []Lit{and, or, xor, mux, a.Not()})
+		want := []bool{va && vb, va || vb, va != vb, pick(vs, vb, va), !va}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("m=%d root %d: got %v want %v", m, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func pick(s, b, a bool) bool {
+	if s {
+		return b
+	}
+	return a
+}
+
+func TestCountReachable(t *testing.T) {
+	g := New()
+	a, b, c := g.NewInput(), g.NewInput(), g.NewInput()
+	x := g.And(a, b)
+	_ = g.And(x, c)  // reachable only from y
+	y := g.And(x, c) // strash: same node
+	dead := g.And(a, c)
+	_ = dead
+	if got := g.CountReachable([]Lit{y}); got != 2 {
+		t.Errorf("CountReachable = %d, want 2", got)
+	}
+	if got := g.CountReachable([]Lit{x}); got != 1 {
+		t.Errorf("CountReachable(x) = %d, want 1", got)
+	}
+	if g.NumAnds() != 3 {
+		t.Errorf("NumAnds = %d, want 3", g.NumAnds())
+	}
+}
+
+func TestLevels(t *testing.T) {
+	g := New()
+	a, b, c, d := g.NewInput(), g.NewInput(), g.NewInput(), g.NewInput()
+	x := g.And(a, b)
+	y := g.And(c, d)
+	z := g.And(x, y)
+	per, max := g.Levels([]Lit{x, z, a})
+	if per[0] != 1 || per[1] != 2 || per[2] != 0 || max != 2 {
+		t.Errorf("Levels = %v max %d", per, max)
+	}
+}
+
+func TestCNFEquivalence(t *testing.T) {
+	// Encode f = (a&b) ^ c and check SAT agrees with Eval on all inputs.
+	g := New()
+	a, b, c := g.NewInput(), g.NewInput(), g.NewInput()
+	f := g.Xor(g.And(a, b), c)
+	s := sat.NewSolver()
+	cnf := NewCNF(g, s)
+	fl := cnf.SatLit(f)
+	al, bl, cl := cnf.SatLit(a), cnf.SatLit(b), cnf.SatLit(c)
+	for m := 0; m < 8; m++ {
+		va, vb, vc := m&1 == 1, m&2 == 2, m&4 == 4
+		want := g.Eval(map[Lit]bool{a: va, b: vb, c: vc}, []Lit{f})[0]
+		assume := []sat.Lit{cond(al, va), cond(bl, vb), cond(cl, vc)}
+		// f must be forced to its truth-table value.
+		if s.Solve(append(assume, cond(fl, !want))...) != sat.Unsat {
+			t.Errorf("m=%d: wrong f value satisfiable", m)
+		}
+		if s.Solve(append(assume, cond(fl, want))...) != sat.Sat {
+			t.Errorf("m=%d: correct f value unsatisfiable", m)
+		}
+	}
+}
+
+func cond(l sat.Lit, v bool) sat.Lit {
+	if v {
+		return l
+	}
+	return l.Not()
+}
+
+func TestCNFConstNode(t *testing.T) {
+	g := New()
+	a := g.NewInput()
+	f := g.Or(a, Const1) // constant true
+	s := sat.NewSolver()
+	cnf := NewCNF(g, s)
+	fl := cnf.SatLit(f)
+	if s.Solve(fl.Not()) != sat.Unsat {
+		t.Error("constant-true output can be false")
+	}
+	f0 := g.And(a, Const0)
+	l0 := cnf.SatLit(f0)
+	if s.Solve(l0) != sat.Unsat {
+		t.Error("constant-false output can be true")
+	}
+}

@@ -1,0 +1,78 @@
+package aig
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests (testing/quick) on the AIG's algebraic laws: for
+// arbitrary input assignments, the built graph must satisfy the Boolean
+// identities the constructors claim.
+func TestQuickBooleanLaws(t *testing.T) {
+	g := New()
+	a, b, c := g.NewInput(), g.NewInput(), g.NewInput()
+	eval := func(l Lit, va, vb, vc bool) bool {
+		return g.Eval(map[Lit]bool{a: va, b: vb, c: vc}, []Lit{l})[0]
+	}
+
+	commute := func(va, vb, vc bool) bool {
+		return eval(g.And(a, b), va, vb, vc) == eval(g.And(b, a), va, vb, vc)
+	}
+	if err := quick.Check(commute, nil); err != nil {
+		t.Error("AND commutativity:", err)
+	}
+
+	assoc := func(va, vb, vc bool) bool {
+		l := g.And(g.And(a, b), c)
+		r := g.And(a, g.And(b, c))
+		return eval(l, va, vb, vc) == eval(r, va, vb, vc)
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Error("AND associativity:", err)
+	}
+
+	deMorgan := func(va, vb, vc bool) bool {
+		l := g.And(a, b).Not()
+		r := g.Or(a.Not(), b.Not())
+		return eval(l, va, vb, vc) == eval(r, va, vb, vc)
+	}
+	if err := quick.Check(deMorgan, nil); err != nil {
+		t.Error("De Morgan:", err)
+	}
+
+	xorDef := func(va, vb, vc bool) bool {
+		return eval(g.Xor(a, b), va, vb, vc) == (va != vb)
+	}
+	if err := quick.Check(xorDef, nil); err != nil {
+		t.Error("XOR definition:", err)
+	}
+
+	muxDef := func(va, vb, vc bool) bool {
+		want := va
+		if vc {
+			want = vb
+		}
+		return eval(g.Mux(a, b, c), va, vb, vc) == want
+	}
+	if err := quick.Check(muxDef, nil); err != nil {
+		t.Error("MUX definition:", err)
+	}
+}
+
+// Property: structural hashing means building the same function twice
+// never grows the graph.
+func TestQuickStrashStability(t *testing.T) {
+	g := New()
+	a, b, c := g.NewInput(), g.NewInput(), g.NewInput()
+	build := func() Lit {
+		return g.Or(g.And(a, b), g.Xor(b, c))
+	}
+	first := build()
+	size := g.NumAnds()
+	f := func(uint8) bool {
+		return build() == first && g.NumAnds() == size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,372 @@
+// Package bdd implements the Algebraic Decision Diagram (ADD) machinery
+// used by smaRTLy's muxtree restructuring (paper §III).
+//
+// An ADD generalizes a BDD from {0,1} terminals to an arbitrary finite
+// terminal set — here, the data words of a case statement. The package
+// builds ADDs from priority pattern tables (the rows of a case/casez
+// statement) with the paper's greedy variable-selection heuristic: at
+// every node pick the selector bit that minimizes the total number of
+// distinct terminals in the two cofactors. Nodes are hash-consed, so
+// shared sub-functions are represented once and CountNodes reports the
+// number of 2:1 multiplexers a rebuilt tree needs.
+package bdd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PatBit is one position of a match pattern.
+type PatBit uint8
+
+// Pattern bit values. Any matches both 0 and 1 (a casez "z" position).
+const (
+	Zero PatBit = iota
+	One
+	Any
+)
+
+// Pattern is one row of a priority match table: the first pattern whose
+// Bits match the selector wins and yields Term.
+type Pattern struct {
+	Bits []PatBit
+	Term int
+}
+
+// Node is an ADD node: either a leaf holding Term, or an internal
+// decision on selector bit Var with Lo (Var=0) and Hi (Var=1) children.
+type Node struct {
+	Var    int
+	Lo, Hi *Node
+	Term   int
+	leaf   bool
+}
+
+// IsLeaf reports whether the node is a terminal.
+func (n *Node) IsLeaf() bool { return n.leaf }
+
+// CountNodes returns the number of distinct internal (decision) nodes —
+// the number of 2:1 muxes needed to implement the ADD.
+func (n *Node) CountNodes() int {
+	seen := map[*Node]bool{}
+	var walk func(*Node) int
+	walk = func(x *Node) int {
+		if x == nil || x.leaf || seen[x] {
+			return 0
+		}
+		seen[x] = true
+		return 1 + walk(x.Lo) + walk(x.Hi)
+	}
+	return walk(n)
+}
+
+// CountTreeNodes returns the number of decision nodes when the ADD is
+// expanded into a tree (shared sub-functions counted at every use). This
+// is the mux count of a naive rebuild without hardware sharing, the
+// figure the paper quotes for bad variable assignments.
+func (n *Node) CountTreeNodes() int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	return 1 + n.Lo.CountTreeNodes() + n.Hi.CountTreeNodes()
+}
+
+// Depth returns the longest decision path length.
+func (n *Node) Depth() int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	lo, hi := n.Lo.Depth(), n.Hi.Depth()
+	if hi > lo {
+		lo = hi
+	}
+	return lo + 1
+}
+
+// Terminals returns the set of terminal ids reachable from n, sorted.
+func (n *Node) Terminals() []int {
+	set := map[int]bool{}
+	var walk func(*Node)
+	walk = func(x *Node) {
+		if x == nil {
+			return
+		}
+		if x.leaf {
+			set[x.Term] = true
+			return
+		}
+		walk(x.Lo)
+		walk(x.Hi)
+	}
+	walk(n)
+	out := make([]int, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Eval resolves the ADD under a complete selector assignment.
+func (n *Node) Eval(assign []bool) int {
+	for !n.leaf {
+		if assign[n.Var] {
+			n = n.Hi
+		} else {
+			n = n.Lo
+		}
+	}
+	return n.Term
+}
+
+// EvalPatterns resolves a priority pattern table directly (reference
+// semantics for tests): the first matching row wins; ok is false if no
+// row matches.
+func EvalPatterns(patterns []Pattern, assign []bool) (int, bool) {
+	for _, p := range patterns {
+		match := true
+		for i, b := range p.Bits {
+			if b == Any {
+				continue
+			}
+			if (b == One) != assign[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return p.Term, true
+		}
+	}
+	return 0, false
+}
+
+// builder hash-conses nodes and memoizes pattern-list results.
+type builder struct {
+	nVars  int
+	unique map[string]*Node
+	leaves map[int]*Node
+	memo   map[string]*Node
+	order  []int // fixed order; nil = greedy
+}
+
+func (b *builder) leaf(term int) *Node {
+	if n, ok := b.leaves[term]; ok {
+		return n
+	}
+	n := &Node{Term: term, leaf: true}
+	b.leaves[term] = n
+	return n
+}
+
+func (b *builder) mk(v int, lo, hi *Node) *Node {
+	if lo == hi {
+		return lo
+	}
+	key := fmt.Sprintf("%d:%p:%p", v, lo, hi)
+	if n, ok := b.unique[key]; ok {
+		return n
+	}
+	n := &Node{Var: v, Lo: lo, Hi: hi}
+	b.unique[key] = n
+	return n
+}
+
+// patKey canonicalizes a pattern list for memoization.
+func patKey(patterns []Pattern) string {
+	var sb strings.Builder
+	for _, p := range patterns {
+		for _, bit := range p.Bits {
+			sb.WriteByte("01z"[bit])
+		}
+		fmt.Fprintf(&sb, ">%d;", p.Term)
+	}
+	return sb.String()
+}
+
+// truncate drops rows shadowed by an earlier all-Any row (which always
+// matches, making later rows unreachable).
+func truncate(patterns []Pattern) []Pattern {
+	for i, p := range patterns {
+		allAny := true
+		for _, bit := range p.Bits {
+			if bit != Any {
+				allAny = false
+				break
+			}
+		}
+		if allAny {
+			return patterns[:i+1]
+		}
+	}
+	return patterns
+}
+
+// cofactor restricts the table to var v = val, deduplicating shadowed rows.
+func cofactor(patterns []Pattern, v int, val PatBit) []Pattern {
+	var out []Pattern
+	for _, p := range patterns {
+		if p.Bits[v] != Any && p.Bits[v] != val {
+			continue
+		}
+		np := Pattern{Bits: append([]PatBit(nil), p.Bits...), Term: p.Term}
+		np.Bits[v] = Any
+		out = append(out, np)
+	}
+	return truncate(out)
+}
+
+// reachableTerms computes the exact set of terminals reachable in a
+// priority table, memoized (paper: the greedy count uses reachable
+// terminals, e.g. a fully covered default drops out).
+func (b *builder) reachableTerms(patterns []Pattern, memo map[string]map[int]bool) map[int]bool {
+	patterns = truncate(patterns)
+	if len(patterns) == 0 {
+		return map[int]bool{}
+	}
+	key := patKey(patterns)
+	if r, ok := memo[key]; ok {
+		return r
+	}
+	// If the first row is all-Any it is the only reachable row.
+	first := patterns[0]
+	v := -1
+	for i, bit := range first.Bits {
+		if bit != Any {
+			v = i
+			break
+		}
+	}
+	var out map[int]bool
+	if v < 0 {
+		out = map[int]bool{first.Term: true}
+	} else {
+		out = map[int]bool{}
+		for t := range b.reachableTerms(cofactor(patterns, v, Zero), memo) {
+			out[t] = true
+		}
+		for t := range b.reachableTerms(cofactor(patterns, v, One), memo) {
+			out[t] = true
+		}
+	}
+	memo[key] = out
+	return out
+}
+
+func (b *builder) build(patterns []Pattern, depth int, terms map[string]map[int]bool) *Node {
+	patterns = truncate(patterns)
+	if len(patterns) == 0 {
+		// No row matches: the function is unspecified; reuse terminal
+		// of an arbitrary leaf (callers always provide a default row,
+		// so this is unreachable in practice).
+		return b.leaf(0)
+	}
+	key := patKey(patterns)
+	if n, ok := b.memo[key]; ok {
+		return n
+	}
+	reach := b.reachableTerms(patterns, terms)
+	if len(reach) == 1 {
+		for t := range reach {
+			n := b.leaf(t)
+			b.memo[key] = n
+			return n
+		}
+	}
+
+	v := b.chooseVar(patterns, depth, terms)
+	lo := b.build(cofactor(patterns, v, Zero), depth+1, terms)
+	hi := b.build(cofactor(patterns, v, One), depth+1, terms)
+	n := b.mk(v, lo, hi)
+	b.memo[key] = n
+	return n
+}
+
+// chooseVar implements the paper's heuristic: pick the selector bit
+// minimizing the total number of distinct reachable terminals of the two
+// cofactors. With a fixed order, pick the next constrained variable.
+func (b *builder) chooseVar(patterns []Pattern, depth int, terms map[string]map[int]bool) int {
+	constrained := map[int]bool{}
+	for _, p := range patterns {
+		for i, bit := range p.Bits {
+			if bit != Any {
+				constrained[i] = true
+			}
+		}
+	}
+	if b.order != nil {
+		for _, v := range b.order {
+			if constrained[v] {
+				return v
+			}
+		}
+		// Fall back to the first constrained var.
+	}
+	best, bestCost := -1, 1<<30
+	for v := 0; v < b.nVars; v++ {
+		if !constrained[v] {
+			continue
+		}
+		if b.order != nil {
+			return v
+		}
+		c0 := len(b.reachableTerms(cofactor(patterns, v, Zero), terms))
+		c1 := len(b.reachableTerms(cofactor(patterns, v, One), terms))
+		if c0+c1 < bestCost {
+			best, bestCost = v, c0+c1
+		}
+	}
+	return best
+}
+
+// BuildGreedy constructs an ADD for the priority table using the paper's
+// terminal-type-minimizing heuristic. nVars is the selector width; every
+// Pattern must have exactly nVars bits, and the table should end with a
+// default (all-Any) row.
+func BuildGreedy(patterns []Pattern, nVars int) *Node {
+	return buildWith(patterns, nVars, nil)
+}
+
+// BuildOrdered constructs an ADD testing variables in the given fixed
+// order (used by the heuristic-ablation benchmarks).
+func BuildOrdered(patterns []Pattern, nVars int, order []int) *Node {
+	return buildWith(patterns, nVars, order)
+}
+
+func buildWith(patterns []Pattern, nVars int, order []int) *Node {
+	for _, p := range patterns {
+		if len(p.Bits) != nVars {
+			panic(fmt.Sprintf("bdd: pattern has %d bits, want %d", len(p.Bits), nVars))
+		}
+	}
+	b := &builder{
+		nVars:  nVars,
+		unique: map[string]*Node{},
+		leaves: map[int]*Node{},
+		memo:   map[string]*Node{},
+		order:  order,
+	}
+	return b.build(append([]Pattern(nil), patterns...), 0, map[string]map[int]bool{})
+}
+
+// ParsePattern converts a Verilog-style pattern string (MSB first, using
+// 0, 1, z/?) into pattern bits (LSB first).
+func ParsePattern(s string, term int) Pattern {
+	bits := make([]PatBit, len(s))
+	for i, ch := range s {
+		var b PatBit
+		switch ch {
+		case '0':
+			b = Zero
+		case '1':
+			b = One
+		case 'z', 'Z', '?', 'x', 'X':
+			b = Any
+		default:
+			panic(fmt.Sprintf("bdd: bad pattern char %q", ch))
+		}
+		bits[len(s)-1-i] = b
+	}
+	return Pattern{Bits: bits, Term: term}
+}

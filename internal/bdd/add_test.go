@@ -1,0 +1,211 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestListing1 reproduces the paper's Listing 1: a full 2-bit decoded
+// case needs exactly 3 muxes (Figure 7).
+func TestListing1(t *testing.T) {
+	patterns := []Pattern{
+		ParsePattern("00", 0),
+		ParsePattern("01", 1),
+		ParsePattern("10", 2),
+		ParsePattern("zz", 3), // default
+	}
+	n := BuildGreedy(patterns, 2)
+	if got := n.CountNodes(); got != 3 {
+		t.Errorf("Listing 1 ADD size = %d muxes, want 3", got)
+	}
+	checkAgainstTable(t, n, patterns, 2)
+}
+
+// TestListing2 reproduces the paper's Listing 2: the good assignment
+// (S2 down to S0) yields 3 muxes, the bad one (S0 up to S2) yields 7.
+func TestListing2(t *testing.T) {
+	patterns := []Pattern{
+		ParsePattern("1zz", 0),
+		ParsePattern("01z", 1),
+		ParsePattern("001", 2),
+		ParsePattern("zzz", 3),
+	}
+	good := BuildOrdered(patterns, 3, []int{2, 1, 0})
+	if got := good.CountNodes(); got != 3 {
+		t.Errorf("good order = %d muxes, want 3", got)
+	}
+	// The paper's count of 7 for the bad order is the unshared tree;
+	// hash-consing shares one sub-function, leaving 6 distinct nodes.
+	bad := BuildOrdered(patterns, 3, []int{0, 1, 2})
+	if got := bad.CountTreeNodes(); got != 7 {
+		t.Errorf("bad order tree = %d muxes, want 7", got)
+	}
+	if got := bad.CountNodes(); got != 6 {
+		t.Errorf("bad order shared = %d muxes, want 6", got)
+	}
+	// The greedy heuristic must find the good assignment (paper: "the
+	// algorithm can obtain the optimal solution ... in most cases").
+	greedy := BuildGreedy(patterns, 3)
+	if got := greedy.CountNodes(); got != 3 {
+		t.Errorf("greedy = %d muxes, want 3", got)
+	}
+	checkAgainstTable(t, greedy, patterns, 3)
+	checkAgainstTable(t, bad, patterns, 3)
+}
+
+// TestPaperCofactorCounts checks the exact terminal counts the paper
+// quotes for Listing 2: selecting S2 gives 4 types (left {p1,p2,p3},
+// right {p0}); selecting S0 gives 6 (left {p0,p1,p3}, right {p0,p1,p2}).
+func TestPaperCofactorCounts(t *testing.T) {
+	patterns := []Pattern{
+		ParsePattern("1zz", 0),
+		ParsePattern("01z", 1),
+		ParsePattern("001", 2),
+		ParsePattern("zzz", 3),
+	}
+	b := &builder{nVars: 3, unique: map[string]*Node{}, leaves: map[int]*Node{}, memo: map[string]*Node{}}
+	memo := map[string]map[int]bool{}
+	count := func(v int, val PatBit) int {
+		return len(b.reachableTerms(cofactor(patterns, v, val), memo))
+	}
+	if lo, hi := count(2, Zero), count(2, One); lo != 3 || hi != 1 {
+		t.Errorf("S2 cofactors: %d + %d types, want 3 + 1", lo, hi)
+	}
+	if lo, hi := count(0, Zero), count(0, One); lo != 3 || hi != 3 {
+		t.Errorf("S0 cofactors: %d + %d types, want 3 + 3", lo, hi)
+	}
+}
+
+func TestDefaultDropsWhenCovered(t *testing.T) {
+	// Rows cover the whole 1-bit space: default is unreachable.
+	patterns := []Pattern{
+		ParsePattern("0", 0),
+		ParsePattern("1", 1),
+		ParsePattern("z", 2),
+	}
+	n := BuildGreedy(patterns, 1)
+	terms := n.Terminals()
+	if len(terms) != 2 || terms[0] != 0 || terms[1] != 1 {
+		t.Errorf("terminals = %v, want [0 1]", terms)
+	}
+}
+
+func TestSharedSubfunctions(t *testing.T) {
+	// f(s1,s0) = s0 ? A : B regardless of s1 — hash-consing must share
+	// the sub-ADD, giving 1 node, not 2.
+	patterns := []Pattern{
+		ParsePattern("z1", 0),
+		ParsePattern("z0", 1),
+	}
+	n := BuildGreedy(patterns, 2)
+	if got := n.CountNodes(); got != 1 {
+		t.Errorf("CountNodes = %d, want 1", got)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	patterns := []Pattern{
+		ParsePattern("00", 0),
+		ParsePattern("01", 1),
+		ParsePattern("10", 2),
+		ParsePattern("11", 3),
+	}
+	n := BuildGreedy(patterns, 2)
+	if n.Depth() != 2 {
+		t.Errorf("Depth = %d, want 2", n.Depth())
+	}
+	if n.CountNodes() != 3 {
+		t.Errorf("CountNodes = %d, want 3", n.CountNodes())
+	}
+}
+
+func TestLeafOnlyTable(t *testing.T) {
+	patterns := []Pattern{ParsePattern("zz", 7)}
+	n := BuildGreedy(patterns, 2)
+	if !n.IsLeaf() || n.Term != 7 {
+		t.Errorf("single-default table should be a leaf, got %+v", n)
+	}
+	if n.CountNodes() != 0 || n.Depth() != 0 {
+		t.Error("leaf metrics wrong")
+	}
+}
+
+func checkAgainstTable(t *testing.T, n *Node, patterns []Pattern, nVars int) {
+	t.Helper()
+	for mask := 0; mask < 1<<uint(nVars); mask++ {
+		assign := make([]bool, nVars)
+		for i := range assign {
+			assign[i] = (mask>>uint(i))&1 == 1
+		}
+		want, ok := EvalPatterns(patterns, assign)
+		if !ok {
+			continue
+		}
+		if got := n.Eval(assign); got != want {
+			t.Errorf("assign %0*b: ADD=%d table=%d", nVars, mask, got, want)
+		}
+	}
+}
+
+// TestQuickADDAgreesWithTable builds random priority tables and verifies
+// the ADD agrees with direct table evaluation on every assignment.
+func TestQuickADDAgreesWithTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		nVars := 1 + rng.Intn(5)
+		nRows := 1 + rng.Intn(6)
+		var patterns []Pattern
+		for r := 0; r < nRows; r++ {
+			bits := make([]PatBit, nVars)
+			for i := range bits {
+				bits[i] = PatBit(rng.Intn(3))
+			}
+			patterns = append(patterns, Pattern{Bits: bits, Term: rng.Intn(4)})
+		}
+		// Always terminate with a default row.
+		patterns = append(patterns, Pattern{Bits: make([]PatBit, nVars), Term: 9})
+		for i := range patterns[len(patterns)-1].Bits {
+			patterns[len(patterns)-1].Bits[i] = Any
+		}
+		n := BuildGreedy(patterns, nVars)
+		checkAgainstTable(t, n, patterns, nVars)
+
+		// A random fixed order must also be functionally correct.
+		order := rng.Perm(nVars)
+		no := BuildOrdered(patterns, nVars, order)
+		checkAgainstTable(t, no, patterns, nVars)
+
+		// Greedy should never be worse than the natural order by more
+		// than a factor of 2 on these small tables (sanity bound).
+		natural := BuildOrdered(patterns, nVars, naturalOrder(nVars))
+		if n.CountNodes() > 2*natural.CountNodes()+1 {
+			t.Errorf("trial %d: greedy %d vs natural %d nodes",
+				trial, n.CountNodes(), natural.CountNodes())
+		}
+	}
+}
+
+func naturalOrder(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = n - 1 - i
+	}
+	return out
+}
+
+func TestParsePattern(t *testing.T) {
+	p := ParsePattern("10z", 5)
+	// MSB first in the string: bit2=1, bit1=0, bit0=z.
+	if p.Bits[2] != One || p.Bits[1] != Zero || p.Bits[0] != Any {
+		t.Errorf("ParsePattern wrong: %v", p.Bits)
+	}
+	if p.Term != 5 {
+		t.Error("term lost")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad pattern char did not panic")
+		}
+	}()
+	ParsePattern("2", 0)
+}

@@ -1,0 +1,192 @@
+package cec
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/rtlil"
+)
+
+// demorganPair returns two modules computing ~(a&b) two different ways.
+func demorganPair() (*rtlil.Module, *rtlil.Module) {
+	a := rtlil.NewModule("a")
+	{
+		x := a.AddInput("x", 4).Bits()
+		y := a.AddInput("y", 4).Bits()
+		out := a.AddOutput("out", 4)
+		a.Connect(out.Bits(), a.Not(a.And(x, y)))
+	}
+	b := rtlil.NewModule("b")
+	{
+		x := b.AddInput("x", 4).Bits()
+		y := b.AddInput("y", 4).Bits()
+		out := b.AddOutput("out", 4)
+		b.Connect(out.Bits(), b.Or(b.Not(x), b.Not(y)))
+	}
+	return a, b
+}
+
+func TestEquivalentDeMorgan(t *testing.T) {
+	a, b := demorganPair()
+	if err := Check(a, b, nil); err != nil {
+		t.Fatalf("De Morgan pair reported different: %v", err)
+	}
+}
+
+func TestNotEquivalentCaughtBySim(t *testing.T) {
+	a, _ := demorganPair()
+	b := rtlil.NewModule("b")
+	x := b.AddInput("x", 4).Bits()
+	y := b.AddInput("y", 4).Bits()
+	out := b.AddOutput("out", 4)
+	b.Connect(out.Bits(), b.And(x, y)) // missing the NOT
+	err := Check(a, b, nil)
+	var ne *NotEquivalentError
+	if !errors.As(err, &ne) {
+		t.Fatalf("want NotEquivalentError, got %v", err)
+	}
+	if len(ne.Inputs) != 8 {
+		t.Errorf("counterexample has %d inputs, want 8", len(ne.Inputs))
+	}
+	if !strings.Contains(ne.Error(), "out:") {
+		t.Errorf("error message lacks output name: %s", ne.Error())
+	}
+}
+
+// TestNotEquivalentNeedsSAT builds a mismatch so narrow random simulation
+// is unlikely to find it: the modules differ only when a 32-bit input is
+// exactly a magic constant.
+func TestNotEquivalentNeedsSAT(t *testing.T) {
+	build := func(diff bool) *rtlil.Module {
+		m := rtlil.NewModule("m")
+		x := m.AddInput("x", 32).Bits()
+		out := m.AddOutput("out", 1)
+		hit := m.Eq(x, rtlil.Const(0xdeadbeef, 32))
+		if diff {
+			m.Connect(out.Bits(), hit)
+		} else {
+			m.Connect(out.Bits(), rtlil.Const(0, 1))
+		}
+		return m
+	}
+	a, b := build(true), build(false)
+	err := Check(a, b, &Options{RandomRounds: 1})
+	var ne *NotEquivalentError
+	if !errors.As(err, &ne) {
+		t.Fatalf("want NotEquivalentError, got %v", err)
+	}
+	// The counterexample must set x = 0xdeadbeef.
+	var v uint64
+	for i := 0; i < 32; i++ {
+		key := "in:x[" + itoa(i) + "]"
+		if ne.Inputs[key] {
+			v |= 1 << uint(i)
+		}
+	}
+	if v != 0xdeadbeef {
+		t.Errorf("counterexample x = %#x, want 0xdeadbeef", v)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestInterfaceMismatch(t *testing.T) {
+	a := rtlil.NewModule("a")
+	a.AddInput("x", 2)
+	a.AddOutput("y", 1)
+	b := rtlil.NewModule("b")
+	b.AddInput("x", 3) // different width
+	b.AddOutput("y", 1)
+	if err := Check(a, b, nil); err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Errorf("interface mismatch not reported: %v", err)
+	}
+}
+
+func TestSequentialCut(t *testing.T) {
+	build := func(optimized bool) *rtlil.Module {
+		m := rtlil.NewModule("m")
+		clk := m.AddInput("clk", 1).Bits()
+		d := m.AddInput("d", 2).Bits()
+		s := m.AddInput("s", 1).Bits()
+		q := m.NewWire(2)
+		var next rtlil.SigSpec
+		if optimized {
+			next = m.Mux(d, q.Bits(), s)
+		} else {
+			// mux with both branches through an extra identity mux
+			mid := m.Mux(d, d, s)
+			next = m.Mux(mid, q.Bits(), s)
+		}
+		m.AddDff("state", clk, next, q.Bits())
+		y := m.AddOutput("y", 2)
+		m.Connect(y.Bits(), q.Bits())
+		return m
+	}
+	if err := Check(build(false), build(true), nil); err != nil {
+		t.Fatalf("equivalent sequential designs reported different: %v", err)
+	}
+	// Now a real sequential difference: invert D.
+	a := build(true)
+	b := build(true)
+	ff := b.Cell("state")
+	ff.SetPort("D", b.Not(ff.Port("D")))
+	err := Check(a, b, nil)
+	var ne *NotEquivalentError
+	if !errors.As(err, &ne) {
+		t.Fatalf("sequential difference missed: %v", err)
+	}
+	if !strings.Contains(ne.Output, "ff:state.D") {
+		t.Errorf("mismatch should be on the dff D point, got %s", ne.Output)
+	}
+}
+
+func TestRandomSelfEquivalence(t *testing.T) {
+	// Any module is equivalent to its own clone.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		m := randomModule(rng)
+		if err := Check(m, m.Clone(), &Options{RandomRounds: 1}); err != nil {
+			t.Fatalf("trial %d: module differs from clone: %v", trial, err)
+		}
+	}
+}
+
+func randomModule(rng *rand.Rand) *rtlil.Module {
+	m := rtlil.NewModule("r")
+	sigs := []rtlil.SigSpec{
+		m.AddInput("a", 3).Bits(),
+		m.AddInput("b", 3).Bits(),
+		m.AddInput("c", 1).Bits(),
+	}
+	pick := func() rtlil.SigSpec { return sigs[rng.Intn(len(sigs))] }
+	for i := 0; i < 8; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			sigs = append(sigs, m.And(pick(), pick()))
+		case 1:
+			sigs = append(sigs, m.Or(pick(), pick()))
+		case 2:
+			sigs = append(sigs, m.Mux(pick(), pick(), pick().Extract(0, 1)))
+		case 3:
+			sigs = append(sigs, m.AddOp(pick(), pick()))
+		case 4:
+			sigs = append(sigs, m.Eq(pick(), pick()))
+		}
+	}
+	last := sigs[len(sigs)-1]
+	y := m.AddOutput("y", len(last))
+	m.Connect(y.Bits(), last)
+	return m
+}

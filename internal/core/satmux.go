@@ -1,0 +1,489 @@
+// Package core implements the smaRTLy paper's two contributions on top of
+// the substrate packages:
+//
+//   - SAT-based redundancy elimination (paper §II): a muxtree traversal
+//     whose control-value oracle extracts a connectivity-filtered
+//     sub-graph, applies inference rules, and falls back to exhaustive
+//     simulation or a CDCL SAT solver to prove controls constant along
+//     the path.
+//   - Muxtree restructuring (paper §III): case-statement muxtrees whose
+//     controls compare a single selector against constants are rebuilt
+//     from an Algebraic Decision Diagram with the greedy
+//     terminal-type-minimizing heuristic, deleting the comparison gates.
+//
+// The combined pass (Smartly) replaces Yosys' opt_muxtree, exactly as in
+// the paper's evaluation.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/aig"
+	"repro/internal/infer"
+	"repro/internal/opt"
+	"repro/internal/rtlil"
+	"repro/internal/sat"
+	"repro/internal/sim"
+	"repro/internal/subgraph"
+)
+
+// SatMuxOptions tunes the SAT-based redundancy elimination.
+type SatMuxOptions struct {
+	// SubgraphDepth is the BFS radius k (default 6).
+	SubgraphDepth int
+	// MaxSubgraphCells caps the candidate sub-graph (default 300).
+	MaxSubgraphCells int
+	// SimInputLimit: with at most this many sub-graph inputs the query
+	// is answered by exhaustive simulation instead of SAT (default 11,
+	// the paper's "for a smaller number of inputs, simulation is more
+	// efficient").
+	SimInputLimit int
+	// SATInputLimit: above this many sub-graph inputs the SAT query is
+	// skipped entirely (the paper's input-count threshold; default 200).
+	SATInputLimit int
+	// MaxConflicts bounds each SAT call (default 2000).
+	MaxConflicts int64
+	// DisableInference turns the rule engine off (ablation).
+	DisableInference bool
+	// DisableSAT turns simulation/SAT off, leaving inference only
+	// (ablation).
+	DisableSAT bool
+	// DisableSubgraphFilter turns the Theorem II.1 pruning off
+	// (ablation).
+	DisableSubgraphFilter bool
+}
+
+func (o SatMuxOptions) withDefaults() SatMuxOptions {
+	if o.SubgraphDepth == 0 {
+		o.SubgraphDepth = 6
+	}
+	if o.MaxSubgraphCells == 0 {
+		o.MaxSubgraphCells = 300
+	}
+	if o.SimInputLimit == 0 {
+		o.SimInputLimit = 11
+	}
+	if o.SATInputLimit == 0 {
+		o.SATInputLimit = 200
+	}
+	if o.MaxConflicts == 0 {
+		o.MaxConflicts = 2000
+	}
+	return o
+}
+
+// SatMuxStats counts how queries were resolved.
+type SatMuxStats struct {
+	Queries         int
+	FactHits        int
+	UnreachablePath int
+	InferenceHits   int
+	SimHits         int
+	SATHits         int
+	SATCalls        int
+	Unknown         int
+	SubgraphCells   int // total kept cells across queries
+	CandidateCells  int // total pre-filter cells across queries
+}
+
+// String renders the counters.
+func (s SatMuxStats) String() string {
+	return fmt.Sprintf("queries=%d facts=%d unreachable=%d inference=%d sim=%d sat=%d/%d unknown=%d subgraph=%d/%d",
+		s.Queries, s.FactHits, s.UnreachablePath, s.InferenceHits, s.SimHits,
+		s.SATHits, s.SATCalls, s.Unknown, s.SubgraphCells, s.CandidateCells)
+}
+
+// SmartOracle is the smaRTLy control-value oracle: path facts first, then
+// sub-graph inference, then exhaustive simulation or SAT.
+type SmartOracle struct {
+	Stats SatMuxStats
+
+	ix    *rtlil.Index
+	facts *opt.FactOracle
+	o     SatMuxOptions
+	cache map[string]cacheEntry
+}
+
+type cacheEntry struct {
+	v     rtlil.State
+	known bool
+}
+
+// NewSmartOracle builds an oracle over the module index.
+func NewSmartOracle(ix *rtlil.Index, o SatMuxOptions) *SmartOracle {
+	return &SmartOracle{
+		ix:    ix,
+		facts: opt.NewFactOracle(),
+		o:     o.withDefaults(),
+		cache: map[string]cacheEntry{},
+	}
+}
+
+// Push implements opt.Oracle.
+func (s *SmartOracle) Push(bit rtlil.SigBit, v rtlil.State) { s.facts.Push(bit, v) }
+
+// Pop implements opt.Oracle.
+func (s *SmartOracle) Pop(n int) { s.facts.Pop(n) }
+
+// Lookup implements opt.Oracle (cheap, facts only).
+func (s *SmartOracle) Lookup(bit rtlil.SigBit) (rtlil.State, bool) {
+	return s.facts.Lookup(bit)
+}
+
+// Value implements opt.Oracle with the full §II machinery.
+func (s *SmartOracle) Value(bit rtlil.SigBit) (rtlil.State, bool) {
+	if v, ok := s.facts.Lookup(bit); ok {
+		s.Stats.FactHits++
+		return v, ok
+	}
+	s.Stats.Queries++
+
+	key := s.cacheKey(bit)
+	if e, ok := s.cache[key]; ok {
+		return e.v, e.known
+	}
+	v, known := s.solve(bit)
+	s.cache[key] = cacheEntry{v, known}
+	return v, known
+}
+
+func (s *SmartOracle) cacheKey(bit rtlil.SigBit) string {
+	facts := s.facts.Facts()
+	keys := make([]string, 0, len(facts))
+	for b, v := range facts {
+		keys = append(keys, fmt.Sprintf("%s=%s", b, v))
+	}
+	sort.Strings(keys)
+	return bit.String() + "|" + strings.Join(keys, ",")
+}
+
+func (s *SmartOracle) solve(bit rtlil.SigBit) (rtlil.State, bool) {
+	facts := s.facts.Facts()
+	knowns := make([]rtlil.SigBit, 0, len(facts))
+	for b := range facts {
+		knowns = append(knowns, b)
+	}
+	sg := subgraph.Extract(s.ix, bit, knowns, subgraph.Options{
+		Depth:         s.o.SubgraphDepth,
+		MaxCells:      s.o.MaxSubgraphCells,
+		DisableFilter: s.o.DisableSubgraphFilter,
+	})
+	s.Stats.SubgraphCells += len(sg.Cells)
+	s.Stats.CandidateCells += sg.CandidateCells
+
+	// Stage 1: inference rules (paper Table I).
+	if !s.o.DisableInference {
+		e := infer.New(s.ix, sg.Cells)
+		for b, v := range facts {
+			e.Assume(b, v)
+		}
+		if !e.Propagate() {
+			// The path condition is unreachable: the mux output is
+			// never observed, so either branch is sound.
+			s.Stats.UnreachablePath++
+			return rtlil.S0, true
+		}
+		if v, ok := e.Value(bit); ok {
+			s.Stats.InferenceHits++
+			return v, true
+		}
+	}
+	if s.o.DisableSAT {
+		s.Stats.Unknown++
+		return rtlil.Sx, false
+	}
+
+	// Stage 2: exhaustive simulation for few inputs, SAT otherwise.
+	if len(sg.Inputs) <= s.o.SimInputLimit {
+		if v, ok := s.simulate(sg, facts, bit); ok {
+			s.Stats.SimHits++
+			return v, true
+		}
+		s.Stats.Unknown++
+		return rtlil.Sx, false
+	}
+	if len(sg.Inputs) > s.o.SATInputLimit {
+		s.Stats.Unknown++
+		return rtlil.Sx, false
+	}
+	if v, ok := s.satQuery(sg, facts, bit); ok {
+		s.Stats.SATHits++
+		return v, true
+	}
+	s.Stats.Unknown++
+	return rtlil.Sx, false
+}
+
+// topoCells orders the sub-graph cells so drivers precede readers.
+func (s *SmartOracle) topoCells(cells []*rtlil.Cell) []*rtlil.Cell {
+	inSet := make(map[*rtlil.Cell]bool, len(cells))
+	for _, c := range cells {
+		inSet[c] = true
+	}
+	var order []*rtlil.Cell
+	state := map[*rtlil.Cell]int8{}
+	var visit func(c *rtlil.Cell)
+	visit = func(c *rtlil.Cell) {
+		if state[c] != 0 {
+			return
+		}
+		state[c] = 1
+		for port, sig := range c.Conn {
+			if !c.IsInputPort(port) {
+				continue
+			}
+			for _, b := range s.ix.Map(sig) {
+				if b.IsConst() {
+					continue
+				}
+				if d := s.ix.DriverCell(b); d != nil && inSet[d] {
+					visit(d)
+				}
+			}
+		}
+		state[c] = 2
+		order = append(order, c)
+	}
+	for _, c := range cells {
+		visit(c)
+	}
+	return order
+}
+
+// simulate enumerates all assignments of the sub-graph inputs, discarding
+// ones inconsistent with the path facts, and observes the target bit. A
+// single observed value proves the bit constant; no consistent
+// assignment means the path is unreachable.
+func (s *SmartOracle) simulate(sg *subgraph.Result, facts map[rtlil.SigBit]rtlil.State, target rtlil.SigBit) (rtlil.State, bool) {
+	order := s.topoCells(sg.Cells)
+	n := len(sg.Inputs)
+	target = s.ix.MapBit(target)
+
+	// Facts on bits outside the sub-graph cannot be checked; drop them
+	// (this only loses precision, not soundness).
+	type factCheck struct {
+		bit rtlil.SigBit
+		v   rtlil.State
+	}
+	computed := map[rtlil.SigBit]bool{}
+	for _, b := range sg.Inputs {
+		computed[b] = true
+	}
+	for _, c := range order {
+		for _, b := range s.ix.Map(c.Port(rtlil.OutputPorts(c.Type)[0])) {
+			if !b.IsConst() {
+				computed[b] = true
+			}
+		}
+	}
+	if !computed[target] {
+		return rtlil.Sx, false
+	}
+	var checks []factCheck
+	for b, v := range facts {
+		if computed[b] {
+			checks = append(checks, factCheck{b, v})
+		}
+	}
+
+	seen0, seen1 := false, false
+	vals := make(map[rtlil.SigBit]rtlil.State, len(computed))
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		for k := range vals {
+			delete(vals, k)
+		}
+		for i, b := range sg.Inputs {
+			vals[b] = rtlil.BoolState((mask>>uint(i))&1 == 1)
+		}
+		if !s.evalCells(order, vals) {
+			continue
+		}
+		ok := true
+		for _, fc := range checks {
+			if vals[fc.bit] != fc.v {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		switch vals[target] {
+		case rtlil.S0:
+			seen0 = true
+		case rtlil.S1:
+			seen1 = true
+		}
+		if seen0 && seen1 {
+			return rtlil.Sx, false
+		}
+	}
+	switch {
+	case seen0 && !seen1:
+		return rtlil.S0, true
+	case seen1 && !seen0:
+		return rtlil.S1, true
+	case !seen0 && !seen1:
+		// No consistent assignment: unreachable path.
+		s.Stats.UnreachablePath++
+		return rtlil.S0, true
+	}
+	return rtlil.Sx, false
+}
+
+func (s *SmartOracle) evalCells(order []*rtlil.Cell, vals map[rtlil.SigBit]rtlil.State) bool {
+	get := func(b rtlil.SigBit) rtlil.State {
+		b = s.ix.MapBit(b)
+		if b.IsConst() {
+			if b.Const == rtlil.S1 {
+				return rtlil.S1
+			}
+			return rtlil.S0 // 0/x/z as 0, the two-valued convention
+		}
+		if v, ok := vals[b]; ok {
+			return v
+		}
+		return rtlil.S0
+	}
+	for _, c := range order {
+		in := map[string][]rtlil.State{}
+		for _, p := range rtlil.InputPorts(c.Type) {
+			sig := c.Port(p)
+			v := make([]rtlil.State, len(sig))
+			for i, b := range sig {
+				v[i] = get(b)
+			}
+			in[p] = v
+		}
+		out, err := sim.EvalCell(c, in)
+		if err != nil {
+			return false
+		}
+		for i, b := range s.ix.Map(c.Port(rtlil.OutputPorts(c.Type)[0])) {
+			if b.IsConst() {
+				continue
+			}
+			v := out[i]
+			if v != rtlil.S0 && v != rtlil.S1 {
+				v = rtlil.S0
+			}
+			vals[b] = v
+		}
+	}
+	return true
+}
+
+// satQuery encodes the sub-graph into CNF and checks SAT(target=0) and
+// SAT(target=1) under the path facts, following the paper's
+// "SAT(S=0)=false or SAT(S=1)=false" criterion.
+func (s *SmartOracle) satQuery(sg *subgraph.Result, facts map[rtlil.SigBit]rtlil.State, target rtlil.SigBit) (rtlil.State, bool) {
+	order := s.topoCells(sg.Cells)
+	mp := aig.NewPartialMapping(s.ix)
+	for _, b := range sg.Inputs {
+		mp.AddInputBit(b)
+	}
+	for _, c := range order {
+		if err := mp.MapCell(c); err != nil {
+			return rtlil.Sx, false
+		}
+	}
+	if !mp.HasBit(target) {
+		return rtlil.Sx, false
+	}
+
+	solver := sat.NewSolver()
+	solver.MaxConflicts = s.o.MaxConflicts
+	cnf := aig.NewCNF(mp.G, solver)
+
+	var assumptions []sat.Lit
+	for b, v := range facts {
+		if !mp.HasBit(b) {
+			continue
+		}
+		l := cnf.SatLit(mp.LitOf(b))
+		if v == rtlil.S0 {
+			l = l.Not()
+		}
+		assumptions = append(assumptions, l)
+	}
+	tl := cnf.SatLit(mp.LitOf(target))
+
+	s.Stats.SATCalls++
+	r0 := solver.Solve(append(append([]sat.Lit(nil), assumptions...), tl.Not())...)
+	s.Stats.SATCalls++
+	r1 := solver.Solve(append(append([]sat.Lit(nil), assumptions...), tl)...)
+	switch {
+	case r0 == sat.Unsat && r1 == sat.Unsat:
+		s.Stats.UnreachablePath++
+		return rtlil.S0, true // unreachable path
+	case r0 == sat.Unsat && r1 == sat.Sat:
+		return rtlil.S1, true
+	case r1 == sat.Unsat && r0 == sat.Sat:
+		return rtlil.S0, true
+	}
+	return rtlil.Sx, false
+}
+
+// SatMuxPass is smaRTLy's SAT-based redundancy elimination: the muxtree
+// walker driven by the SmartOracle, run to a fixpoint. It subsumes the
+// baseline opt_muxtree (path facts are consulted first).
+type SatMuxPass struct {
+	Opts SatMuxOptions
+	// LastStats holds the oracle counters of the most recent Run.
+	LastStats SatMuxStats
+}
+
+// Name implements opt.Pass.
+func (p *SatMuxPass) Name() string { return "smartly_satmux" }
+
+// Run implements opt.Pass.
+func (p *SatMuxPass) Run(m *rtlil.Module) (opt.Result, error) {
+	var total opt.Result
+	p.LastStats = SatMuxStats{}
+	for iter := 0; iter < 20; iter++ {
+		ix := rtlil.NewIndex(m)
+		oracle := NewSmartOracle(ix, p.Opts)
+		walk := &opt.MuxtreeWalk{Oracle: oracle}
+		r, err := walk.Run(m)
+		if err != nil {
+			return total, err
+		}
+		accumulate(&p.LastStats, oracle.Stats)
+		if iter == 0 {
+			total = r
+		} else {
+			mergeResults(&total, r)
+		}
+		if !r.Changed {
+			break
+		}
+	}
+	return total, nil
+}
+
+func accumulate(dst *SatMuxStats, s SatMuxStats) {
+	dst.Queries += s.Queries
+	dst.FactHits += s.FactHits
+	dst.UnreachablePath += s.UnreachablePath
+	dst.InferenceHits += s.InferenceHits
+	dst.SimHits += s.SimHits
+	dst.SATHits += s.SATHits
+	dst.SATCalls += s.SATCalls
+	dst.Unknown += s.Unknown
+	dst.SubgraphCells += s.SubgraphCells
+	dst.CandidateCells += s.CandidateCells
+}
+
+func mergeResults(dst *opt.Result, r opt.Result) {
+	if r.Changed {
+		dst.Changed = true
+	}
+	if dst.Details == nil {
+		dst.Details = map[string]int{}
+	}
+	for k, v := range r.Details {
+		dst.Details[k] += v
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"repro/internal/opt"
+	"repro/internal/rtlil"
+)
+
+// SmartlyPass is the full smaRTLy optimization: SAT-based redundancy
+// elimination followed by muxtree restructuring. The paper observes the
+// two "work together to reduce more areas" (restructuring shortens trees
+// and simplifies control ports, shrinking the sub-graphs the SAT stage
+// sees), so the combination is iterated.
+type SmartlyPass struct {
+	SatOpts     SatMuxOptions
+	RebuildOpts RebuildOptions
+
+	satmux  SatMuxPass
+	rebuild RebuildPass
+}
+
+// Name implements opt.Pass.
+func (p *SmartlyPass) Name() string { return "smartly" }
+
+// Run implements opt.Pass.
+func (p *SmartlyPass) Run(m *rtlil.Module) (opt.Result, error) {
+	p.satmux = SatMuxPass{Opts: p.SatOpts}
+	p.rebuild = RebuildPass{Opts: p.RebuildOpts}
+	return opt.RunScript(m, &p.satmux, &p.rebuild)
+}
+
+// SatStats returns the redundancy-elimination counters of the last Run.
+func (p *SmartlyPass) SatStats() SatMuxStats { return p.satmux.LastStats }
+
+// RebuildStats returns the restructuring counters of the last Run.
+func (p *SmartlyPass) RebuildStats() RebuildStats { return p.rebuild.LastStats }
+
+// The four pipelines evaluated in the paper's Tables II and III. Each is
+// an opt_expr / muxtree-optimizer / opt_clean fixpoint; they differ only
+// in which muxtree optimizer runs, exactly as the paper "replaced the
+// opt_muxtree pass in Yosys with smaRTLy".
+
+// PipelineYosys is the baseline: opt_expr; opt_muxtree; opt_clean.
+func PipelineYosys() opt.Pass {
+	return opt.Fixpoint(0, opt.ExprPass{}, opt.MuxtreePass{}, opt.CleanPass{})
+}
+
+// PipelineSAT runs only smaRTLy's SAT-based redundancy elimination
+// (Table III column "SAT"). It subsumes the baseline muxtree pruning.
+func PipelineSAT(o SatMuxOptions) opt.Pass {
+	return opt.Fixpoint(0, opt.ExprPass{}, &SatMuxPass{Opts: o}, opt.CleanPass{})
+}
+
+// PipelineRebuild runs the baseline plus muxtree restructuring
+// (Table III column "Rebuild").
+func PipelineRebuild(o RebuildOptions) opt.Pass {
+	return opt.Fixpoint(0, opt.ExprPass{}, opt.MuxtreePass{}, &RebuildPass{Opts: o}, opt.CleanPass{})
+}
+
+// PipelineFull runs the complete smaRTLy (Table II / Table III "Full").
+func PipelineFull(so SatMuxOptions, ro RebuildOptions) opt.Pass {
+	return opt.Fixpoint(0, opt.ExprPass{}, &SmartlyPass{SatOpts: so, RebuildOpts: ro}, opt.CleanPass{})
+}

@@ -1,0 +1,21 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCalibrationPrint is a development aid: run with
+// go test -run TestCalibrationPrint -v ./internal/harness/ to see the
+// current table shape while calibrating genbench recipes.
+func TestCalibrationPrint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration print skipped in -short mode")
+	}
+	results, err := RunAll(Options{Scale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(TableII(results))
+	fmt.Println(TableIII(results))
+}

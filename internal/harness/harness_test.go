@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/genbench"
+)
+
+func TestRunCaseWithEquivalenceCheck(t *testing.T) {
+	r := genbench.Recipes()[9] // ac97_ctrl: smallest mixed case
+	cr, err := RunCase(r, Options{Scale: 0.03, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Original <= 0 || cr.Yosys <= 0 || cr.Full <= 0 {
+		t.Errorf("bad areas: %+v", cr)
+	}
+	if cr.Full > cr.Yosys {
+		t.Errorf("full (%d) worse than yosys (%d)", cr.Full, cr.Yosys)
+	}
+}
+
+func TestRatios(t *testing.T) {
+	cr := CaseResult{Yosys: 200, SAT: 180, Rebuild: 150, Full: 140}
+	if got := cr.RatioSAT(); got != 10 {
+		t.Errorf("RatioSAT = %v", got)
+	}
+	if got := cr.RatioRebuild(); got != 25 {
+		t.Errorf("RatioRebuild = %v", got)
+	}
+	if got := cr.RatioFull(); got != 30 {
+		t.Errorf("RatioFull = %v", got)
+	}
+	zero := CaseResult{}
+	if zero.RatioFull() != 0 {
+		t.Error("zero base should give zero ratio")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	results := []CaseResult{
+		{Name: "alpha", Original: 1000, Yosys: 500, SAT: 480, Rebuild: 450, Full: 430},
+		{Name: "beta", Original: 2000, Yosys: 900, SAT: 850, Rebuild: 880, Full: 820},
+	}
+	t2 := TableII(results)
+	for _, want := range []string{"alpha", "beta", "Average", "Original", "smaRTLy"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("TableII missing %q:\n%s", want, t2)
+		}
+	}
+	t3 := TableIII(results)
+	for _, want := range []string{"alpha", "SAT", "Rebuild", "Full", "Average"} {
+		if !strings.Contains(t3, want) {
+			t.Errorf("TableIII missing %q:\n%s", want, t3)
+		}
+	}
+	avg := Averages(results)
+	if avg.Yosys != 700 || avg.Full != 625 {
+		t.Errorf("averages wrong: %+v", avg)
+	}
+	if Averages(nil).Name != "Average" {
+		t.Error("empty Averages broken")
+	}
+}
+
+// TestTableShape verifies the reproduction's headline properties at a
+// reduced scale: Full is never worse than either single technique or the
+// baseline, and the per-case skews of Table III hold (rebuild dominates
+// top_cache_axi, SAT dominates wb_conmax).
+func TestTableShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table shape check skipped in -short mode")
+	}
+	byName := map[string]CaseResult{}
+	for _, name := range []string{"top_cache_axi", "wb_conmax"} {
+		for _, r := range genbench.Recipes() {
+			if r.Name != name {
+				continue
+			}
+			cr, err := RunCase(r, Options{Scale: 0.1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			byName[name] = cr
+		}
+	}
+	for name, cr := range byName {
+		if cr.Full > cr.SAT || cr.Full > cr.Rebuild || cr.Full > cr.Yosys {
+			t.Errorf("%s: full=%d should be <= sat=%d, rebuild=%d, yosys=%d",
+				name, cr.Full, cr.SAT, cr.Rebuild, cr.Yosys)
+		}
+		if cr.Yosys > cr.Original {
+			t.Errorf("%s: yosys=%d larger than original=%d", name, cr.Yosys, cr.Original)
+		}
+	}
+	tca := byName["top_cache_axi"]
+	if !(tca.RatioRebuild() > tca.RatioSAT()) {
+		t.Errorf("top_cache_axi: rebuild (%.2f%%) should dominate SAT (%.2f%%)",
+			tca.RatioRebuild(), tca.RatioSAT())
+	}
+	if tca.RatioRebuild() < 10 {
+		t.Errorf("top_cache_axi: rebuild ratio %.2f%% too small (paper: 24.91%%)", tca.RatioRebuild())
+	}
+	wbc := byName["wb_conmax"]
+	if !(wbc.RatioSAT() > wbc.RatioRebuild()) {
+		t.Errorf("wb_conmax: SAT (%.2f%%) should dominate rebuild (%.2f%%)",
+			wbc.RatioSAT(), wbc.RatioRebuild())
+	}
+	if wbc.RatioSAT() < 8 {
+		t.Errorf("wb_conmax: SAT ratio %.2f%% too small (paper: 19.05%%)", wbc.RatioSAT())
+	}
+}
+
+func TestIndustrialSummaryRendering(t *testing.T) {
+	r := IndustrialResult{
+		Points:   []CaseResult{{Name: "industrial", Original: 100, Yosys: 90, Full: 50}},
+		AvgExtra: 44.4,
+	}
+	s := r.IndustrialSummary()
+	if !strings.Contains(s, "44.4") || !strings.Contains(s, "47.2") {
+		t.Errorf("summary missing figures:\n%s", s)
+	}
+}

@@ -1,0 +1,392 @@
+package infer
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rtlil"
+	"repro/internal/sim"
+)
+
+func engineFor(m *rtlil.Module) *Engine {
+	return New(rtlil.NewIndex(m), nil)
+}
+
+// TestTableI verifies each row of the paper's Table I (inference rules
+// for OR cells) literally.
+func TestTableI(t *testing.T) {
+	build := func() (*rtlil.Module, rtlil.SigBit, rtlil.SigBit, rtlil.SigBit) {
+		m := rtlil.NewModule("m")
+		a := m.AddInput("a", 1)
+		b := m.AddInput("b", 1)
+		y := m.AddOutput("y", 1)
+		m.AddBinary(rtlil.CellOr, "or", a.Bits(), b.Bits(), y.Bits())
+		return m, a.Bit(0), b.Bit(0), y.Bit(0)
+	}
+	type fact struct {
+		bit string // "a","b","y"
+		val rtlil.State
+	}
+	rows := []struct {
+		name    string
+		cond    []fact
+		results []fact
+	}{
+		{"a=true => a|b=true", []fact{{"a", rtlil.S1}}, []fact{{"y", rtlil.S1}}},
+		{"b=true => a|b=true", []fact{{"b", rtlil.S1}}, []fact{{"y", rtlil.S1}}},
+		{"a=b=false => a|b=false", []fact{{"a", rtlil.S0}, {"b", rtlil.S0}}, []fact{{"y", rtlil.S0}}},
+		{"a|b=false => a=b=false", []fact{{"y", rtlil.S0}}, []fact{{"a", rtlil.S0}, {"b", rtlil.S0}}},
+		{"a|b=true, a=false => b=true", []fact{{"y", rtlil.S1}, {"a", rtlil.S0}}, []fact{{"b", rtlil.S1}}},
+		{"a|b=true, b=false => a=true", []fact{{"y", rtlil.S1}, {"b", rtlil.S0}}, []fact{{"a", rtlil.S1}}},
+	}
+	for _, row := range rows {
+		m, ab, bb, yb := build()
+		e := engineFor(m)
+		get := func(n string) rtlil.SigBit {
+			switch n {
+			case "a":
+				return ab
+			case "b":
+				return bb
+			}
+			return yb
+		}
+		for _, f := range row.cond {
+			e.Assume(get(f.bit), f.val)
+		}
+		if !e.Propagate() {
+			t.Errorf("%s: unexpected conflict", row.name)
+			continue
+		}
+		for _, f := range row.results {
+			got, ok := e.Value(get(f.bit))
+			if !ok || got != f.val {
+				t.Errorf("%s: %s = %v (known=%v), want %s", row.name, f.bit, got, ok, f.val)
+			}
+		}
+	}
+}
+
+// TestFigure3 reproduces the paper's Figure 3 situation: with S assumed 1,
+// the engine must infer S|R = 1 so the inner mux's control is known.
+func TestFigure3(t *testing.T) {
+	m := rtlil.NewModule("fig3")
+	s := m.AddInput("s", 1)
+	r := m.AddInput("r", 1)
+	or := m.Or(s.Bits(), r.Bits())
+	y := m.AddOutput("y", 1)
+	m.Connect(y.Bits(), or)
+	e := engineFor(m)
+	e.Assume(s.Bit(0), rtlil.S1)
+	if !e.Propagate() {
+		t.Fatal("conflict")
+	}
+	if v, ok := e.Value(or[0]); !ok || v != rtlil.S1 {
+		t.Errorf("S|R = %v (known=%v), want 1", v, ok)
+	}
+}
+
+func TestAndDualRules(t *testing.T) {
+	m := rtlil.NewModule("m")
+	a := m.AddInput("a", 1)
+	b := m.AddInput("b", 1)
+	y := m.AddOutput("y", 1)
+	m.AddBinary(rtlil.CellAnd, "and", a.Bits(), b.Bits(), y.Bits())
+
+	e := engineFor(m)
+	e.Assume(y.Bit(0), rtlil.S1)
+	e.Propagate()
+	if v, _ := e.Value(a.Bit(0)); v != rtlil.S1 {
+		t.Error("a&b=1 should force a=1")
+	}
+	if v, _ := e.Value(b.Bit(0)); v != rtlil.S1 {
+		t.Error("a&b=1 should force b=1")
+	}
+
+	e = engineFor(m)
+	e.Assume(y.Bit(0), rtlil.S0)
+	e.Assume(a.Bit(0), rtlil.S1)
+	e.Propagate()
+	if v, _ := e.Value(b.Bit(0)); v != rtlil.S0 {
+		t.Error("a&b=0, a=1 should force b=0")
+	}
+}
+
+func TestNotBidirectional(t *testing.T) {
+	m := rtlil.NewModule("m")
+	a := m.AddInput("a", 1)
+	y := m.AddOutput("y", 1)
+	m.AddUnary(rtlil.CellNot, "inv", a.Bits(), y.Bits())
+	e := engineFor(m)
+	e.Assume(y.Bit(0), rtlil.S0)
+	e.Propagate()
+	if v, _ := e.Value(a.Bit(0)); v != rtlil.S1 {
+		t.Error("~a=0 should force a=1")
+	}
+}
+
+func TestXorBackward(t *testing.T) {
+	m := rtlil.NewModule("m")
+	a := m.AddInput("a", 1)
+	b := m.AddInput("b", 1)
+	y := m.AddOutput("y", 1)
+	m.AddBinary(rtlil.CellXor, "x", a.Bits(), b.Bits(), y.Bits())
+	e := engineFor(m)
+	e.Assume(y.Bit(0), rtlil.S1)
+	e.Assume(a.Bit(0), rtlil.S1)
+	e.Propagate()
+	if v, _ := e.Value(b.Bit(0)); v != rtlil.S0 {
+		t.Error("a^b=1, a=1 should force b=0")
+	}
+}
+
+func TestReduceOrBackward(t *testing.T) {
+	m := rtlil.NewModule("m")
+	a := m.AddInput("a", 3)
+	y := m.AddOutput("y", 1)
+	m.AddUnary(rtlil.CellReduceOr, "r", a.Bits(), y.Bits())
+
+	e := engineFor(m)
+	e.Assume(y.Bit(0), rtlil.S0)
+	e.Propagate()
+	for i := 0; i < 3; i++ {
+		if v, _ := e.Value(a.Bit(i)); v != rtlil.S0 {
+			t.Errorf("|a=0 should force a[%d]=0", i)
+		}
+	}
+
+	e = engineFor(m)
+	e.Assume(y.Bit(0), rtlil.S1)
+	e.Assume(a.Bit(0), rtlil.S0)
+	e.Assume(a.Bit(2), rtlil.S0)
+	e.Propagate()
+	if v, _ := e.Value(a.Bit(1)); v != rtlil.S1 {
+		t.Error("|a=1 with other bits 0 should force the last bit")
+	}
+}
+
+func TestEqBackward(t *testing.T) {
+	m := rtlil.NewModule("m")
+	a := m.AddInput("a", 2)
+	b := m.AddInput("b", 2)
+	y := m.AddOutput("y", 1)
+	m.AddBinary(rtlil.CellEq, "e", a.Bits(), b.Bits(), y.Bits())
+
+	// eq=1 copies known bits across.
+	e := engineFor(m)
+	e.Assume(y.Bit(0), rtlil.S1)
+	e.Assume(a.Bit(0), rtlil.S1)
+	e.Assume(b.Bit(1), rtlil.S0)
+	e.Propagate()
+	if v, _ := e.Value(b.Bit(0)); v != rtlil.S1 {
+		t.Error("eq=1 should copy a[0] to b[0]")
+	}
+	if v, _ := e.Value(a.Bit(1)); v != rtlil.S0 {
+		t.Error("eq=1 should copy b[1] to a[1]")
+	}
+
+	// eq against a constant: assuming eq=1 reveals the input value.
+	m2 := rtlil.NewModule("m2")
+	s := m2.AddInput("s", 2)
+	eq := m2.Eq(s.Bits(), rtlil.Const(2, 2))
+	y2 := m2.AddOutput("y", 1)
+	m2.Connect(y2.Bits(), eq)
+	e2 := engineFor(m2)
+	e2.Assume(eq[0], rtlil.S1)
+	e2.Propagate()
+	if v, _ := e2.Value(s.Bit(0)); v != rtlil.S0 {
+		t.Error("s==2 should force s[0]=0")
+	}
+	if v, _ := e2.Value(s.Bit(1)); v != rtlil.S1 {
+		t.Error("s==2 should force s[1]=1")
+	}
+
+	// eq=0 with one undecided pair forces inequality.
+	e3 := engineFor(m2)
+	e3.Assume(eq[0], rtlil.S0)
+	e3.Assume(s.Bit(1), rtlil.S1) // matches the constant bit
+	e3.Propagate()
+	if v, _ := e3.Value(s.Bit(0)); v != rtlil.S1 {
+		t.Error("s!=2 with s[1]=1 should force s[0]=1")
+	}
+}
+
+func TestMuxBackward(t *testing.T) {
+	m := rtlil.NewModule("m")
+	a := m.AddInput("a", 1)
+	b := m.AddInput("b", 1)
+	s := m.AddInput("s", 1)
+	y := m.AddOutput("y", 1)
+	m.AddMux("mx", a.Bits(), b.Bits(), s.Bits(), y.Bits())
+
+	// Known select forwards y into the chosen branch.
+	e := engineFor(m)
+	e.Assume(s.Bit(0), rtlil.S1)
+	e.Assume(y.Bit(0), rtlil.S0)
+	e.Propagate()
+	if v, _ := e.Value(b.Bit(0)); v != rtlil.S0 {
+		t.Error("s=1, y=0 should force b=0")
+	}
+
+	// Output matching only one branch reveals the select.
+	e = engineFor(m)
+	e.Assume(a.Bit(0), rtlil.S0)
+	e.Assume(b.Bit(0), rtlil.S1)
+	e.Assume(y.Bit(0), rtlil.S1)
+	e.Propagate()
+	if v, _ := e.Value(s.Bit(0)); v != rtlil.S1 {
+		t.Error("y=b!=a should force s=1")
+	}
+}
+
+func TestConflictDetection(t *testing.T) {
+	m := rtlil.NewModule("m")
+	a := m.AddInput("a", 1)
+	y := m.AddOutput("y", 1)
+	m.AddUnary(rtlil.CellNot, "inv", a.Bits(), y.Bits())
+	e := engineFor(m)
+	e.Assume(a.Bit(0), rtlil.S1)
+	e.Assume(y.Bit(0), rtlil.S1) // impossible: y = ~a
+	if e.Propagate() {
+		t.Error("contradictory assumptions not detected")
+	}
+	if !e.Conflict() {
+		t.Error("Conflict() false after contradiction")
+	}
+}
+
+func TestScopedEngineIgnoresOutsideCells(t *testing.T) {
+	m := rtlil.NewModule("m")
+	a := m.AddInput("a", 1)
+	mid := m.Not(a.Bits())
+	y := m.AddOutput("y", 1)
+	m.AddUnary(rtlil.CellNot, "inv2", mid, y.Bits())
+	ix := rtlil.NewIndex(m)
+	// Scope contains only the second inverter.
+	e := New(ix, []*rtlil.Cell{m.Cell("inv2")})
+	e.Assume(a.Bit(0), rtlil.S1)
+	if !e.Propagate() {
+		t.Fatal("conflict")
+	}
+	// mid is driven by the out-of-scope inverter: must stay unknown.
+	if _, ok := e.Value(mid[0]); ok {
+		t.Error("out-of-scope cell propagated")
+	}
+}
+
+// TestInferenceSoundness: every fact inferred from random assumptions
+// must hold in every input completion consistent with those assumptions
+// (verified by exhaustive simulation over small circuits).
+func TestInferenceSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 60; trial++ {
+		m, inputs := smallRandomModule(rng)
+		simr, err := sim.NewSimulator(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix := rtlil.NewIndex(m)
+		e := New(ix, nil)
+
+		// Assume 1-2 random internal or input bits, values drawn from a
+		// consistent input assignment so no conflict is expected... or
+		// random values, in which case conflicts are legitimate.
+		allBits := allWireBits(m)
+		var assumed []struct {
+			b rtlil.SigBit
+			v rtlil.State
+		}
+		for k := 0; k < 1+rng.Intn(2); k++ {
+			b := allBits[rng.Intn(len(allBits))]
+			v := rtlil.BoolState(rng.Intn(2) == 1)
+			assumed = append(assumed, struct {
+				b rtlil.SigBit
+				v rtlil.State
+			}{b, v})
+			e.Assume(b, v)
+		}
+		ok := e.Propagate()
+
+		// Enumerate all input assignments; keep those consistent with
+		// the assumptions.
+		n := len(inputs)
+		consistent := 0
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			in := map[rtlil.SigBit]rtlil.State{}
+			for i, b := range inputs {
+				in[b] = rtlil.BoolState((mask>>uint(i))&1 == 1)
+			}
+			vals, err := simr.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			match := true
+			for _, as := range assumed {
+				got := simr.EvalSig(vals, rtlil.SigSpec{as.b})[0]
+				if got != as.v {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			consistent++
+			if !ok {
+				t.Fatalf("trial %d: engine reported conflict but assignment %b is consistent", trial, mask)
+			}
+			// Every inferred fact must hold here.
+			for _, b := range allBits {
+				if v, known := e.Value(b); known {
+					got := simr.EvalSig(vals, rtlil.SigSpec{b})[0]
+					if got != v {
+						t.Fatalf("trial %d: inferred %v=%s but simulation gives %s (mask=%b)",
+							trial, b, v, got, mask)
+					}
+				}
+			}
+		}
+		_ = consistent
+	}
+}
+
+func smallRandomModule(rng *rand.Rand) (*rtlil.Module, []rtlil.SigBit) {
+	m := rtlil.NewModule("r")
+	var inputs []rtlil.SigBit
+	var sigs []rtlil.SigSpec
+	for i := 0; i < 4; i++ {
+		w := m.AddInput(string(rune('a'+i)), 1)
+		inputs = append(inputs, w.Bit(0))
+		sigs = append(sigs, w.Bits())
+	}
+	pick := func() rtlil.SigSpec { return sigs[rng.Intn(len(sigs))] }
+	for i := 0; i < 6; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			sigs = append(sigs, m.And(pick(), pick()))
+		case 1:
+			sigs = append(sigs, m.Or(pick(), pick()))
+		case 2:
+			sigs = append(sigs, m.Not(pick()))
+		case 3:
+			sigs = append(sigs, m.Xor(pick(), pick()))
+		case 4:
+			sigs = append(sigs, m.Mux(pick(), pick(), pick()))
+		case 5:
+			sigs = append(sigs, m.Eq(pick(), pick()))
+		}
+	}
+	y := m.AddOutput("y", 1)
+	m.Connect(y.Bits(), sigs[len(sigs)-1].Extract(0, 1))
+	return m, inputs
+}
+
+func allWireBits(m *rtlil.Module) []rtlil.SigBit {
+	var out []rtlil.SigBit
+	for _, w := range m.Wires() {
+		for i := 0; i < w.Width; i++ {
+			out = append(out, w.Bit(i))
+		}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+// Package opt provides the optimization-pass framework and the baseline
+// Yosys-style passes the paper compares against: opt_expr (constant
+// folding), opt_clean (dead logic removal) and opt_muxtree (muxtree
+// pruning driven by control values known along the path).
+//
+// The muxtree walker is shared with the smaRTLy passes in internal/core:
+// the baseline consults only path-local facts (Yosys behaviour), while
+// smaRTLy plugs in an oracle backed by sub-graph extraction, inference
+// rules, simulation and SAT.
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rtlil"
+)
+
+// Result reports what a pass did.
+type Result struct {
+	Changed bool
+	// Details maps counters (e.g. "cells_removed") to values.
+	Details map[string]int
+}
+
+func newResult() Result { return Result{Details: map[string]int{}} }
+
+func (r *Result) bump(key string, n int) {
+	if n != 0 {
+		r.Details[key] += n
+		r.Changed = true
+	}
+}
+
+func (r *Result) merge(o Result) {
+	if o.Changed {
+		r.Changed = true
+	}
+	for k, v := range o.Details {
+		r.Details[k] += v
+	}
+}
+
+// String renders the result counters deterministically.
+func (r Result) String() string {
+	keys := make([]string, 0, len(r.Details))
+	for k := range r.Details {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, r.Details[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// Pass is a module-level optimization.
+type Pass interface {
+	Name() string
+	Run(m *rtlil.Module) (Result, error)
+}
+
+// RunScript runs the passes in order, merging their results.
+func RunScript(m *rtlil.Module, passes ...Pass) (Result, error) {
+	total := newResult()
+	for _, p := range passes {
+		r, err := p.Run(m)
+		if err != nil {
+			return total, fmt.Errorf("opt: pass %s: %w", p.Name(), err)
+		}
+		total.merge(r)
+	}
+	return total, nil
+}
+
+// Fixpoint wraps passes into a pass that repeats the sequence until no
+// pass reports a change (bounded by maxIters; 0 means 10).
+func Fixpoint(maxIters int, passes ...Pass) Pass {
+	if maxIters <= 0 {
+		maxIters = 10
+	}
+	return fixpointPass{iters: maxIters, passes: passes}
+}
+
+type fixpointPass struct {
+	iters  int
+	passes []Pass
+}
+
+func (f fixpointPass) Name() string {
+	names := make([]string, len(f.passes))
+	for i, p := range f.passes {
+		names[i] = p.Name()
+	}
+	return "fixpoint(" + strings.Join(names, ";") + ")"
+}
+
+func (f fixpointPass) Run(m *rtlil.Module) (Result, error) {
+	total := newResult()
+	for i := 0; i < f.iters; i++ {
+		r, err := RunScript(m, f.passes...)
+		if err != nil {
+			return total, err
+		}
+		total.merge(r)
+		if !r.Changed {
+			break
+		}
+	}
+	return total, nil
+}

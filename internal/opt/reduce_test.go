@@ -1,0 +1,162 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cec"
+	"repro/internal/rtlil"
+)
+
+func TestReduceMergesIdenticalCells(t *testing.T) {
+	m := rtlil.NewModule("m")
+	a := m.AddInput("a", 4).Bits()
+	b := m.AddInput("b", 4).Bits()
+	y1 := m.AddOutput("y1", 4).Bits()
+	y2 := m.AddOutput("y2", 4).Bits()
+	m.AddBinary(rtlil.CellAnd, "g1", a, b, y1)
+	m.AddBinary(rtlil.CellAnd, "g2", b, a, y2) // commuted duplicate
+	orig := m.Clone()
+
+	r, err := (ReducePass{}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Details["cells_merged"] != 1 {
+		t.Errorf("cells_merged = %d, want 1", r.Details["cells_merged"])
+	}
+	if m.NumCells() != 1 {
+		t.Errorf("cells = %d, want 1", m.NumCells())
+	}
+	if err := cec.Check(orig, m, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceKeepsNonCommutedDistinct(t *testing.T) {
+	m := rtlil.NewModule("m")
+	a := m.AddInput("a", 4).Bits()
+	b := m.AddInput("b", 4).Bits()
+	y1 := m.AddOutput("y1", 4).Bits()
+	y2 := m.AddOutput("y2", 4).Bits()
+	m.AddBinary(rtlil.CellSub, "g1", a, b, y1)
+	m.AddBinary(rtlil.CellSub, "g2", b, a, y2) // NOT equivalent for $sub
+	if _, err := (ReducePass{}).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCells() != 2 {
+		t.Errorf("non-commutative cells merged: %d cells", m.NumCells())
+	}
+}
+
+func TestReduceMergesThroughAliases(t *testing.T) {
+	m := rtlil.NewModule("m")
+	a := m.AddInput("a", 2).Bits()
+	alias := m.NewWire(2)
+	m.Connect(alias.Bits(), a)
+	y1 := m.AddOutput("y1", 2).Bits()
+	y2 := m.AddOutput("y2", 2).Bits()
+	m.AddUnary(rtlil.CellNot, "g1", a, y1)
+	m.AddUnary(rtlil.CellNot, "g2", alias.Bits(), y2) // same input via alias
+	orig := m.Clone()
+	r, err := (ReducePass{}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Details["cells_merged"] != 1 {
+		t.Errorf("alias duplicate not merged: %v", r)
+	}
+	if err := cec.Check(orig, m, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceSharesPmuxWords(t *testing.T) {
+	m := rtlil.NewModule("m")
+	a := m.AddInput("a", 4).Bits()
+	w1 := m.AddInput("w1", 4).Bits()
+	s := m.AddInput("s", 3).Bits()
+	y := m.AddOutput("y", 4).Bits()
+	// Words: w1, w1, a — the two w1 words must merge.
+	m.AddPmux("p", a, []rtlil.SigSpec{w1, w1, a}, s, y)
+	orig := m.Clone()
+
+	r, err := (ReducePass{}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Details["pmux_words_shared"] != 1 {
+		t.Fatalf("pmux not reduced: %v", r)
+	}
+	var pm *rtlil.Cell
+	for _, c := range m.Cells() {
+		if c.Type == rtlil.CellPmux {
+			pm = c
+		}
+	}
+	if pm == nil || pm.Param("S_WIDTH") != 2 {
+		t.Errorf("pmux S_WIDTH after sharing: %v", pm)
+	}
+	if err := cec.Check(orig, m, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReducePmuxToMux(t *testing.T) {
+	m := rtlil.NewModule("m")
+	a := m.AddInput("a", 2).Bits()
+	w := m.AddInput("w", 2).Bits()
+	s := m.AddInput("s", 2).Bits()
+	y := m.AddOutput("y", 2).Bits()
+	m.AddPmux("p", a, []rtlil.SigSpec{w, w}, s, y)
+	orig := m.Clone()
+	if _, err := (ReducePass{}).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if n := countType(m, rtlil.CellPmux); n != 0 {
+		t.Errorf("pmux left: %d", n)
+	}
+	if n := countType(m, rtlil.CellMux); n != 1 {
+		t.Errorf("muxes: %d, want 1", n)
+	}
+	if err := cec.Check(orig, m, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReduceFuzz runs ReducePass over random netlists with deliberately
+// duplicated structure and equivalence-checks every result.
+func TestReduceFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 30; trial++ {
+		m := randomMuxModule(rng)
+		// Duplicate a random cell's structure to give Reduce targets.
+		cells := m.Cells()
+		if len(cells) > 0 {
+			c := cells[rng.Intn(len(cells))]
+			if !rtlil.IsSequential(c.Type) {
+				dup := m.AddCell("", c.Type)
+				for k, v := range c.Params {
+					dup.Params[k] = v
+				}
+				for _, p := range rtlil.InputPorts(c.Type) {
+					dup.Conn[p] = c.Port(p).Copy()
+				}
+				newY := m.NewWire(len(c.Port(rtlil.OutputPorts(c.Type)[0])))
+				dup.Conn[rtlil.OutputPorts(c.Type)[0]] = newY.Bits()
+				y2 := m.AddOutput("dup_out", newY.Width)
+				m.Connect(y2.Bits(), newY.Bits())
+			}
+		}
+		orig := m.Clone()
+		if _, err := RunScript(m, ReducePass{}, CleanPass{}); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid: %v", trial, err)
+		}
+		if err := cec.Check(orig, m, &cec.Options{RandomRounds: 2}); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,399 @@
+package rtlil
+
+import "fmt"
+
+// CellType identifies a word-level cell kind. The names follow Yosys'
+// internal cell library ($mux, $eq, ...).
+type CellType string
+
+// The supported cell library.
+const (
+	// Unary: ports A (input), Y (output).
+	CellNot       CellType = "$not"        // bitwise NOT, Y width = A width
+	CellNeg       CellType = "$neg"        // two's-complement negation
+	CellReduceAnd CellType = "$reduce_and" // AND of all bits of A, 1-bit Y
+	CellReduceOr  CellType = "$reduce_or"  // OR of all bits of A, 1-bit Y
+	CellReduceXor CellType = "$reduce_xor" // XOR of all bits of A, 1-bit Y
+	CellLogicNot  CellType = "$logic_not"  // !A, 1-bit Y
+
+	// Binary: ports A, B (inputs), Y (output).
+	CellAnd      CellType = "$and"  // bitwise AND
+	CellOr       CellType = "$or"   // bitwise OR
+	CellXor      CellType = "$xor"  // bitwise XOR
+	CellXnor     CellType = "$xnor" // bitwise XNOR
+	CellAdd      CellType = "$add"
+	CellSub      CellType = "$sub"
+	CellMul      CellType = "$mul"
+	CellEq       CellType = "$eq" // A == B, 1-bit Y
+	CellNe       CellType = "$ne" // A != B, 1-bit Y
+	CellLt       CellType = "$lt" // unsigned A < B, 1-bit Y
+	CellLe       CellType = "$le"
+	CellGt       CellType = "$gt"
+	CellGe       CellType = "$ge"
+	CellLogicAnd CellType = "$logic_and" // (|A) && (|B), 1-bit Y
+	CellLogicOr  CellType = "$logic_or"  // (|A) || (|B), 1-bit Y
+	CellShl      CellType = "$shl"       // A << B (logical)
+	CellShr      CellType = "$shr"       // A >> B (logical)
+
+	// CellMux is a word-level 2:1 multiplexer: Y = S ? B : A.
+	// Note the Yosys convention: S=0 selects A, S=1 selects B.
+	CellMux CellType = "$mux"
+
+	// CellPmux is a parallel multiplexer: A is the default, B is the
+	// concatenation of S_WIDTH candidate words (B[i*WIDTH +: WIDTH]
+	// selected when S[i] is high). The canonical two-valued lowering is
+	// ascending priority — y = A; for i = 0..S_WIDTH-1: y = S[i] ?
+	// B_word(i) : y — so with multiple S bits high the highest index
+	// wins. Simulation, AIG mapping and all passes share this
+	// convention; four-state evaluation reports x for multi-hot selects.
+	CellPmux CellType = "$pmux"
+
+	// CellDff is a positive-edge D flip-flop: ports CLK, D, Q.
+	CellDff CellType = "$dff"
+)
+
+type cellSpec struct {
+	inputs  []string
+	outputs []string
+}
+
+var cellSpecs = map[CellType]cellSpec{
+	CellNot:       {[]string{"A"}, []string{"Y"}},
+	CellNeg:       {[]string{"A"}, []string{"Y"}},
+	CellReduceAnd: {[]string{"A"}, []string{"Y"}},
+	CellReduceOr:  {[]string{"A"}, []string{"Y"}},
+	CellReduceXor: {[]string{"A"}, []string{"Y"}},
+	CellLogicNot:  {[]string{"A"}, []string{"Y"}},
+	CellAnd:       {[]string{"A", "B"}, []string{"Y"}},
+	CellOr:        {[]string{"A", "B"}, []string{"Y"}},
+	CellXor:       {[]string{"A", "B"}, []string{"Y"}},
+	CellXnor:      {[]string{"A", "B"}, []string{"Y"}},
+	CellAdd:       {[]string{"A", "B"}, []string{"Y"}},
+	CellSub:       {[]string{"A", "B"}, []string{"Y"}},
+	CellMul:       {[]string{"A", "B"}, []string{"Y"}},
+	CellEq:        {[]string{"A", "B"}, []string{"Y"}},
+	CellNe:        {[]string{"A", "B"}, []string{"Y"}},
+	CellLt:        {[]string{"A", "B"}, []string{"Y"}},
+	CellLe:        {[]string{"A", "B"}, []string{"Y"}},
+	CellGt:        {[]string{"A", "B"}, []string{"Y"}},
+	CellGe:        {[]string{"A", "B"}, []string{"Y"}},
+	CellLogicAnd:  {[]string{"A", "B"}, []string{"Y"}},
+	CellLogicOr:   {[]string{"A", "B"}, []string{"Y"}},
+	CellShl:       {[]string{"A", "B"}, []string{"Y"}},
+	CellShr:       {[]string{"A", "B"}, []string{"Y"}},
+	CellMux:       {[]string{"A", "B", "S"}, []string{"Y"}},
+	CellPmux:      {[]string{"A", "B", "S"}, []string{"Y"}},
+	CellDff:       {[]string{"CLK", "D"}, []string{"Q"}},
+}
+
+// KnownCellType reports whether t is part of the supported cell library.
+func KnownCellType(t CellType) bool {
+	_, ok := cellSpecs[t]
+	return ok
+}
+
+// InputPorts returns the input port names of the cell type, or nil for
+// unknown types.
+func InputPorts(t CellType) []string { return cellSpecs[t].inputs }
+
+// OutputPorts returns the output port names of the cell type.
+func OutputPorts(t CellType) []string { return cellSpecs[t].outputs }
+
+// IsInputPort reports whether the named port of cell c is an input.
+func (c *Cell) IsInputPort(name string) bool {
+	for _, p := range cellSpecs[c.Type].inputs {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// IsOutputPort reports whether the named port of cell c is an output.
+func (c *Cell) IsOutputPort(name string) bool {
+	for _, p := range cellSpecs[c.Type].outputs {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// IsUnary reports whether the cell type is a one-input operator.
+func IsUnary(t CellType) bool {
+	switch t {
+	case CellNot, CellNeg, CellReduceAnd, CellReduceOr, CellReduceXor, CellLogicNot:
+		return true
+	}
+	return false
+}
+
+// IsBinary reports whether the cell type is a two-input operator.
+func IsBinary(t CellType) bool {
+	switch t {
+	case CellAnd, CellOr, CellXor, CellXnor, CellAdd, CellSub, CellMul,
+		CellEq, CellNe, CellLt, CellLe, CellGt, CellGe,
+		CellLogicAnd, CellLogicOr, CellShl, CellShr:
+		return true
+	}
+	return false
+}
+
+// IsCompare reports whether the cell type yields a single-bit comparison.
+func IsCompare(t CellType) bool {
+	switch t {
+	case CellEq, CellNe, CellLt, CellLe, CellGt, CellGe:
+		return true
+	}
+	return false
+}
+
+// IsSequential reports whether the cell type holds state.
+func IsSequential(t CellType) bool { return t == CellDff }
+
+// --- Typed cell constructors -------------------------------------------
+
+// AddUnary creates a unary cell of type typ computing y from a. The Y
+// width is taken from y; reduce/logic cells require a 1-bit y.
+func (m *Module) AddUnary(typ CellType, name string, a, y SigSpec) *Cell {
+	if !IsUnary(typ) {
+		panic(fmt.Sprintf("rtlil: AddUnary called with %s", typ))
+	}
+	c := m.AddCell(name, typ)
+	c.Params["A_WIDTH"] = len(a)
+	c.Params["Y_WIDTH"] = len(y)
+	c.Conn["A"] = a.Copy()
+	c.Conn["Y"] = y.Copy()
+	return c
+}
+
+// AddBinary creates a binary cell of type typ computing y from a and b.
+func (m *Module) AddBinary(typ CellType, name string, a, b, y SigSpec) *Cell {
+	if !IsBinary(typ) {
+		panic(fmt.Sprintf("rtlil: AddBinary called with %s", typ))
+	}
+	c := m.AddCell(name, typ)
+	c.Params["A_WIDTH"] = len(a)
+	c.Params["B_WIDTH"] = len(b)
+	c.Params["Y_WIDTH"] = len(y)
+	c.Conn["A"] = a.Copy()
+	c.Conn["B"] = b.Copy()
+	c.Conn["Y"] = y.Copy()
+	return c
+}
+
+// AddMux creates a 2:1 multiplexer cell: y = s ? b : a. a, b and y must
+// have equal widths; s must be a single bit.
+func (m *Module) AddMux(name string, a, b, s, y SigSpec) *Cell {
+	if len(a) != len(b) || len(a) != len(y) {
+		panic(fmt.Sprintf("rtlil: AddMux width mismatch a=%d b=%d y=%d", len(a), len(b), len(y)))
+	}
+	if len(s) != 1 {
+		panic(fmt.Sprintf("rtlil: AddMux select must be 1 bit, got %d", len(s)))
+	}
+	c := m.AddCell(name, CellMux)
+	c.Params["WIDTH"] = len(y)
+	c.Conn["A"] = a.Copy()
+	c.Conn["B"] = b.Copy()
+	c.Conn["S"] = s.Copy()
+	c.Conn["Y"] = y.Copy()
+	return c
+}
+
+// AddPmux creates a parallel mux cell: y = a when no s bit is set,
+// otherwise the b word selected by the (one-hot) s bit.
+func (m *Module) AddPmux(name string, a SigSpec, b []SigSpec, s, y SigSpec) *Cell {
+	if len(s) != len(b) {
+		panic(fmt.Sprintf("rtlil: AddPmux %d select bits but %d candidate words", len(s), len(b)))
+	}
+	width := len(a)
+	for _, w := range b {
+		if len(w) != width {
+			panic(fmt.Sprintf("rtlil: AddPmux candidate width %d != default width %d", len(w), width))
+		}
+	}
+	if len(y) != width {
+		panic(fmt.Sprintf("rtlil: AddPmux output width %d != %d", len(y), width))
+	}
+	c := m.AddCell(name, CellPmux)
+	c.Params["WIDTH"] = width
+	c.Params["S_WIDTH"] = len(s)
+	c.Conn["A"] = a.Copy()
+	c.Conn["B"] = Concat(b...)
+	c.Conn["S"] = s.Copy()
+	c.Conn["Y"] = y.Copy()
+	return c
+}
+
+// PmuxWord returns the i-th candidate word of a $pmux cell's B port.
+func (c *Cell) PmuxWord(i int) SigSpec {
+	w := c.Params["WIDTH"]
+	return c.Conn["B"].Extract(i*w, w)
+}
+
+// AddDff creates a positive-edge D flip-flop.
+func (m *Module) AddDff(name string, clk, d, q SigSpec) *Cell {
+	if len(clk) != 1 {
+		panic("rtlil: AddDff clock must be 1 bit")
+	}
+	if len(d) != len(q) {
+		panic(fmt.Sprintf("rtlil: AddDff width mismatch d=%d q=%d", len(d), len(q)))
+	}
+	c := m.AddCell(name, CellDff)
+	c.Params["WIDTH"] = len(d)
+	c.Conn["CLK"] = clk.Copy()
+	c.Conn["D"] = d.Copy()
+	c.Conn["Q"] = q.Copy()
+	return c
+}
+
+// --- Expression builders -------------------------------------------------
+//
+// The builders allocate a fresh output wire and return its signal, which
+// makes programmatic netlist construction read like expressions:
+//
+//	y := m.Mux(c, m.And(a, b), m.Or(a, b))
+
+func (m *Module) unaryExpr(typ CellType, a SigSpec, ywidth int) SigSpec {
+	y := m.NewWire(ywidth).Bits()
+	m.AddUnary(typ, "", a, y)
+	return y
+}
+
+func (m *Module) binExpr(typ CellType, a, b SigSpec, ywidth int) SigSpec {
+	y := m.NewWire(ywidth).Bits()
+	m.AddBinary(typ, "", a, b, y)
+	return y
+}
+
+func maxw(a, b SigSpec) int {
+	if len(a) > len(b) {
+		return len(a)
+	}
+	return len(b)
+}
+
+// Not returns ~a.
+func (m *Module) Not(a SigSpec) SigSpec { return m.unaryExpr(CellNot, a, len(a)) }
+
+// Neg returns -a (two's complement).
+func (m *Module) Neg(a SigSpec) SigSpec { return m.unaryExpr(CellNeg, a, len(a)) }
+
+// ReduceAnd returns &a (1 bit).
+func (m *Module) ReduceAnd(a SigSpec) SigSpec { return m.unaryExpr(CellReduceAnd, a, 1) }
+
+// ReduceOr returns |a (1 bit).
+func (m *Module) ReduceOr(a SigSpec) SigSpec { return m.unaryExpr(CellReduceOr, a, 1) }
+
+// ReduceXor returns ^a (1 bit).
+func (m *Module) ReduceXor(a SigSpec) SigSpec { return m.unaryExpr(CellReduceXor, a, 1) }
+
+// LogicNot returns !a (1 bit).
+func (m *Module) LogicNot(a SigSpec) SigSpec { return m.unaryExpr(CellLogicNot, a, 1) }
+
+// And returns a & b, extending the narrower operand with zeros.
+func (m *Module) And(a, b SigSpec) SigSpec {
+	w := maxw(a, b)
+	return m.binExpr(CellAnd, a.Resize(w, false), b.Resize(w, false), w)
+}
+
+// Or returns a | b.
+func (m *Module) Or(a, b SigSpec) SigSpec {
+	w := maxw(a, b)
+	return m.binExpr(CellOr, a.Resize(w, false), b.Resize(w, false), w)
+}
+
+// Xor returns a ^ b.
+func (m *Module) Xor(a, b SigSpec) SigSpec {
+	w := maxw(a, b)
+	return m.binExpr(CellXor, a.Resize(w, false), b.Resize(w, false), w)
+}
+
+// Xnor returns ~(a ^ b).
+func (m *Module) Xnor(a, b SigSpec) SigSpec {
+	w := maxw(a, b)
+	return m.binExpr(CellXnor, a.Resize(w, false), b.Resize(w, false), w)
+}
+
+// AddOp returns a + b at the width of the wider operand.
+func (m *Module) AddOp(a, b SigSpec) SigSpec {
+	w := maxw(a, b)
+	return m.binExpr(CellAdd, a.Resize(w, false), b.Resize(w, false), w)
+}
+
+// SubOp returns a - b at the width of the wider operand.
+func (m *Module) SubOp(a, b SigSpec) SigSpec {
+	w := maxw(a, b)
+	return m.binExpr(CellSub, a.Resize(w, false), b.Resize(w, false), w)
+}
+
+// MulOp returns a * b truncated to the width of the wider operand.
+func (m *Module) MulOp(a, b SigSpec) SigSpec {
+	w := maxw(a, b)
+	return m.binExpr(CellMul, a.Resize(w, false), b.Resize(w, false), w)
+}
+
+// Eq returns the 1-bit comparison a == b.
+func (m *Module) Eq(a, b SigSpec) SigSpec {
+	w := maxw(a, b)
+	return m.binExpr(CellEq, a.Resize(w, false), b.Resize(w, false), 1)
+}
+
+// Ne returns the 1-bit comparison a != b.
+func (m *Module) Ne(a, b SigSpec) SigSpec {
+	w := maxw(a, b)
+	return m.binExpr(CellNe, a.Resize(w, false), b.Resize(w, false), 1)
+}
+
+// Lt returns the 1-bit unsigned comparison a < b.
+func (m *Module) Lt(a, b SigSpec) SigSpec {
+	w := maxw(a, b)
+	return m.binExpr(CellLt, a.Resize(w, false), b.Resize(w, false), 1)
+}
+
+// Le returns the 1-bit unsigned comparison a <= b.
+func (m *Module) Le(a, b SigSpec) SigSpec {
+	w := maxw(a, b)
+	return m.binExpr(CellLe, a.Resize(w, false), b.Resize(w, false), 1)
+}
+
+// Gt returns the 1-bit unsigned comparison a > b.
+func (m *Module) Gt(a, b SigSpec) SigSpec {
+	w := maxw(a, b)
+	return m.binExpr(CellGt, a.Resize(w, false), b.Resize(w, false), 1)
+}
+
+// Ge returns the 1-bit unsigned comparison a >= b.
+func (m *Module) Ge(a, b SigSpec) SigSpec {
+	w := maxw(a, b)
+	return m.binExpr(CellGe, a.Resize(w, false), b.Resize(w, false), 1)
+}
+
+// LogicAnd returns (|a) && (|b) (1 bit).
+func (m *Module) LogicAnd(a, b SigSpec) SigSpec { return m.binExpr(CellLogicAnd, a, b, 1) }
+
+// LogicOr returns (|a) || (|b) (1 bit).
+func (m *Module) LogicOr(a, b SigSpec) SigSpec { return m.binExpr(CellLogicOr, a, b, 1) }
+
+// Shl returns a << b at the width of a.
+func (m *Module) Shl(a, b SigSpec) SigSpec { return m.binExpr(CellShl, a, b, len(a)) }
+
+// Shr returns a >> b at the width of a.
+func (m *Module) Shr(a, b SigSpec) SigSpec { return m.binExpr(CellShr, a, b, len(a)) }
+
+// Mux returns s ? b : a. a and b are resized to the wider operand.
+func (m *Module) Mux(a, b, s SigSpec) SigSpec {
+	w := maxw(a, b)
+	a, b = a.Resize(w, false), b.Resize(w, false)
+	y := m.NewWire(w).Bits()
+	m.AddMux("", a, b, s, y)
+	return y
+}
+
+// Pmux returns the parallel mux of candidate words b under one-hot
+// selector s, defaulting to a.
+func (m *Module) Pmux(a SigSpec, b []SigSpec, s SigSpec) SigSpec {
+	y := m.NewWire(len(a)).Bits()
+	m.AddPmux("", a, b, s, y)
+	return y
+}

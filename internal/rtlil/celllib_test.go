@@ -1,0 +1,145 @@
+package rtlil
+
+import "testing"
+
+func TestCellSpecTables(t *testing.T) {
+	all := []CellType{
+		CellNot, CellNeg, CellReduceAnd, CellReduceOr, CellReduceXor, CellLogicNot,
+		CellAnd, CellOr, CellXor, CellXnor, CellAdd, CellSub, CellMul,
+		CellEq, CellNe, CellLt, CellLe, CellGt, CellGe,
+		CellLogicAnd, CellLogicOr, CellShl, CellShr,
+		CellMux, CellPmux, CellDff,
+	}
+	for _, ct := range all {
+		if !KnownCellType(ct) {
+			t.Errorf("%s not known", ct)
+		}
+		if len(OutputPorts(ct)) != 1 {
+			t.Errorf("%s should have exactly one output", ct)
+		}
+		if len(InputPorts(ct)) == 0 {
+			t.Errorf("%s has no inputs", ct)
+		}
+	}
+	if KnownCellType("$bogus") {
+		t.Error("$bogus reported known")
+	}
+}
+
+func TestIsPredicates(t *testing.T) {
+	if !IsUnary(CellNot) || IsUnary(CellAnd) {
+		t.Error("IsUnary wrong")
+	}
+	if !IsBinary(CellEq) || IsBinary(CellMux) {
+		t.Error("IsBinary wrong")
+	}
+	if !IsCompare(CellLt) || IsCompare(CellAnd) {
+		t.Error("IsCompare wrong")
+	}
+	if !IsSequential(CellDff) || IsSequential(CellMux) {
+		t.Error("IsSequential wrong")
+	}
+}
+
+func TestPortDirections(t *testing.T) {
+	m := NewModule("m")
+	a := m.AddInput("a", 1).Bits()
+	b := m.AddInput("b", 1).Bits()
+	y := m.AddOutput("y", 1).Bits()
+	c := m.AddBinary(CellAnd, "g", a, b, y)
+	if !c.IsInputPort("A") || !c.IsInputPort("B") || c.IsInputPort("Y") {
+		t.Error("input port classification wrong")
+	}
+	if !c.IsOutputPort("Y") || c.IsOutputPort("A") {
+		t.Error("output port classification wrong")
+	}
+	if c.IsInputPort("Z") || c.IsOutputPort("Z") {
+		t.Error("unknown port classified")
+	}
+}
+
+func TestBuildersProduceValidModule(t *testing.T) {
+	m := NewModule("m")
+	a := m.AddInput("a", 4).Bits()
+	b := m.AddInput("b", 4).Bits()
+	s := m.AddInput("s", 1).Bits()
+
+	exprs := []SigSpec{
+		m.Not(a), m.Neg(a),
+		m.ReduceAnd(a), m.ReduceOr(a), m.ReduceXor(a), m.LogicNot(a),
+		m.And(a, b), m.Or(a, b), m.Xor(a, b), m.Xnor(a, b),
+		m.AddOp(a, b), m.SubOp(a, b), m.MulOp(a, b),
+		m.Eq(a, b), m.Ne(a, b), m.Lt(a, b), m.Le(a, b), m.Gt(a, b), m.Ge(a, b),
+		m.LogicAnd(a, b), m.LogicOr(a, b),
+		m.Shl(a, b), m.Shr(a, b),
+		m.Mux(a, b, s),
+		m.Pmux(a, []SigSpec{b, m.Not(a)}, m.AddInput("sel2", 2).Bits()),
+	}
+	for i, e := range exprs {
+		if e.Width() == 0 {
+			t.Errorf("expr %d has zero width", i)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("builder-produced module invalid: %v", err)
+	}
+}
+
+func TestBuilderWidthExtension(t *testing.T) {
+	m := NewModule("m")
+	a := m.AddInput("a", 2).Bits()
+	b := m.AddInput("b", 6).Bits()
+	y := m.And(a, b)
+	if y.Width() != 6 {
+		t.Errorf("And of 2- and 6-bit = %d bits, want 6", y.Width())
+	}
+	e := m.Eq(a, b)
+	if e.Width() != 1 {
+		t.Errorf("Eq width = %d", e.Width())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddMuxPanics(t *testing.T) {
+	m := NewModule("m")
+	a := m.AddWire("a", 2).Bits()
+	b := m.AddWire("b", 3).Bits()
+	s := m.AddWire("s", 1).Bits()
+	y := m.AddWire("y", 2).Bits()
+	defer func() {
+		if recover() == nil {
+			t.Error("AddMux width mismatch did not panic")
+		}
+	}()
+	m.AddMux("", a, b, s, y)
+}
+
+func TestAddPmuxPanics(t *testing.T) {
+	m := NewModule("m")
+	a := m.AddWire("a", 2).Bits()
+	b := m.AddWire("b", 2).Bits()
+	s := m.AddWire("s", 2).Bits() // 2 select bits but 1 word
+	y := m.AddWire("y", 2).Bits()
+	defer func() {
+		if recover() == nil {
+			t.Error("AddPmux select/word mismatch did not panic")
+		}
+	}()
+	m.AddPmux("", a, []SigSpec{b}, s, y)
+}
+
+func TestAddDff(t *testing.T) {
+	m := NewModule("m")
+	clk := m.AddInput("clk", 1).Bits()
+	d := m.AddInput("d", 8).Bits()
+	q := m.AddOutput("q", 8).Bits()
+	c := m.AddDff("ff", clk, d, q)
+	if c.Param("WIDTH") != 8 {
+		t.Errorf("WIDTH = %d", c.Param("WIDTH"))
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package rtlil
+
+// PortRef identifies one bit of one port of one cell.
+type PortRef struct {
+	Cell   *Cell
+	Port   string
+	Offset int
+}
+
+// Index provides driver and reader lookups for every bit of a module,
+// with all signals resolved through a SigMap. Build it once per pass; it
+// is not automatically updated when the module changes.
+type Index struct {
+	mod     *Module
+	sigmap  *SigMap
+	driver  map[SigBit]PortRef
+	readers map[SigBit][]PortRef
+	outBits map[SigBit]bool
+	inBits  map[SigBit]bool
+}
+
+// NewIndex builds driver/reader indices for the module.
+func NewIndex(m *Module) *Index {
+	ix := &Index{
+		mod:     m,
+		sigmap:  NewSigMap(m),
+		driver:  map[SigBit]PortRef{},
+		readers: map[SigBit][]PortRef{},
+		outBits: map[SigBit]bool{},
+		inBits:  map[SigBit]bool{},
+	}
+	for _, c := range m.Cells() {
+		for port, sig := range c.Conn {
+			mapped := ix.sigmap.Map(sig)
+			if c.IsOutputPort(port) {
+				for off, b := range mapped {
+					if b.IsConst() {
+						continue
+					}
+					ix.driver[b] = PortRef{Cell: c, Port: port, Offset: off}
+				}
+			} else {
+				for off, b := range mapped {
+					if b.IsConst() {
+						continue
+					}
+					ix.readers[b] = append(ix.readers[b], PortRef{Cell: c, Port: port, Offset: off})
+				}
+			}
+		}
+	}
+	for _, w := range m.Wires() {
+		if w.PortOutput {
+			for _, b := range ix.sigmap.Map(w.Bits()) {
+				if !b.IsConst() {
+					ix.outBits[b] = true
+				}
+			}
+		}
+		if w.PortInput {
+			for _, b := range ix.sigmap.Map(w.Bits()) {
+				if !b.IsConst() {
+					ix.inBits[b] = true
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// SigMap returns the alias map used by the index.
+func (ix *Index) SigMap() *SigMap { return ix.sigmap }
+
+// Module returns the indexed module.
+func (ix *Index) Module() *Module { return ix.mod }
+
+// Map canonicalizes a signal through the index's SigMap.
+func (ix *Index) Map(s SigSpec) SigSpec { return ix.sigmap.Map(s) }
+
+// MapBit canonicalizes a single bit.
+func (ix *Index) MapBit(b SigBit) SigBit { return ix.sigmap.Bit(b) }
+
+// Driver returns the cell output bit driving b (after alias resolution).
+func (ix *Index) Driver(b SigBit) (PortRef, bool) {
+	r, ok := ix.driver[ix.sigmap.Bit(b)]
+	return r, ok
+}
+
+// DriverCell returns the cell driving b, or nil when b is a primary input,
+// constant or undriven.
+func (ix *Index) DriverCell(b SigBit) *Cell {
+	if r, ok := ix.Driver(b); ok {
+		return r.Cell
+	}
+	return nil
+}
+
+// Readers returns the cell input bits reading b. The slice is shared; do
+// not mutate.
+func (ix *Index) Readers(b SigBit) []PortRef {
+	return ix.readers[ix.sigmap.Bit(b)]
+}
+
+// FanoutCount returns the number of cell inputs reading b plus one if b is
+// visible on a module output port.
+func (ix *Index) FanoutCount(b SigBit) int {
+	b = ix.sigmap.Bit(b)
+	n := len(ix.readers[b])
+	if ix.outBits[b] {
+		n++
+	}
+	return n
+}
+
+// IsOutputBit reports whether b is visible on a module output port.
+func (ix *Index) IsOutputBit(b SigBit) bool { return ix.outBits[ix.sigmap.Bit(b)] }
+
+// IsInputBit reports whether b is driven by a module input port.
+func (ix *Index) IsInputBit(b SigBit) bool { return ix.inBits[ix.sigmap.Bit(b)] }

@@ -1,0 +1,78 @@
+package rtlil
+
+import "testing"
+
+func buildIndexedModule(t *testing.T) (*Module, *Index, *Cell, *Cell) {
+	t.Helper()
+	m := NewModule("m")
+	a := m.AddInput("a", 1).Bits()
+	b := m.AddInput("b", 1).Bits()
+	y := m.AddOutput("y", 1).Bits()
+	mid := m.NewWire(1).Bits()
+	g1 := m.AddBinary(CellAnd, "g1", a, b, mid)
+	g2 := m.AddUnary(CellNot, "g2", mid, y)
+	return m, NewIndex(m), g1, g2
+}
+
+func TestIndexDriver(t *testing.T) {
+	m, ix, g1, g2 := buildIndexedModule(t)
+	mid := g1.Conn["Y"][0]
+	if d := ix.DriverCell(mid); d != g1 {
+		t.Errorf("driver of mid = %v, want g1", d)
+	}
+	y := m.Wire("y").Bit(0)
+	if d := ix.DriverCell(y); d != g2 {
+		t.Errorf("driver of y = %v, want g2", d)
+	}
+	a := m.Wire("a").Bit(0)
+	if d := ix.DriverCell(a); d != nil {
+		t.Errorf("input bit has driver %v", d)
+	}
+}
+
+func TestIndexReaders(t *testing.T) {
+	m, ix, g1, g2 := buildIndexedModule(t)
+	mid := g1.Conn["Y"][0]
+	rs := ix.Readers(mid)
+	if len(rs) != 1 || rs[0].Cell != g2 || rs[0].Port != "A" {
+		t.Errorf("Readers(mid) = %v", rs)
+	}
+	a := m.Wire("a").Bit(0)
+	if got := ix.FanoutCount(a); got != 1 {
+		t.Errorf("FanoutCount(a) = %d", got)
+	}
+}
+
+func TestIndexOutputBits(t *testing.T) {
+	m, ix, _, _ := buildIndexedModule(t)
+	y := m.Wire("y").Bit(0)
+	a := m.Wire("a").Bit(0)
+	if !ix.IsOutputBit(y) {
+		t.Error("y not recognized as output bit")
+	}
+	if ix.IsOutputBit(a) {
+		t.Error("a recognized as output bit")
+	}
+	if !ix.IsInputBit(a) {
+		t.Error("a not recognized as input bit")
+	}
+	if got := ix.FanoutCount(y); got != 1 {
+		t.Errorf("FanoutCount(y) = %d, want 1 (module output)", got)
+	}
+}
+
+func TestIndexThroughAlias(t *testing.T) {
+	m := NewModule("m")
+	a := m.AddInput("a", 1).Bits()
+	y := m.AddOutput("y", 1).Bits()
+	mid := m.NewWire(1).Bits()
+	alias := m.NewWire(1).Bits()
+	g := m.AddUnary(CellNot, "g", a, mid)
+	m.Connect(alias, mid)
+	m.AddUnary(CellNot, "g2", alias, y)
+	ix := NewIndex(m)
+	// Looking up the driver through the alias must find g.
+	if d := ix.DriverCell(alias[0]); d != g {
+		t.Errorf("driver through alias = %v, want g", d)
+	}
+}

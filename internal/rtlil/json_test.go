@@ -1,0 +1,89 @@
+package rtlil
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	m := NewModule("top")
+	a := m.AddInput("a", 4).Bits()
+	b := m.AddInput("b", 4).Bits()
+	s := m.AddInput("s", 1).Bits()
+	y := m.AddOutput("y", 4).Bits()
+	mid := m.NewWire(4).Bits()
+	m.AddBinary(CellAnd, "g_and", a, b, mid)
+	m.AddMux("g_mux", mid, Concat(b.Extract(0, 3), Const(1, 1)), s, y)
+	d := NewDesign()
+	d.AddModule(m)
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := d2.Module("top")
+	if m2 == nil {
+		t.Fatal("module top lost")
+	}
+	if err := m2.Validate(); err != nil {
+		t.Fatalf("round-tripped module invalid: %v", err)
+	}
+	if m2.NumCells() != 2 {
+		t.Errorf("cells = %d, want 2", m2.NumCells())
+	}
+	if len(m2.Inputs()) != 3 || len(m2.Outputs()) != 1 {
+		t.Errorf("ports lost: %d in, %d out", len(m2.Inputs()), len(m2.Outputs()))
+	}
+	mx := m2.Cell("g_mux")
+	if mx == nil || mx.Type != CellMux {
+		t.Fatal("mux cell lost")
+	}
+	// Constant bit in the B port must survive.
+	if got := mx.Conn["B"][3]; !got.IsConst() || got.Const != S1 {
+		t.Errorf("const bit lost: %v", got)
+	}
+	if mx.Param("WIDTH") != 4 {
+		t.Errorf("param lost: %d", mx.Param("WIDTH"))
+	}
+}
+
+func TestJSONXZConstants(t *testing.T) {
+	m := NewModule("top")
+	y := m.AddOutput("y", 3)
+	m.Connect(y.Bits(), ConstBits(S0, Sx, Sz))
+	d := NewDesign()
+	d.AddModule(m)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, `"x"`) || !strings.Contains(text, `"z"`) {
+		t.Error("x/z constants not serialized as strings")
+	}
+	d2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range d2.Module("top").Conns {
+		total += len(c.LHS)
+	}
+	if total != 3 {
+		t.Fatalf("total connected bits = %d, want 3", total)
+	}
+}
+
+func TestJSONBadInput(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"modules":{"m":{"ports":{},"netnames":{},"cells":{"c":{"type":"$and","parameters":{},"connections":{"A":[99]}}}}}}`)); err == nil {
+		t.Error("dangling bit id accepted")
+	}
+}

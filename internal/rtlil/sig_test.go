@@ -1,0 +1,242 @@
+package rtlil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStateString(t *testing.T) {
+	cases := map[State]string{S0: "0", S1: "1", Sx: "x", Sz: "z"}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestStateBool(t *testing.T) {
+	if v, known := S1.Bool(); !v || !known {
+		t.Errorf("S1.Bool() = %v, %v", v, known)
+	}
+	if v, known := S0.Bool(); v || !known {
+		t.Errorf("S0.Bool() = %v, %v", v, known)
+	}
+	if _, known := Sx.Bool(); known {
+		t.Error("Sx.Bool() reported known")
+	}
+	if _, known := Sz.Bool(); known {
+		t.Error("Sz.Bool() reported known")
+	}
+}
+
+func TestBoolState(t *testing.T) {
+	if BoolState(true) != S1 || BoolState(false) != S0 {
+		t.Error("BoolState wrong")
+	}
+}
+
+func TestConstRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 5, 0xff, 0xdeadbeef, 1 << 40} {
+		s := Const(v, 64)
+		got, ok := s.AsUint64()
+		if !ok || got != v {
+			t.Errorf("Const(%d, 64).AsUint64() = %d, %v", v, got, ok)
+		}
+	}
+}
+
+func TestConstTruncates(t *testing.T) {
+	s := Const(0xff, 4)
+	if got, _ := s.AsUint64(); got != 0xf {
+		t.Errorf("Const(0xff, 4) = %d, want 15", got)
+	}
+}
+
+func TestParseConst(t *testing.T) {
+	cases := []struct {
+		lit   string
+		width int
+		val   uint64
+	}{
+		{"3'b101", 3, 5},
+		{"8'hff", 8, 255},
+		{"8'hFF", 8, 255},
+		{"4'd9", 4, 9},
+		{"42", 32, 42},
+		{"16'h00ff", 16, 255},
+		{"6'o17", 6, 15},
+		{"8'b0000_0011", 8, 3},
+	}
+	for _, c := range cases {
+		s, err := ParseConst(c.lit)
+		if err != nil {
+			t.Errorf("ParseConst(%q): %v", c.lit, err)
+			continue
+		}
+		if s.Width() != c.width {
+			t.Errorf("ParseConst(%q).Width() = %d, want %d", c.lit, s.Width(), c.width)
+		}
+		if v, ok := s.AsUint64(); !ok || v != c.val {
+			t.Errorf("ParseConst(%q) = %d (ok=%v), want %d", c.lit, v, ok, c.val)
+		}
+	}
+}
+
+func TestParseConstXZ(t *testing.T) {
+	s, err := ParseConst("3'b1zz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LSB first: z, z, 1
+	if s[0].Const != Sz || s[1].Const != Sz || s[2].Const != S1 {
+		t.Errorf("ParseConst(3'b1zz) = %v", s)
+	}
+	if s.IsFullyDefined() {
+		t.Error("3'b1zz reported fully defined")
+	}
+	if !s.IsFullyConst() {
+		t.Error("3'b1zz not fully const")
+	}
+	if _, ok := s.AsUint64(); ok {
+		t.Error("AsUint64 succeeded on x/z constant")
+	}
+}
+
+func TestParseConstErrors(t *testing.T) {
+	for _, lit := range []string{"", "3'", "3'b", "3'b2", "0'b1", "3'q1", "abc", "4'hgg"} {
+		if _, err := ParseConst(lit); err == nil {
+			t.Errorf("ParseConst(%q) succeeded, want error", lit)
+		}
+	}
+}
+
+func TestExtractConcat(t *testing.T) {
+	m := NewModule("t")
+	a := m.AddWire("a", 8).Bits()
+	b := m.AddWire("b", 4).Bits()
+	cat := Concat(a, b)
+	if cat.Width() != 12 {
+		t.Fatalf("Concat width = %d", cat.Width())
+	}
+	if !cat.Extract(0, 8).Equal(a) {
+		t.Error("low part not a")
+	}
+	if !cat.Extract(8, 4).Equal(b) {
+		t.Error("high part not b")
+	}
+}
+
+func TestExtractPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Extract out of range did not panic")
+		}
+	}()
+	Const(0, 4).Extract(2, 4)
+}
+
+func TestResize(t *testing.T) {
+	s := Const(5, 3) // 101
+	z := s.Resize(6, false)
+	if v, _ := z.AsUint64(); v != 5 {
+		t.Errorf("zero extend = %d", v)
+	}
+	sx := s.Resize(6, true) // sign bit is 1
+	if v, _ := sx.AsUint64(); v != 0b111101 {
+		t.Errorf("sign extend = %b, want 111101", v)
+	}
+	tr := s.Resize(2, false)
+	if v, _ := tr.AsUint64(); v != 1 {
+		t.Errorf("truncate = %d, want 1", v)
+	}
+	if got := s.Resize(3, false); &got[0] != &s[0] {
+		t.Error("same-width Resize should return the receiver")
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	s := ConstBits(S1, S0)
+	r := s.Repeat(3)
+	if r.Width() != 6 {
+		t.Fatalf("Repeat width = %d", r.Width())
+	}
+	for i := 0; i < 6; i += 2 {
+		if r[i].Const != S1 || r[i+1].Const != S0 {
+			t.Errorf("Repeat bit pattern wrong at %d", i)
+		}
+	}
+}
+
+func TestSigSpecString(t *testing.T) {
+	m := NewModule("t")
+	a := m.AddWire("a", 8)
+	b := m.AddWire("b", 1)
+	cases := []struct {
+		sig  SigSpec
+		want string
+	}{
+		{a.Bits(), "a"},
+		{SigSpec{a.Bit(3)}, "a[3]"},
+		{a.Bits().Extract(2, 3), "a[4:2]"},
+		{b.Bits(), "b"},
+		{Const(5, 3), "3'b101"},
+		{Concat(b.Bits(), Const(1, 1)), "{1'b1, b}"},
+		{SigSpec{}, "{}"},
+	}
+	for _, c := range cases {
+		if got := c.sig.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestHasConst(t *testing.T) {
+	m := NewModule("t")
+	a := m.AddWire("a", 2).Bits()
+	if a.HasConst() {
+		t.Error("wire signal reported const")
+	}
+	if !Concat(a, Const(1, 1)).HasConst() {
+		t.Error("mixed signal did not report const")
+	}
+}
+
+// Property: Const/AsUint64 round-trips for any value at sufficient width.
+func TestQuickConstRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		s := Const(v, 64)
+		got, ok := s.AsUint64()
+		return ok && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Concat(a, b).Extract recovers both halves for random widths.
+func TestQuickConcatExtract(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		wa, wb := 1+rng.Intn(16), 1+rng.Intn(16)
+		a := Const(rng.Uint64(), wa)
+		b := Const(rng.Uint64(), wb)
+		cat := Concat(a, b)
+		if !cat.Extract(0, wa).Equal(a) || !cat.Extract(wa, wb).Equal(b) {
+			t.Fatalf("iteration %d: concat/extract mismatch", i)
+		}
+	}
+}
+
+// Property: Resize to a larger width then back is the identity.
+func TestQuickResizeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		w := 1 + rng.Intn(20)
+		s := Const(rng.Uint64(), w)
+		grown := s.Resize(w+rng.Intn(10)+1, rng.Intn(2) == 0)
+		if !grown.Resize(w, false).Equal(s) {
+			t.Fatalf("iteration %d: resize round trip failed", i)
+		}
+	}
+}

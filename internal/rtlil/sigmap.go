@@ -1,0 +1,92 @@
+package rtlil
+
+// SigMap resolves signal aliases introduced by module-level connections,
+// mapping every bit to a canonical representative, like Yosys' SigMap.
+// Constants always win as representatives; between wires, the wire created
+// earlier (lower position in the module wire order at construction time)
+// is preferred so that mapping is deterministic.
+type SigMap struct {
+	parent map[SigBit]SigBit
+	rank   map[SigBit]int
+}
+
+// NewSigMap builds a SigMap from the module's connection list. A nil
+// module yields an empty (identity) map.
+func NewSigMap(m *Module) *SigMap {
+	sm := &SigMap{parent: map[SigBit]SigBit{}, rank: map[SigBit]int{}}
+	if m == nil {
+		return sm
+	}
+	// Assign deterministic ranks: constants rank -1 (always preferred),
+	// wires ranked by insertion order.
+	for i, w := range m.wireOrder {
+		for off := 0; off < w.Width; off++ {
+			sm.rank[SigBit{Wire: w, Offset: off}] = i
+		}
+	}
+	for _, cn := range m.Conns {
+		sm.Add(cn.LHS, cn.RHS)
+	}
+	return sm
+}
+
+func (sm *SigMap) find(b SigBit) SigBit {
+	p, ok := sm.parent[b]
+	if !ok || p == b {
+		return b
+	}
+	root := sm.find(p)
+	sm.parent[b] = root
+	return root
+}
+
+func (sm *SigMap) better(a, b SigBit) bool {
+	// Is a a better representative than b?
+	if a.IsConst() != b.IsConst() {
+		return a.IsConst()
+	}
+	if a.IsConst() {
+		return true // both const: arbitrary, keep a
+	}
+	ra, okA := sm.rank[a]
+	rb, okB := sm.rank[b]
+	if okA && okB && ra != rb {
+		return ra < rb
+	}
+	if a.Wire.Name != b.Wire.Name {
+		return a.Wire.Name < b.Wire.Name
+	}
+	return a.Offset < b.Offset
+}
+
+// Add records that the bits of a and b are connected (a is driven by b).
+// Widths must match.
+func (sm *SigMap) Add(a, b SigSpec) {
+	if len(a) != len(b) {
+		panic("rtlil: SigMap.Add width mismatch")
+	}
+	for i := range a {
+		ra, rb := sm.find(a[i]), sm.find(b[i])
+		if ra == rb {
+			continue
+		}
+		if sm.better(rb, ra) {
+			sm.parent[ra] = rb
+		} else {
+			sm.parent[rb] = ra
+		}
+	}
+}
+
+// Bit returns the canonical representative of b.
+func (sm *SigMap) Bit(b SigBit) SigBit { return sm.find(b) }
+
+// Map returns the signal with every bit replaced by its canonical
+// representative.
+func (sm *SigMap) Map(s SigSpec) SigSpec {
+	out := make(SigSpec, len(s))
+	for i, b := range s {
+		out[i] = sm.find(b)
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package rtlil
+
+import "testing"
+
+func TestSigMapIdentity(t *testing.T) {
+	m := NewModule("m")
+	a := m.AddWire("a", 2)
+	sm := NewSigMap(m)
+	if sm.Bit(a.Bit(0)) != a.Bit(0) {
+		t.Error("unconnected bit not mapped to itself")
+	}
+}
+
+func TestSigMapAlias(t *testing.T) {
+	m := NewModule("m")
+	a := m.AddWire("a", 4)
+	b := m.AddWire("b", 4)
+	m.Connect(b.Bits(), a.Bits()) // b = a
+	sm := NewSigMap(m)
+	for i := 0; i < 4; i++ {
+		if sm.Bit(b.Bit(i)) != sm.Bit(a.Bit(i)) {
+			t.Errorf("bit %d: alias not unified", i)
+		}
+	}
+	// a was created first, so it is the canonical representative.
+	if sm.Bit(b.Bit(0)).Wire != a {
+		t.Error("canonical representative should be the earlier wire")
+	}
+}
+
+func TestSigMapConstWins(t *testing.T) {
+	m := NewModule("m")
+	a := m.AddWire("a", 1)
+	m.Connect(a.Bits(), Const(1, 1))
+	sm := NewSigMap(m)
+	got := sm.Bit(a.Bit(0))
+	if !got.IsConst() || got.Const != S1 {
+		t.Errorf("constant should be canonical, got %v", got)
+	}
+}
+
+func TestSigMapChain(t *testing.T) {
+	m := NewModule("m")
+	a := m.AddWire("a", 1)
+	b := m.AddWire("b", 1)
+	c := m.AddWire("c", 1)
+	m.Connect(b.Bits(), a.Bits())
+	m.Connect(c.Bits(), b.Bits())
+	sm := NewSigMap(m)
+	if sm.Bit(c.Bit(0)).Wire != a {
+		t.Errorf("chain alias: got %v, want a", sm.Bit(c.Bit(0)))
+	}
+}
+
+func TestSigMapTransitiveConst(t *testing.T) {
+	m := NewModule("m")
+	a := m.AddWire("a", 1)
+	b := m.AddWire("b", 1)
+	m.Connect(b.Bits(), a.Bits())
+	m.Connect(a.Bits(), Const(0, 1))
+	sm := NewSigMap(m)
+	if got := sm.Bit(b.Bit(0)); !got.IsConst() || got.Const != S0 {
+		t.Errorf("transitive const: got %v", got)
+	}
+}
+
+func TestSigMapMapSpec(t *testing.T) {
+	m := NewModule("m")
+	a := m.AddWire("a", 2)
+	b := m.AddWire("b", 2)
+	m.Connect(b.Bits(), a.Bits())
+	sm := NewSigMap(m)
+	mapped := sm.Map(Concat(b.Bits(), Const(2, 2)))
+	if mapped[0].Wire != a || mapped[1].Wire != a {
+		t.Error("Map did not canonicalize wire bits")
+	}
+	if !mapped[2].IsConst() || mapped[3].Const != S1 {
+		t.Error("Map disturbed constant bits")
+	}
+}
+
+func TestSigMapAddWidthMismatchPanics(t *testing.T) {
+	sm := NewSigMap(nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("Add width mismatch did not panic")
+		}
+	}()
+	sm.Add(Const(0, 1), Const(0, 2))
+}

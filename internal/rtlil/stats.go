@@ -1,0 +1,64 @@
+package rtlil
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes the contents of a module.
+type Stats struct {
+	Module    string
+	NumWires  int
+	NumBits   int
+	NumCells  int
+	ByType    map[CellType]int
+	NumMuxes  int // $mux + $pmux
+	NumSeq    int
+	NumConns  int
+	NumInputs int
+	NumOutput int
+}
+
+// CollectStats gathers cell-type counts and netlist size figures.
+func CollectStats(m *Module) Stats {
+	s := Stats{Module: m.Name, ByType: map[CellType]int{}}
+	for _, w := range m.Wires() {
+		s.NumWires++
+		s.NumBits += w.Width
+		if w.PortInput {
+			s.NumInputs++
+		}
+		if w.PortOutput {
+			s.NumOutput++
+		}
+	}
+	for _, c := range m.Cells() {
+		s.NumCells++
+		s.ByType[c.Type]++
+		if c.Type == CellMux || c.Type == CellPmux {
+			s.NumMuxes++
+		}
+		if IsSequential(c.Type) {
+			s.NumSeq++
+		}
+	}
+	s.NumConns = len(m.Conns)
+	return s
+}
+
+// String renders the stats as a small human-readable report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s: %d wires (%d bits), %d cells, %d connections\n",
+		s.Module, s.NumWires, s.NumBits, s.NumCells, s.NumConns)
+	types := make([]string, 0, len(s.ByType))
+	for t := range s.ByType {
+		types = append(types, string(t))
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		fmt.Fprintf(&b, "  %-14s %6d\n", t, s.ByType[CellType(t)])
+	}
+	return b.String()
+}

@@ -1,0 +1,166 @@
+package rtlil
+
+import (
+	"fmt"
+)
+
+// Validate checks structural well-formedness of the module:
+//
+//   - every cell type is known and every required port is connected;
+//   - port widths are consistent with the cell parameters;
+//   - cell signals reference only wires belonging to this module,
+//     with in-range bit offsets;
+//   - every bit has at most one driver (cell outputs and connection LHS).
+//
+// It returns the first problem found, or nil.
+func (m *Module) Validate() error {
+	checkSig := func(where string, s SigSpec) error {
+		for i, b := range s {
+			if b.IsConst() {
+				continue
+			}
+			if got := m.wires[b.Wire.Name]; got != b.Wire {
+				return fmt.Errorf("rtlil: %s bit %d references wire %q not in module %s", where, i, b.Wire.Name, m.Name)
+			}
+			if b.Offset < 0 || b.Offset >= b.Wire.Width {
+				return fmt.Errorf("rtlil: %s bit %d offset %d out of range for wire %s[%d]", where, i, b.Offset, b.Wire.Name, b.Wire.Width)
+			}
+		}
+		return nil
+	}
+
+	type driverInfo struct{ who string }
+	driven := map[SigBit]driverInfo{}
+	drive := func(who string, s SigSpec) error {
+		for _, b := range s {
+			if b.IsConst() {
+				return fmt.Errorf("rtlil: %s drives a constant bit", who)
+			}
+			if prev, dup := driven[b]; dup {
+				return fmt.Errorf("rtlil: bit %s driven by both %s and %s", b, prev.who, who)
+			}
+			driven[b] = driverInfo{who}
+		}
+		return nil
+	}
+
+	for _, c := range m.Cells() {
+		spec, ok := cellSpecs[c.Type]
+		if !ok {
+			return fmt.Errorf("rtlil: cell %s has unknown type %s", c.Name, c.Type)
+		}
+		for _, p := range spec.inputs {
+			if _, ok := c.Conn[p]; !ok {
+				return fmt.Errorf("rtlil: cell %s (%s) missing input port %s", c.Name, c.Type, p)
+			}
+		}
+		for _, p := range spec.outputs {
+			if _, ok := c.Conn[p]; !ok {
+				return fmt.Errorf("rtlil: cell %s (%s) missing output port %s", c.Name, c.Type, p)
+			}
+		}
+		for port, sig := range c.Conn {
+			if !c.IsInputPort(port) && !c.IsOutputPort(port) {
+				return fmt.Errorf("rtlil: cell %s (%s) has unknown port %s", c.Name, c.Type, port)
+			}
+			if err := checkSig(fmt.Sprintf("cell %s port %s", c.Name, port), sig); err != nil {
+				return err
+			}
+		}
+		if err := m.validateCellWidths(c); err != nil {
+			return err
+		}
+		for _, p := range spec.outputs {
+			if err := drive(fmt.Sprintf("cell %s port %s", c.Name, p), c.Conn[p]); err != nil {
+				return err
+			}
+		}
+	}
+	for i, cn := range m.Conns {
+		if len(cn.LHS) != len(cn.RHS) {
+			return fmt.Errorf("rtlil: connection %d width mismatch %d vs %d", i, len(cn.LHS), len(cn.RHS))
+		}
+		if err := checkSig(fmt.Sprintf("connection %d LHS", i), cn.LHS); err != nil {
+			return err
+		}
+		if err := checkSig(fmt.Sprintf("connection %d RHS", i), cn.RHS); err != nil {
+			return err
+		}
+		if err := drive(fmt.Sprintf("connection %d", i), cn.LHS); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Module) validateCellWidths(c *Cell) error {
+	width := func(port string) int { return len(c.Conn[port]) }
+	wantEq := func(port, param string) error {
+		if w, ok := c.Params[param]; ok && w != width(port) {
+			return fmt.Errorf("rtlil: cell %s (%s) port %s width %d != param %s=%d",
+				c.Name, c.Type, port, width(port), param, w)
+		}
+		return nil
+	}
+	switch {
+	case IsUnary(c.Type):
+		if err := wantEq("A", "A_WIDTH"); err != nil {
+			return err
+		}
+		if err := wantEq("Y", "Y_WIDTH"); err != nil {
+			return err
+		}
+		switch c.Type {
+		case CellReduceAnd, CellReduceOr, CellReduceXor, CellLogicNot:
+			if width("Y") != 1 {
+				return fmt.Errorf("rtlil: cell %s (%s) must have 1-bit Y, got %d", c.Name, c.Type, width("Y"))
+			}
+		case CellNot, CellNeg:
+			if width("A") != width("Y") {
+				return fmt.Errorf("rtlil: cell %s (%s) A width %d != Y width %d", c.Name, c.Type, width("A"), width("Y"))
+			}
+		}
+	case IsBinary(c.Type):
+		for port, param := range map[string]string{"A": "A_WIDTH", "B": "B_WIDTH", "Y": "Y_WIDTH"} {
+			if err := wantEq(port, param); err != nil {
+				return err
+			}
+		}
+		if IsCompare(c.Type) || c.Type == CellLogicAnd || c.Type == CellLogicOr {
+			if width("Y") != 1 {
+				return fmt.Errorf("rtlil: cell %s (%s) must have 1-bit Y, got %d", c.Name, c.Type, width("Y"))
+			}
+		}
+		if IsCompare(c.Type) && width("A") != width("B") {
+			return fmt.Errorf("rtlil: cell %s (%s) A width %d != B width %d", c.Name, c.Type, width("A"), width("B"))
+		}
+	case c.Type == CellMux:
+		w := c.Params["WIDTH"]
+		if width("A") != w || width("B") != w || width("Y") != w {
+			return fmt.Errorf("rtlil: cell %s ($mux) widths A=%d B=%d Y=%d != WIDTH=%d",
+				c.Name, width("A"), width("B"), width("Y"), w)
+		}
+		if width("S") != 1 {
+			return fmt.Errorf("rtlil: cell %s ($mux) S width %d != 1", c.Name, width("S"))
+		}
+	case c.Type == CellPmux:
+		w, sw := c.Params["WIDTH"], c.Params["S_WIDTH"]
+		if width("A") != w || width("Y") != w {
+			return fmt.Errorf("rtlil: cell %s ($pmux) A/Y width %d/%d != WIDTH=%d", c.Name, width("A"), width("Y"), w)
+		}
+		if width("B") != w*sw {
+			return fmt.Errorf("rtlil: cell %s ($pmux) B width %d != WIDTH*S_WIDTH=%d", c.Name, width("B"), w*sw)
+		}
+		if width("S") != sw {
+			return fmt.Errorf("rtlil: cell %s ($pmux) S width %d != S_WIDTH=%d", c.Name, width("S"), sw)
+		}
+	case c.Type == CellDff:
+		if width("D") != width("Q") {
+			return fmt.Errorf("rtlil: cell %s ($dff) D width %d != Q width %d", c.Name, width("D"), width("Q"))
+		}
+		if width("CLK") != 1 {
+			return fmt.Errorf("rtlil: cell %s ($dff) CLK width %d != 1", c.Name, width("CLK"))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package rtlil
+
+import (
+	"strings"
+	"testing"
+)
+
+func validModule() *Module {
+	m := NewModule("m")
+	a := m.AddInput("a", 4).Bits()
+	b := m.AddInput("b", 4).Bits()
+	s := m.AddInput("s", 1).Bits()
+	y := m.AddOutput("y", 4).Bits()
+	m.AddMux("mx", a, b, s, y)
+	return m
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validModule().Validate(); err != nil {
+		t.Fatalf("valid module rejected: %v", err)
+	}
+}
+
+func TestValidateUnknownCellType(t *testing.T) {
+	m := validModule()
+	c := m.AddCell("bad", "$frob")
+	c.Conn["A"] = Const(0, 1)
+	err := m.Validate()
+	if err == nil || !strings.Contains(err.Error(), "unknown type") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestValidateMissingPort(t *testing.T) {
+	m := NewModule("m")
+	c := m.AddCell("g", CellAnd)
+	c.Conn["A"] = Const(0, 1)
+	c.Conn["Y"] = m.AddWire("y", 1).Bits()
+	err := m.Validate()
+	if err == nil || !strings.Contains(err.Error(), "missing input port B") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestValidateWidthParamMismatch(t *testing.T) {
+	m := NewModule("m")
+	a := m.AddWire("a", 2).Bits()
+	y := m.AddWire("y", 2).Bits()
+	c := m.AddUnary(CellNot, "g", a, y)
+	c.Params["A_WIDTH"] = 3 // corrupt
+	err := m.Validate()
+	if err == nil || !strings.Contains(err.Error(), "A_WIDTH") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestValidateMultipleDrivers(t *testing.T) {
+	m := NewModule("m")
+	a := m.AddInput("a", 1).Bits()
+	y := m.AddOutput("y", 1).Bits()
+	m.AddUnary(CellNot, "g1", a, y)
+	m.AddUnary(CellNot, "g2", a, y)
+	err := m.Validate()
+	if err == nil || !strings.Contains(err.Error(), "driven by both") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestValidateForeignWire(t *testing.T) {
+	m := NewModule("m")
+	other := NewModule("other")
+	fw := other.AddWire("fw", 1)
+	y := m.AddWire("y", 1).Bits()
+	m.AddUnary(CellNot, "g", fw.Bits(), y)
+	err := m.Validate()
+	if err == nil || !strings.Contains(err.Error(), "not in module") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestValidateConstDriven(t *testing.T) {
+	m := NewModule("m")
+	a := m.AddInput("a", 1).Bits()
+	m.AddUnary(CellNot, "g", a, Const(0, 1))
+	err := m.Validate()
+	if err == nil || !strings.Contains(err.Error(), "constant") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestValidateOffsetOutOfRange(t *testing.T) {
+	m := NewModule("m")
+	w := m.AddWire("w", 2)
+	y := m.AddWire("y", 1).Bits()
+	bad := SigSpec{{Wire: w, Offset: 5}}
+	m.AddUnary(CellNot, "g", bad, y)
+	err := m.Validate()
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestValidatePmuxWidths(t *testing.T) {
+	m := NewModule("m")
+	a := m.AddInput("a", 2).Bits()
+	b := m.AddInput("b", 4).Bits()
+	s := m.AddInput("s", 2).Bits()
+	y := m.AddOutput("y", 2).Bits()
+	c := m.AddCell("p", CellPmux)
+	c.Params["WIDTH"] = 2
+	c.Params["S_WIDTH"] = 2
+	c.Conn["A"] = a
+	c.Conn["B"] = b // 4 bits, ok: WIDTH*S_WIDTH = 4
+	c.Conn["S"] = s
+	c.Conn["Y"] = y
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid pmux rejected: %v", err)
+	}
+	c.Params["S_WIDTH"] = 3
+	if err := m.Validate(); err == nil {
+		t.Error("pmux S_WIDTH mismatch not caught")
+	}
+}
+
+func TestValidateConnectionMismatch(t *testing.T) {
+	m := NewModule("m")
+	a := m.AddWire("a", 2)
+	b := m.AddWire("b", 2)
+	m.Conns = append(m.Conns, Connection{LHS: a.Bits(), RHS: b.Bits().Extract(0, 1)})
+	if err := m.Validate(); err == nil {
+		t.Error("connection width mismatch not caught")
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	m := validModule()
+	s := CollectStats(m)
+	if s.NumCells != 1 || s.NumMuxes != 1 || s.ByType[CellMux] != 1 {
+		t.Errorf("stats: %+v", s)
+	}
+	if s.NumInputs != 3 || s.NumOutput != 1 {
+		t.Errorf("port counts: %+v", s)
+	}
+	if !strings.Contains(s.String(), "$mux") {
+		t.Error("String() missing cell type")
+	}
+}

@@ -1,0 +1,202 @@
+package rtlil
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteVerilog emits the module as structural Verilog: one continuous
+// assignment per combinational cell, an always block per flip-flop.
+// Automatically-generated names (which contain '$') are sanitized. The
+// output parses back through the verilog frontend, which the test suite
+// uses for write→parse→equivalence round trips.
+func WriteVerilog(w io.Writer, m *Module) error {
+	vw := &vwriter{m: m, names: map[string]string{}, used: map[string]bool{}}
+	return vw.write(w)
+}
+
+type vwriter struct {
+	m     *Module
+	names map[string]string
+	used  map[string]bool
+}
+
+func (vw *vwriter) name(raw string) string {
+	if n, ok := vw.names[raw]; ok {
+		return n
+	}
+	n := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, raw)
+	if n == "" || (n[0] >= '0' && n[0] <= '9') {
+		n = "w_" + n
+	}
+	base := n
+	for i := 2; vw.used[n]; i++ {
+		n = fmt.Sprintf("%s_%d", base, i)
+	}
+	vw.used[n] = true
+	vw.names[raw] = n
+	return n
+}
+
+func (vw *vwriter) sig(s SigSpec) string {
+	if len(s) == 0 {
+		return "1'b0"
+	}
+	type chunk struct {
+		first SigBit
+		n     int
+	}
+	var chunks []chunk
+	for _, b := range s {
+		if n := len(chunks); n > 0 {
+			c := &chunks[n-1]
+			if b.Wire != nil && b.Wire == c.first.Wire && b.Offset == c.first.Offset+c.n {
+				c.n++
+				continue
+			}
+			if b.Wire == nil && c.first.Wire == nil && b.Const == c.first.Const {
+				c.n++
+				continue
+			}
+		}
+		chunks = append(chunks, chunk{b, 1})
+	}
+	render := func(c chunk) string {
+		if c.first.Wire == nil {
+			return fmt.Sprintf("%d'b%s", c.n, strings.Repeat(c.first.Const.String(), c.n))
+		}
+		name := vw.name(c.first.Wire.Name)
+		if c.n == c.first.Wire.Width && c.first.Offset == 0 {
+			return name
+		}
+		if c.n == 1 {
+			return fmt.Sprintf("%s[%d]", name, c.first.Offset)
+		}
+		return fmt.Sprintf("%s[%d:%d]", name, c.first.Offset+c.n-1, c.first.Offset)
+	}
+	if len(chunks) == 1 {
+		return render(chunks[0])
+	}
+	parts := make([]string, len(chunks))
+	for i, c := range chunks {
+		parts[len(chunks)-1-i] = render(c) // MSB first
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func (vw *vwriter) write(out io.Writer) error {
+	m := vw.m
+	var b strings.Builder
+
+	ports := m.Ports()
+	portNames := make([]string, len(ports))
+	for i, p := range ports {
+		portNames[i] = vw.name(p.Name)
+	}
+	fmt.Fprintf(&b, "module %s(%s);\n", vw.name(m.Name+"_mod"), strings.Join(portNames, ", "))
+
+	// Declarations: ports first, then internal wires in name order.
+	for _, p := range ports {
+		dir := "input"
+		if p.PortOutput {
+			dir = "output"
+		}
+		fmt.Fprintf(&b, "  %s %s%s;\n", dir, rangeOf(p.Width), vw.name(p.Name))
+	}
+	var internals []*Wire
+	for _, w := range m.Wires() {
+		if !w.IsPort() {
+			internals = append(internals, w)
+		}
+	}
+	sort.Slice(internals, func(i, j int) bool { return internals[i].Name < internals[j].Name })
+	dffQ := map[*Wire]bool{}
+	for _, c := range m.Cells() {
+		if c.Type == CellDff {
+			for _, bit := range c.Port("Q") {
+				if bit.Wire != nil {
+					dffQ[bit.Wire] = true
+				}
+			}
+		}
+	}
+	for _, w := range internals {
+		kind := "wire"
+		if dffQ[w] {
+			kind = "reg"
+		}
+		fmt.Fprintf(&b, "  %s %s%s;\n", kind, rangeOf(w.Width), vw.name(w.Name))
+	}
+	b.WriteString("\n")
+
+	for _, c := range m.Cells() {
+		if err := vw.cell(&b, c); err != nil {
+			return err
+		}
+	}
+	for _, cn := range m.Conns {
+		fmt.Fprintf(&b, "  assign %s = %s;\n", vw.sig(cn.LHS), vw.sig(cn.RHS))
+	}
+	b.WriteString("endmodule\n")
+	_, err := io.WriteString(out, b.String())
+	return err
+}
+
+func rangeOf(width int) string {
+	if width == 1 {
+		return ""
+	}
+	return fmt.Sprintf("[%d:0] ", width-1)
+}
+
+func (vw *vwriter) cell(b *strings.Builder, c *Cell) error {
+	y := vw.sig(c.Port("Y"))
+	a := func() string { return vw.sig(c.Port("A")) }
+	bb := func() string { return vw.sig(c.Port("B")) }
+	binop := map[CellType]string{
+		CellAnd: "&", CellOr: "|", CellXor: "^", CellXnor: "~^",
+		CellAdd: "+", CellSub: "-", CellMul: "*",
+		CellEq: "==", CellNe: "!=", CellLt: "<", CellLe: "<=",
+		CellGt: ">", CellGe: ">=", CellLogicAnd: "&&", CellLogicOr: "||",
+		CellShl: "<<", CellShr: ">>",
+	}
+	unop := map[CellType]string{
+		CellNot: "~", CellNeg: "-", CellReduceAnd: "&", CellReduceOr: "|",
+		CellReduceXor: "^", CellLogicNot: "!",
+	}
+	switch {
+	case binop[c.Type] != "":
+		fmt.Fprintf(b, "  assign %s = (%s) %s (%s);\n", y, a(), binop[c.Type], bb())
+	case unop[c.Type] != "":
+		fmt.Fprintf(b, "  assign %s = %s(%s);\n", y, unop[c.Type], a())
+	case c.Type == CellMux:
+		fmt.Fprintf(b, "  assign %s = (%s) ? (%s) : (%s);\n", y, vw.sig(c.Port("S")), bb(), a())
+	case c.Type == CellPmux:
+		// Ascending priority: the highest-index word wins, so it is the
+		// outermost ternary.
+		w := c.Param("WIDTH")
+		sw := c.Param("S_WIDTH")
+		s := c.Port("S")
+		expr := vw.sig(c.Port("A"))
+		for i := 0; i < sw; i++ {
+			expr = fmt.Sprintf("(%s) ? (%s) : (%s)",
+				vw.sig(SigSpec{s[i]}), vw.sig(c.Port("B").Extract(i*w, w)), expr)
+		}
+		fmt.Fprintf(b, "  assign %s = %s;\n", y, expr)
+	case c.Type == CellDff:
+		fmt.Fprintf(b, "  always @(posedge %s) %s <= %s;\n",
+			vw.sig(c.Port("CLK")), vw.sig(c.Port("Q")), vw.sig(c.Port("D")))
+	default:
+		return fmt.Errorf("rtlil: WriteVerilog cannot emit cell type %s", c.Type)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF formula in DIMACS format into a fresh solver.
+// Variables are created densely: DIMACS variable i becomes Var(i-1).
+// Comment lines and the problem line are accepted loosely; clauses may
+// span lines and must be 0-terminated.
+func ParseDIMACS(r io.Reader) (*Solver, error) {
+	s := NewSolver()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var clause []Lit
+	ensure := func(v int) error {
+		if v <= 0 {
+			return fmt.Errorf("sat: bad DIMACS variable %d", v)
+		}
+		for s.NumVars() < v {
+			s.NewVar()
+		}
+		return nil
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			continue // header is informational; variables grow on demand
+		}
+		for _, tok := range strings.Fields(line) {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: bad DIMACS token %q", tok)
+			}
+			if n == 0 {
+				s.AddClause(clause...)
+				clause = clause[:0]
+				continue
+			}
+			v := n
+			if v < 0 {
+				v = -v
+			}
+			if err := ensure(v); err != nil {
+				return nil, err
+			}
+			clause = append(clause, MkLit(Var(v-1), n < 0))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(clause) > 0 {
+		return nil, fmt.Errorf("sat: DIMACS input ends inside a clause")
+	}
+	return s, nil
+}
+
+// WriteDIMACS serializes the solver's problem clauses (not learnt ones)
+// in DIMACS format. Unit facts asserted at level 0 are emitted as unit
+// clauses, and a trivially-unsatisfiable solver emits the empty clause,
+// so the written formula is equisatisfiable with the solver state.
+func WriteDIMACS(w io.Writer, s *Solver) error {
+	if len(s.trailLim) != 0 {
+		return fmt.Errorf("sat: WriteDIMACS called during solving")
+	}
+	bw := bufio.NewWriter(w)
+	nClauses := len(s.clauses) + len(s.trail)
+	if !s.ok {
+		nClauses++
+	}
+	fmt.Fprintf(bw, "p cnf %d %d\n", s.NumVars(), nClauses)
+	emit := func(lits []Lit) {
+		for _, l := range lits {
+			n := int(l.Var()) + 1
+			if l.Sign() {
+				n = -n
+			}
+			fmt.Fprintf(bw, "%d ", n)
+		}
+		fmt.Fprintln(bw, 0)
+	}
+	for _, l := range s.trail {
+		emit([]Lit{l})
+	}
+	for _, c := range s.clauses {
+		emit(c.lits)
+	}
+	if !s.ok {
+		fmt.Fprintln(bw, 0) // empty clause
+	}
+	return bw.Flush()
+}

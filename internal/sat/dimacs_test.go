@@ -1,0 +1,88 @@
+package sat
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseDIMACSBasic(t *testing.T) {
+	src := `c sample instance
+p cnf 3 3
+1 -2 0
+2 3 0
+-1 0
+`
+	s, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVars() != 3 {
+		t.Errorf("vars = %d", s.NumVars())
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+	// -1 forces v1 false; clause (1 -2) then forces v2 false; (2 3)
+	// forces v3 true.
+	if s.Value(0) || s.Value(1) || !s.Value(2) {
+		t.Errorf("model: %v %v %v", s.Value(0), s.Value(1), s.Value(2))
+	}
+}
+
+func TestParseDIMACSUnsat(t *testing.T) {
+	src := "p cnf 1 2\n1 0\n-1 0\n"
+	s, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Solve() != Unsat {
+		t.Error("contradiction not unsat")
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	for _, src := range []string{
+		"p cnf 1 1\n1 x 0\n",
+		"p cnf 1 1\n1 2", // unterminated clause
+	} {
+		if _, err := ParseDIMACS(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+// TestDIMACSRoundTrip: write→parse preserves satisfiability and models
+// on random formulas.
+func TestDIMACSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(6)
+		s := NewSolver()
+		for i := 0; i < n; i++ {
+			s.NewVar()
+		}
+		for i := 0; i < 3*n; i++ {
+			cl := make([]Lit, 1+rng.Intn(3))
+			for j := range cl {
+				cl[j] = MkLit(Var(rng.Intn(n)), rng.Intn(2) == 1)
+			}
+			if !s.AddClause(cl...) {
+				break
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := ParseDIMACS(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, buf.String())
+		}
+		r1, r2 := s.Solve(), s2.Solve()
+		if r1 != r2 {
+			t.Fatalf("trial %d: original %v, round-tripped %v", trial, r1, r2)
+		}
+	}
+}

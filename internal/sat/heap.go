@@ -1,0 +1,87 @@
+package sat
+
+// varHeap is a max-heap of variables ordered by VSIDS activity, with an
+// index table for decrease/increase-key (MiniSAT's order heap).
+type varHeap struct {
+	s       *Solver
+	heap    []Var
+	indices []int32 // position+1 in heap; 0 = absent
+}
+
+func (h *varHeap) better(a, b Var) bool {
+	return h.s.activity[a] > h.s.activity[b]
+}
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) contains(v Var) bool {
+	return int(v) < len(h.indices) && h.indices[v] != 0
+}
+
+func (h *varHeap) insert(v Var) {
+	for int(v) >= len(h.indices) {
+		h.indices = append(h.indices, 0)
+	}
+	if h.indices[v] != 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.indices[v] = int32(len(h.heap))
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) update(v Var) {
+	if h.contains(v) {
+		h.up(int(h.indices[v]) - 1)
+	}
+}
+
+func (h *varHeap) removeMin() Var {
+	top := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap = h.heap[:len(h.heap)-1]
+	h.indices[top] = 0
+	if len(h.heap) > 0 {
+		h.heap[0] = last
+		h.indices[last] = 1
+		h.down(0)
+	}
+	return top
+}
+
+func (h *varHeap) up(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.better(v, h.heap[p]) {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.indices[h.heap[i]] = int32(i + 1)
+		i = p
+	}
+	h.heap[i] = v
+	h.indices[v] = int32(i + 1)
+}
+
+func (h *varHeap) down(i int) {
+	v := h.heap[i]
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= len(h.heap) {
+			break
+		}
+		c := l
+		if r < len(h.heap) && h.better(h.heap[r], h.heap[l]) {
+			c = r
+		}
+		if !h.better(h.heap[c], v) {
+			break
+		}
+		h.heap[i] = h.heap[c]
+		h.indices[h.heap[i]] = int32(i + 1)
+		i = c
+	}
+	h.heap[i] = v
+	h.indices[v] = int32(i + 1)
+}

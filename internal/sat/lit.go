@@ -1,0 +1,89 @@
+// Package sat implements a CDCL (conflict-driven clause learning) Boolean
+// satisfiability solver in the MiniSAT tradition: two-literal watching,
+// first-UIP conflict analysis with clause minimization, VSIDS variable
+// activities, phase saving, Luby restarts and learnt-clause reduction.
+//
+// The solver supports incremental solving under assumptions, which is how
+// the smaRTLy redundancy-elimination pass asks its queries: one solver per
+// sub-graph, one Solve call per (path condition, target value) pair.
+package sat
+
+// Var is a variable index. Variables are created densely from 0.
+type Var int32
+
+// Lit is a literal: variable times two, plus one if negated.
+type Lit int32
+
+// MkLit builds a literal for v, negated if neg is true.
+func MkLit(v Var, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// PosLit returns the positive literal of v.
+func PosLit(v Var) Lit { return Lit(v << 1) }
+
+// NegLit returns the negative literal of v.
+func NegLit(v Var) Lit { return Lit(v<<1) | 1 }
+
+// Var returns the literal's variable.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Sign reports whether the literal is negated.
+func (l Lit) Sign() bool { return l&1 == 1 }
+
+// Not returns the complement literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// lbool is a lifted boolean.
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+func boolToLbool(b bool) lbool {
+	if b {
+		return lTrue
+	}
+	return lFalse
+}
+
+func (b lbool) neg() lbool {
+	switch b {
+	case lTrue:
+		return lFalse
+	case lFalse:
+		return lTrue
+	}
+	return lUndef
+}
+
+// Result is the outcome of a Solve call.
+type Result int
+
+const (
+	// Unknown means the solver gave up (conflict budget exhausted).
+	Unknown Result = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the formula (under the given assumptions) is
+	// unsatisfiable.
+	Unsat
+)
+
+// String renders the result.
+func (r Result) String() string {
+	switch r {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	}
+	return "UNKNOWN"
+}

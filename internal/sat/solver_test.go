@@ -1,0 +1,348 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLitBasics(t *testing.T) {
+	v := Var(3)
+	p, n := PosLit(v), NegLit(v)
+	if p.Var() != v || n.Var() != v {
+		t.Error("Var() wrong")
+	}
+	if p.Sign() || !n.Sign() {
+		t.Error("Sign() wrong")
+	}
+	if p.Not() != n || n.Not() != p {
+		t.Error("Not() wrong")
+	}
+	if MkLit(v, true) != n || MkLit(v, false) != p {
+		t.Error("MkLit wrong")
+	}
+}
+
+func TestTrivialSat(t *testing.T) {
+	s := NewSolver()
+	a := s.NewVar()
+	s.AddClause(PosLit(a))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+	if !s.Value(a) {
+		t.Error("model has a=false")
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := NewSolver()
+	a := s.NewVar()
+	s.AddClause(PosLit(a))
+	if ok := s.AddClause(NegLit(a)); ok {
+		t.Error("AddClause of contradiction returned true")
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v", got)
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := NewSolver()
+	if s.AddClause() {
+		t.Error("empty clause accepted")
+	}
+	if s.Solve() != Unsat {
+		t.Error("not unsat after empty clause")
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := NewSolver()
+	a := s.NewVar()
+	if !s.AddClause(PosLit(a), NegLit(a)) {
+		t.Error("tautology rejected")
+	}
+	if s.NumClauses() != 0 {
+		t.Error("tautology stored")
+	}
+	if s.Solve() != Sat {
+		t.Error("tautology-only not sat")
+	}
+}
+
+func TestImplicationChain(t *testing.T) {
+	s := NewSolver()
+	const n = 50
+	vars := make([]Var, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(NegLit(vars[i]), PosLit(vars[i+1])) // v_i -> v_{i+1}
+	}
+	s.AddClause(PosLit(vars[0]))
+	if s.Solve() != Sat {
+		t.Fatal("chain unsat")
+	}
+	for i, v := range vars {
+		if !s.Value(v) {
+			t.Fatalf("v%d should be true", i)
+		}
+	}
+	// Forcing the last variable false makes it unsat.
+	if s.Solve(NegLit(vars[n-1])) != Unsat {
+		t.Error("chain with contradicting assumption not unsat")
+	}
+	// The solver is reusable after an unsat-under-assumptions call.
+	if s.Solve() != Sat {
+		t.Error("solver not reusable")
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := NewSolver()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	// (a | b) & (~a | c)
+	s.AddClause(PosLit(a), PosLit(b))
+	s.AddClause(NegLit(a), PosLit(c))
+	if s.Solve(PosLit(a), NegLit(c)) != Unsat {
+		t.Error("a & ~c should be unsat")
+	}
+	if s.Solve(PosLit(a)) != Sat {
+		t.Error("a should be sat")
+	}
+	if !s.Value(c) {
+		t.Error("model must have c under assumption a")
+	}
+	if s.Solve(NegLit(a), NegLit(b)) != Unsat {
+		t.Error("~a & ~b should be unsat")
+	}
+	_ = b
+}
+
+// Pigeonhole principle PHP(n+1, n) is unsatisfiable and requires real
+// conflict analysis to prove.
+func TestPigeonhole(t *testing.T) {
+	for _, n := range []int{3, 4, 5} {
+		s := NewSolver()
+		// p[i][j]: pigeon i in hole j.
+		p := make([][]Var, n+1)
+		for i := range p {
+			p[i] = make([]Var, n)
+			for j := range p[i] {
+				p[i][j] = s.NewVar()
+			}
+		}
+		// Every pigeon in some hole.
+		for i := 0; i <= n; i++ {
+			lits := make([]Lit, n)
+			for j := 0; j < n; j++ {
+				lits[j] = PosLit(p[i][j])
+			}
+			s.AddClause(lits...)
+		}
+		// No two pigeons share a hole.
+		for j := 0; j < n; j++ {
+			for i1 := 0; i1 <= n; i1++ {
+				for i2 := i1 + 1; i2 <= n; i2++ {
+					s.AddClause(NegLit(p[i1][j]), NegLit(p[i2][j]))
+				}
+			}
+		}
+		if got := s.Solve(); got != Unsat {
+			t.Errorf("PHP(%d,%d) = %v, want UNSAT", n+1, n, got)
+		}
+	}
+}
+
+// brute checks satisfiability of a CNF over <= 20 vars by enumeration.
+func brute(nVars int, cnf [][]Lit) bool {
+	for m := 0; m < 1<<uint(nVars); m++ {
+		ok := true
+		for _, cl := range cnf {
+			sat := false
+			for _, l := range cl {
+				bit := (m>>uint(l.Var()))&1 == 1
+				if bit != l.Sign() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRandom3SATAgainstBruteForce cross-checks the solver against
+// exhaustive enumeration on random 3-SAT instances around the phase
+// transition.
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 150; trial++ {
+		n := 5 + rng.Intn(8)
+		nClauses := int(4.2*float64(n)) + rng.Intn(5)
+		var cnf [][]Lit
+		for i := 0; i < nClauses; i++ {
+			cl := make([]Lit, 3)
+			for j := range cl {
+				cl[j] = MkLit(Var(rng.Intn(n)), rng.Intn(2) == 1)
+			}
+			cnf = append(cnf, cl)
+		}
+		s := NewSolver()
+		for i := 0; i < n; i++ {
+			s.NewVar()
+		}
+		for _, cl := range cnf {
+			s.AddClause(cl...)
+		}
+		got := s.Solve()
+		want := brute(n, cnf)
+		if (got == Sat) != want {
+			t.Fatalf("trial %d: solver=%v brute=%v (n=%d, clauses=%d)", trial, got, want, n, nClauses)
+		}
+		if got == Sat {
+			// Verify the model actually satisfies the formula.
+			for ci, cl := range cnf {
+				ok := false
+				for _, l := range cl {
+					if s.ValueLit(l) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("trial %d: model does not satisfy clause %d", trial, ci)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomWithAssumptions cross-checks Solve-under-assumptions against
+// brute force with the assumptions added as unit clauses.
+func TestRandomWithAssumptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 80; trial++ {
+		n := 5 + rng.Intn(6)
+		nClauses := 3 * n
+		var cnf [][]Lit
+		for i := 0; i < nClauses; i++ {
+			cl := make([]Lit, 1+rng.Intn(3))
+			for j := range cl {
+				cl[j] = MkLit(Var(rng.Intn(n)), rng.Intn(2) == 1)
+			}
+			cnf = append(cnf, cl)
+		}
+		var assumptions []Lit
+		seen := map[Var]bool{}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			v := Var(rng.Intn(n))
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			assumptions = append(assumptions, MkLit(v, rng.Intn(2) == 1))
+		}
+		s := NewSolver()
+		for i := 0; i < n; i++ {
+			s.NewVar()
+		}
+		okAdd := true
+		for _, cl := range cnf {
+			okAdd = s.AddClause(cl...)
+			if !okAdd {
+				break
+			}
+		}
+		var got Result
+		if okAdd {
+			got = s.Solve(assumptions...)
+		} else {
+			got = Unsat
+		}
+		full := append([][]Lit{}, cnf...)
+		for _, a := range assumptions {
+			full = append(full, []Lit{a})
+		}
+		want := brute(n, full)
+		if (got == Sat) != want {
+			t.Fatalf("trial %d: solver=%v brute=%v", trial, got, want)
+		}
+		// The solver must stay reusable: solve again without assumptions.
+		if okAdd {
+			got2 := s.Solve()
+			want2 := brute(n, cnf)
+			if (got2 == Sat) != want2 {
+				t.Fatalf("trial %d: reuse solver=%v brute=%v", trial, got2, want2)
+			}
+		}
+	}
+}
+
+func TestMaxConflictsUnknown(t *testing.T) {
+	// A hard pigeonhole instance with a tiny conflict budget must give up.
+	n := 7
+	s := NewSolver()
+	p := make([][]Var, n+1)
+	for i := range p {
+		p[i] = make([]Var, n)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i <= n; i++ {
+		lits := make([]Lit, n)
+		for j := 0; j < n; j++ {
+			lits[j] = PosLit(p[i][j])
+		}
+		s.AddClause(lits...)
+	}
+	for j := 0; j < n; j++ {
+		for i1 := 0; i1 <= n; i1++ {
+			for i2 := i1 + 1; i2 <= n; i2++ {
+				s.AddClause(NegLit(p[i1][j]), NegLit(p[i2][j]))
+			}
+		}
+	}
+	s.MaxConflicts = 10
+	if got := s.Solve(); got != Unknown {
+		t.Errorf("budgeted solve = %v, want Unknown", got)
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestAddClauseDuringSolvePanics(t *testing.T) {
+	// AddClause at a non-zero decision level must panic; we simulate by
+	// opening a level manually.
+	s := NewSolver()
+	a := s.NewVar()
+	s.trailLim = append(s.trailLim, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("AddClause during solving did not panic")
+		}
+	}()
+	s.AddClause(PosLit(a))
+}
+
+func TestResultString(t *testing.T) {
+	if Sat.String() != "SAT" || Unsat.String() != "UNSAT" || Unknown.String() != "UNKNOWN" {
+		t.Error("Result.String wrong")
+	}
+}

@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rtlil"
+)
+
+// buildRandomModule constructs a random combinational module exercising
+// every word-level cell type, returning the module and its outputs.
+func buildRandomModule(rng *rand.Rand, nOps int) *rtlil.Module {
+	m := rtlil.NewModule("rand")
+	var sigs []rtlil.SigSpec
+	for i := 0; i < 4; i++ {
+		sigs = append(sigs, m.AddInput(inName(i), 1+rng.Intn(6)).Bits())
+	}
+	pick := func() rtlil.SigSpec { return sigs[rng.Intn(len(sigs))] }
+	for i := 0; i < nOps; i++ {
+		var y rtlil.SigSpec
+		switch rng.Intn(15) {
+		case 0:
+			y = m.Not(pick())
+		case 1:
+			y = m.And(pick(), pick())
+		case 2:
+			y = m.Or(pick(), pick())
+		case 3:
+			y = m.Xor(pick(), pick())
+		case 4:
+			y = m.AddOp(pick(), pick())
+		case 5:
+			y = m.SubOp(pick(), pick())
+		case 6:
+			y = m.Eq(pick(), pick())
+		case 7:
+			y = m.Lt(pick(), pick())
+		case 8:
+			y = m.ReduceOr(pick())
+		case 9:
+			s := pick().Extract(0, 1)
+			a, b := pick(), pick()
+			y = m.Mux(a, b, s)
+		case 10:
+			y = m.MulOp(pick(), pick())
+		case 11:
+			y = m.Shl(pick(), pick().Resize(2, false))
+		case 12:
+			y = m.Xnor(pick(), pick())
+		case 13:
+			y = m.Ge(pick(), pick())
+		case 14:
+			a := pick()
+			b := []rtlil.SigSpec{pick().Resize(len(a), false), pick().Resize(len(a), false)}
+			// Mutually exclusive selects (p&q, p&~q) keep the
+			// four-state result defined for defined inputs.
+			p, q := pick().Extract(0, 1), pick().Extract(0, 1)
+			s := rtlil.Concat(m.And(p, q), m.And(p, m.Not(q)))
+			y = m.Pmux(a, b, s)
+		}
+		sigs = append(sigs, y)
+	}
+	out := m.AddOutput("out", len(sigs[len(sigs)-1]))
+	m.Connect(out.Bits(), sigs[len(sigs)-1])
+	return m
+}
+
+func inName(i int) string { return string(rune('a' + i)) }
+
+// TestParallelMatchesFourState cross-checks the bit-parallel simulator
+// against the four-state evaluator on fully-defined random inputs: for
+// defined inputs the four-state result must be defined and identical.
+func TestParallelMatchesFourState(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		m := buildRandomModule(rng, 12)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid module: %v", trial, err)
+		}
+		ps, err := NewParallel(m)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		s4, err := NewSimulator(m)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		lanes := RandomInputs(m, rng)
+		pres := ps.Run(lanes)
+
+		// Check 4 of the 64 lanes against the four-state simulator.
+		for _, lane := range []uint{0, 13, 31, 63} {
+			in4 := map[rtlil.SigBit]rtlil.State{}
+			for b, v := range lanes {
+				in4[b] = rtlil.BoolState((v>>lane)&1 == 1)
+			}
+			vals4, err := s4.Eval(in4)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			for _, w := range m.Outputs() {
+				want := s4.EvalSig(vals4, w.Bits())
+				got := ps.Sig(pres, w.Bits())
+				for i := range want {
+					if want[i] == rtlil.Sx || want[i] == rtlil.Sz {
+						t.Fatalf("trial %d lane %d: four-state x on defined inputs at %s[%d]",
+							trial, lane, w.Name, i)
+					}
+					gotBit := (got[i]>>lane)&1 == 1
+					wantBit := want[i] == rtlil.S1
+					if gotBit != wantBit {
+						t.Fatalf("trial %d lane %d: %s[%d] parallel=%v fourstate=%v",
+							trial, lane, w.Name, i, gotBit, wantBit)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFourStateXMonotone checks soundness of x-propagation: any output bit
+// the four-state simulator reports as defined under partial inputs must
+// hold that value for completions of the unknown inputs.
+func TestFourStateXMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		m := buildRandomModule(rng, 10)
+		s4, err := NewSimulator(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		free := FreeBits(m)
+		partial := map[rtlil.SigBit]rtlil.State{}
+		var unknown []rtlil.SigBit
+		for _, b := range free {
+			switch rng.Intn(3) {
+			case 0:
+				partial[b] = rtlil.S0
+			case 1:
+				partial[b] = rtlil.S1
+			default:
+				unknown = append(unknown, b)
+			}
+		}
+		vp, err := s4.Eval(partial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := m.Outputs()[0]
+		want := s4.EvalSig(vp, out.Bits())
+		// Try 8 random completions.
+		for k := 0; k < 8; k++ {
+			full := map[rtlil.SigBit]rtlil.State{}
+			for b, v := range partial {
+				full[b] = v
+			}
+			for _, b := range unknown {
+				full[b] = rtlil.BoolState(rng.Intn(2) == 1)
+			}
+			vf, err := s4.Eval(full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := s4.EvalSig(vf, out.Bits())
+			for i := range want {
+				if want[i] == rtlil.S0 || want[i] == rtlil.S1 {
+					if got[i] != want[i] {
+						t.Fatalf("trial %d completion %d: defined bit %d changed from %s to %s",
+							trial, k, i, want[i], got[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFreeBitsIncludesDffQ(t *testing.T) {
+	m := rtlil.NewModule("t")
+	clk := m.AddInput("clk", 1).Bits()
+	a := m.AddInput("a", 2)
+	q := m.NewWire(2)
+	m.AddDff("ff", clk, a.Bits(), q.Bits())
+	y := m.AddOutput("y", 2)
+	m.Connect(y.Bits(), q.Bits())
+	free := FreeBits(m)
+	// clk (1) + a (2) + q (2) = 5 free bits.
+	if len(free) != 5 {
+		t.Errorf("FreeBits = %d, want 5", len(free))
+	}
+}
+
+func TestParallelConstantLanes(t *testing.T) {
+	m := rtlil.NewModule("t")
+	y := m.AddOutput("y", 2)
+	one := rtlil.Const(1, 1)
+	a := m.AddInput("a", 1).Bits()
+	m.AddBinary(rtlil.CellAnd, "g", rtlil.Concat(a, one), rtlil.Const(3, 2), y.Bits())
+	ps, err := NewParallel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ps.Run(map[rtlil.SigBit]uint64{a[0]: 0xF0F0F0F0F0F0F0F0})
+	got := ps.Sig(res, y.Bits())
+	if got[0] != 0xF0F0F0F0F0F0F0F0 {
+		t.Errorf("lane 0 = %x", got[0])
+	}
+	if got[1] != ^uint64(0) {
+		t.Errorf("const-1 lane = %x", got[1])
+	}
+}
+
+func TestSimulatorThroughDff(t *testing.T) {
+	m := rtlil.NewModule("t")
+	clk := m.AddInput("clk", 1).Bits()
+	d := m.AddInput("d", 1).Bits()
+	q := m.NewWire(1)
+	m.AddDff("ff", clk, d, q.Bits())
+	y := m.AddOutput("y", 1)
+	m.AddUnary(rtlil.CellNot, "inv", q.Bits(), y.Bits())
+	s, err := NewSimulator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := s.Eval(map[rtlil.SigBit]rtlil.State{q.Bit(0): rtlil.S1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.EvalSig(vals, y.Bits())
+	if out[0] != rtlil.S0 {
+		t.Errorf("y = %s, want 0", out[0])
+	}
+	// Without assigning q, the output is x.
+	vals, _ = s.Eval(nil)
+	if out := s.EvalSig(vals, y.Bits()); out[0] != rtlil.Sx {
+		t.Errorf("unassigned dff output gave %s", out[0])
+	}
+}

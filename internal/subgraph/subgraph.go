@@ -1,0 +1,199 @@
+// Package subgraph extracts the bounded circuit neighborhood that
+// smaRTLy's SAT-based redundancy elimination reasons over (paper §II).
+//
+// Starting from a muxtree control bit, gates within distance k are
+// collected (undirected breadth-first search over driver/reader edges,
+// excluding sequential cells so the result is a DAG). The set is then
+// pruned with the paper's Theorem II.1 connectivity filter: a signal can
+// interact with the target only if it is an ancestor, a descendant, or
+// shares a common ancestor — signals in unrelated groups (and the gates
+// producing them) are dismissed, which the paper reports removes ~80% of
+// the gates.
+//
+// The pruning is sound by construction: sub-graph leaves are treated as
+// free variables, so the sub-graph is an abstraction of the real circuit
+// and any UNSAT verdict ("this control value is impossible") transfers.
+package subgraph
+
+import (
+	"repro/internal/rtlil"
+)
+
+// Options bounds the extraction.
+type Options struct {
+	// Depth is the BFS radius k in cells (default 6).
+	Depth int
+	// MaxCells caps the candidate set before filtering (default 300).
+	MaxCells int
+	// DisableFilter turns the Theorem II.1 pruning off (for the
+	// ablation benchmark).
+	DisableFilter bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Depth == 0 {
+		o.Depth = 6
+	}
+	if o.MaxCells == 0 {
+		o.MaxCells = 300
+	}
+	return o
+}
+
+// Result is an extracted sub-graph.
+type Result struct {
+	// Cells are the kept combinational cells.
+	Cells []*rtlil.Cell
+	// Inputs are the free bits of the sub-graph: bits read by kept
+	// cells but not driven inside it (canonical form).
+	Inputs []rtlil.SigBit
+	// CandidateCells is the pre-filter cell count (for statistics and
+	// the ablation study).
+	CandidateCells int
+}
+
+// Extract collects the sub-graph around target, keeping only logic that
+// can interact with target or with one of the known (path-condition)
+// bits.
+func Extract(ix *rtlil.Index, target rtlil.SigBit, known []rtlil.SigBit, opt Options) *Result {
+	o := opt.withDefaults()
+
+	// Phase 1: undirected BFS from the target's driver up to depth k.
+	type entry struct {
+		c     *rtlil.Cell
+		depth int
+	}
+	inSet := map[*rtlil.Cell]bool{}
+	var queue []entry
+	seed := func(b rtlil.SigBit) {
+		if c := ix.DriverCell(b); c != nil && !rtlil.IsSequential(c.Type) && !inSet[c] {
+			inSet[c] = true
+			queue = append(queue, entry{c, 0})
+		}
+	}
+	seed(target)
+	for _, k := range known {
+		seed(k)
+	}
+	for len(queue) > 0 && len(inSet) < o.MaxCells {
+		e := queue[0]
+		queue = queue[1:]
+		if e.depth >= o.Depth {
+			continue
+		}
+		visit := func(c *rtlil.Cell) {
+			if c == nil || rtlil.IsSequential(c.Type) || inSet[c] {
+				return
+			}
+			if len(inSet) >= o.MaxCells {
+				return
+			}
+			inSet[c] = true
+			queue = append(queue, entry{c, e.depth + 1})
+		}
+		for port, sig := range e.c.Conn {
+			if e.c.IsInputPort(port) {
+				for _, b := range ix.Map(sig) {
+					if !b.IsConst() {
+						visit(ix.DriverCell(b))
+					}
+				}
+			} else {
+				for _, b := range ix.Map(sig) {
+					if b.IsConst() {
+						continue
+					}
+					for _, r := range ix.Readers(b) {
+						visit(r.Cell)
+					}
+				}
+			}
+		}
+	}
+
+	candidates := make([]*rtlil.Cell, 0, len(inSet))
+	// Deterministic order: module cell order.
+	for _, c := range ix.Module().Cells() {
+		if inSet[c] {
+			candidates = append(candidates, c)
+		}
+	}
+	res := &Result{CandidateCells: len(candidates)}
+
+	kept := candidates
+	if !o.DisableFilter {
+		kept = filterByConnectivity(ix, candidates, inSet, target, known)
+	}
+	res.Cells = kept
+
+	// Free inputs of the kept set.
+	keptSet := map[*rtlil.Cell]bool{}
+	for _, c := range kept {
+		keptSet[c] = true
+	}
+	seen := map[rtlil.SigBit]bool{}
+	for _, c := range kept {
+		for port, sig := range c.Conn {
+			if !c.IsInputPort(port) {
+				continue
+			}
+			for _, b := range ix.Map(sig) {
+				if b.IsConst() || seen[b] {
+					continue
+				}
+				if d := ix.DriverCell(b); d != nil && keptSet[d] {
+					continue
+				}
+				seen[b] = true
+				res.Inputs = append(res.Inputs, b)
+			}
+		}
+	}
+	return res
+}
+
+// filterByConnectivity implements Theorem II.1 for the inference use
+// case: the value of the target under the path condition can only be
+// constrained by logic in the combined fanin cones of the target and the
+// known bits (common ancestors are in both cones; knowns that are
+// descendants of the target carry their own cones). Cells outside those
+// cones — unrelated islands and pure descendants, which cannot affect an
+// ancestor's value — are dismissed; the paper reports this prunes ~80%
+// of the gates.
+func filterByConnectivity(ix *rtlil.Index, candidates []*rtlil.Cell, inSet map[*rtlil.Cell]bool, target rtlil.SigBit, known []rtlil.SigBit) []*rtlil.Cell {
+	visited := map[*rtlil.Cell]bool{}
+	var back func(b rtlil.SigBit)
+	backCell := func(c *rtlil.Cell) {
+		if visited[c] {
+			return
+		}
+		visited[c] = true
+		for port, sig := range c.Conn {
+			if !c.IsInputPort(port) {
+				continue
+			}
+			for _, b := range ix.Map(sig) {
+				if !b.IsConst() {
+					back(b)
+				}
+			}
+		}
+	}
+	back = func(b rtlil.SigBit) {
+		if d := ix.DriverCell(b); d != nil && inSet[d] {
+			backCell(d)
+		}
+	}
+	back(ix.MapBit(target))
+	for _, k := range known {
+		back(ix.MapBit(k))
+	}
+
+	var kept []*rtlil.Cell
+	for _, c := range candidates {
+		if visited[c] {
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}

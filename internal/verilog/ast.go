@@ -1,0 +1,174 @@
+package verilog
+
+// The abstract syntax tree for the supported subset.
+
+// SourceFile is a parsed compilation unit.
+type SourceFile struct {
+	Modules []*ModuleDecl
+}
+
+// ModuleDecl is a module definition.
+type ModuleDecl struct {
+	Name  string
+	Ports []string // port order from the header
+	Items []Item
+	Line  int
+}
+
+// Item is a module-level item.
+type Item interface{ item() }
+
+// PortDir is a port direction.
+type PortDir int
+
+// Port directions.
+const (
+	DirNone PortDir = iota
+	DirInput
+	DirOutput
+)
+
+// Decl declares wires/regs (possibly with a direction) over a bit range.
+type Decl struct {
+	Dir   PortDir
+	IsReg bool
+	// MSB/LSB are constant expressions; nil means a 1-bit scalar.
+	MSB, LSB Expr
+	Names    []string
+	Line     int
+}
+
+// ParamDecl declares a parameter or localparam.
+type ParamDecl struct {
+	Name  string
+	Value Expr
+	Line  int
+}
+
+// AssignStmt is a continuous assignment.
+type AssignStmt struct {
+	LHS  Expr
+	RHS  Expr
+	Line int
+}
+
+// AlwaysBlock is an always block: combinational (Comb) or clocked on
+// posedge Clock.
+type AlwaysBlock struct {
+	Comb  bool
+	Clock string // clock signal name for sequential blocks
+	Body  Stmt
+	Line  int
+}
+
+func (*Decl) item()        {}
+func (*ParamDecl) item()   {}
+func (*AssignStmt) item()  {}
+func (*AlwaysBlock) item() {}
+
+// Stmt is a procedural statement.
+type Stmt interface{ stmt() }
+
+// Block is begin ... end.
+type Block struct {
+	Stmts []Stmt
+}
+
+// ProcAssign is a procedural assignment (blocking or non-blocking; the
+// elaborator treats them identically within a block).
+type ProcAssign struct {
+	LHS  Expr
+	RHS  Expr
+	Line int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// CaseStmt is case/casez/casex.
+type CaseStmt struct {
+	Wildcard bool // casez/casex: z (and x for casex) bits match anything
+	Expr     Expr
+	Items    []CaseItem
+	Line     int
+}
+
+// CaseItem is one case arm; Labels is nil for default.
+type CaseItem struct {
+	Labels []Expr
+	Body   Stmt
+}
+
+func (*Block) stmt()      {}
+func (*ProcAssign) stmt() {}
+func (*IfStmt) stmt()     {}
+func (*CaseStmt) stmt()   {}
+
+// Expr is an expression.
+type Expr interface{ expr() }
+
+// Ident is an identifier reference.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// Number is a literal, kept in source form ("8'hff", "42").
+type Number struct {
+	Text string
+	Line int
+}
+
+// Unary is a unary operation: ~ ! - & | ^ (reduce).
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Ternary is cond ? t : f.
+type Ternary struct {
+	Cond, T, F Expr
+}
+
+// Index is a bit select x[i].
+type Index struct {
+	X   Expr
+	Idx Expr
+}
+
+// Slice is a part select x[msb:lsb] with constant bounds.
+type Slice struct {
+	X        Expr
+	MSB, LSB Expr
+}
+
+// Concat is {a, b, c} (MSB first in source order).
+type Concat struct {
+	Parts []Expr
+}
+
+// Repeat is {n{x}}.
+type Repeat struct {
+	Count Expr
+	X     Expr
+}
+
+func (*Ident) expr()   {}
+func (*Number) expr()  {}
+func (*Unary) expr()   {}
+func (*Binary) expr()  {}
+func (*Ternary) expr() {}
+func (*Index) expr()   {}
+func (*Slice) expr()   {}
+func (*Concat) expr()  {}
+func (*Repeat) expr()  {}

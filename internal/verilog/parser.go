@@ -1,0 +1,633 @@
+package verilog
+
+import (
+	"fmt"
+)
+
+// Parse lexes and parses a Verilog source file.
+func Parse(src string) (*SourceFile, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &SourceFile{}
+	for !p.at(TokEOF, "") {
+		if p.atKeyword("module") {
+			m, err := p.parseModule()
+			if err != nil {
+				return nil, err
+			}
+			f.Modules = append(f.Modules, m)
+			continue
+		}
+		return nil, p.errorf("expected module, got %s", p.peek())
+	}
+	if len(f.Modules) == 0 {
+		return nil, fmt.Errorf("verilog: no modules in source")
+	}
+	return f, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(k TokKind, text string) bool {
+	t := p.peek()
+	return t.Kind == k && (text == "" || t.Text == text)
+}
+func (p *parser) atKeyword(kw string) bool { return p.at(TokKeyword, kw) }
+func (p *parser) atSymbol(s string) bool   { return p.at(TokSymbol, s) }
+
+func (p *parser) accept(k TokKind, text string) bool {
+	if p.at(k, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k TokKind, text string) (Token, error) {
+	if p.at(k, text) {
+		return p.next(), nil
+	}
+	return Token{}, p.errorf("expected %q, got %s", text, p.peek())
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	t := p.peek()
+	return fmt.Errorf("verilog:%d:%d: %s", t.Line, t.Col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseModule() (*ModuleDecl, error) {
+	start, _ := p.expect(TokKeyword, "module")
+	nameTok, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	m := &ModuleDecl{Name: nameTok.Text, Line: start.Line}
+
+	// Optional parameter header: #(parameter N = 4, ...)
+	if p.accept(TokSymbol, "#") {
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		for {
+			p.accept(TokKeyword, "parameter")
+			pd, err := p.parseParamBody()
+			if err != nil {
+				return nil, err
+			}
+			m.Items = append(m.Items, pd)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+	}
+
+	// Port list: classic (names) or ANSI (directions inline).
+	if p.accept(TokSymbol, "(") {
+		if !p.atSymbol(")") {
+			if err := p.parsePortList(m); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokSymbol, ";"); err != nil {
+		return nil, err
+	}
+
+	for !p.atKeyword("endmodule") {
+		if p.at(TokEOF, "") {
+			return nil, p.errorf("unexpected EOF in module %s", m.Name)
+		}
+		items, err := p.parseItem()
+		if err != nil {
+			return nil, err
+		}
+		m.Items = append(m.Items, items...)
+	}
+	p.next() // endmodule
+	return m, nil
+}
+
+func (p *parser) parsePortList(m *ModuleDecl) error {
+	for {
+		if p.atKeyword("input") || p.atKeyword("output") {
+			// ANSI style.
+			d, err := p.parsePortDecl()
+			if err != nil {
+				return err
+			}
+			m.Items = append(m.Items, d)
+			m.Ports = append(m.Ports, d.Names...)
+		} else {
+			t, err := p.expect(TokIdent, "")
+			if err != nil {
+				return err
+			}
+			m.Ports = append(m.Ports, t.Text)
+		}
+		if !p.accept(TokSymbol, ",") {
+			return nil
+		}
+	}
+}
+
+// parsePortDecl parses "input [3:0] a" / "output reg [1:0] b" inside an
+// ANSI port list (single name per declaration segment; additional names
+// separated by commas are handled by the caller loop re-entering here
+// only on a direction keyword, so bare names continue the last decl).
+func (p *parser) parsePortDecl() (*Decl, error) {
+	d := &Decl{Line: p.peek().Line}
+	switch {
+	case p.accept(TokKeyword, "input"):
+		d.Dir = DirInput
+	case p.accept(TokKeyword, "output"):
+		d.Dir = DirOutput
+	default:
+		return nil, p.errorf("expected port direction")
+	}
+	p.accept(TokKeyword, "wire")
+	if p.accept(TokKeyword, "reg") {
+		d.IsReg = true
+	}
+	if err := p.parseRange(d); err != nil {
+		return nil, err
+	}
+	t, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	d.Names = []string{t.Text}
+	return d, nil
+}
+
+func (p *parser) parseRange(d *Decl) error {
+	if !p.accept(TokSymbol, "[") {
+		return nil
+	}
+	msb, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(TokSymbol, ":"); err != nil {
+		return err
+	}
+	lsb, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(TokSymbol, "]"); err != nil {
+		return err
+	}
+	d.MSB, d.LSB = msb, lsb
+	return nil
+}
+
+func (p *parser) parseItem() ([]Item, error) {
+	switch {
+	case p.atKeyword("input"), p.atKeyword("output"), p.atKeyword("wire"),
+		p.atKeyword("reg"), p.atKeyword("integer"):
+		d, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		return []Item{d}, nil
+	case p.atKeyword("parameter"), p.atKeyword("localparam"):
+		p.next()
+		var items []Item
+		for {
+			pd, err := p.parseParamBody()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, pd)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ";"); err != nil {
+			return nil, err
+		}
+		return items, nil
+	case p.atKeyword("assign"):
+		p.next()
+		var items []Item
+		for {
+			lhs, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSymbol, "="); err != nil {
+				return nil, err
+			}
+			rhs, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, &AssignStmt{LHS: lhs, RHS: rhs, Line: p.peek().Line})
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ";"); err != nil {
+			return nil, err
+		}
+		return items, nil
+	case p.atKeyword("always"):
+		a, err := p.parseAlways()
+		if err != nil {
+			return nil, err
+		}
+		return []Item{a}, nil
+	}
+	return nil, p.errorf("unsupported module item at %s", p.peek())
+}
+
+func (p *parser) parseParamBody() (*ParamDecl, error) {
+	// Optional range on parameters is accepted and ignored.
+	if p.atSymbol("[") {
+		var dummy Decl
+		if err := p.parseRange(&dummy); err != nil {
+			return nil, err
+		}
+	}
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSymbol, "="); err != nil {
+		return nil, err
+	}
+	val, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ParamDecl{Name: name.Text, Value: val, Line: name.Line}, nil
+}
+
+func (p *parser) parseDecl() (*Decl, error) {
+	d := &Decl{Line: p.peek().Line}
+	switch {
+	case p.accept(TokKeyword, "input"):
+		d.Dir = DirInput
+	case p.accept(TokKeyword, "output"):
+		d.Dir = DirOutput
+	}
+	switch {
+	case p.accept(TokKeyword, "wire"):
+	case p.accept(TokKeyword, "reg"):
+		d.IsReg = true
+	case p.accept(TokKeyword, "integer"):
+		d.IsReg = true
+		thirtyTwo := &Number{Text: "31"}
+		zero := &Number{Text: "0"}
+		d.MSB, d.LSB = thirtyTwo, zero
+	}
+	if err := p.parseRange(d); err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		d.Names = append(d.Names, t.Text)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokSymbol, ";"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) parseAlways() (*AlwaysBlock, error) {
+	start, _ := p.expect(TokKeyword, "always")
+	a := &AlwaysBlock{Line: start.Line}
+	if _, err := p.expect(TokSymbol, "@"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSymbol, "("); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.accept(TokSymbol, "*"):
+		a.Comb = true
+	case p.atKeyword("posedge"):
+		p.next()
+		clk, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		a.Clock = clk.Text
+	default:
+		// Explicit sensitivity list: treat as combinational.
+		a.Comb = true
+		for {
+			if _, err := p.expect(TokIdent, ""); err != nil {
+				return nil, err
+			}
+			if p.accept(TokKeyword, "or") || p.accept(TokSymbol, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(TokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	a.Body = body
+	return a, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.atKeyword("begin"):
+		p.next()
+		b := &Block{}
+		for !p.atKeyword("end") {
+			if p.at(TokEOF, "") {
+				return nil, p.errorf("unexpected EOF in block")
+			}
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			b.Stmts = append(b.Stmts, s)
+		}
+		p.next()
+		return b, nil
+
+	case p.atKeyword("if"):
+		p.next()
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then}
+		if p.accept(TokKeyword, "else") {
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+
+	case p.atKeyword("case"), p.atKeyword("casez"), p.atKeyword("casex"):
+		kw := p.next()
+		st := &CaseStmt{Wildcard: kw.Text != "case", Line: kw.Line}
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Expr = e
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		for !p.atKeyword("endcase") {
+			if p.at(TokEOF, "") {
+				return nil, p.errorf("unexpected EOF in case")
+			}
+			item := CaseItem{}
+			if p.accept(TokKeyword, "default") {
+				p.accept(TokSymbol, ":")
+			} else {
+				for {
+					l, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					item.Labels = append(item.Labels, l)
+					if !p.accept(TokSymbol, ",") {
+						break
+					}
+				}
+				if _, err := p.expect(TokSymbol, ":"); err != nil {
+					return nil, err
+				}
+			}
+			body, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			item.Body = body
+			st.Items = append(st.Items, item)
+		}
+		p.next()
+		return st, nil
+
+	default:
+		// Procedural assignment: lhs = rhs; or lhs <= rhs;
+		lhs, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		line := p.peek().Line
+		if !p.accept(TokSymbol, "=") {
+			if _, err := p.expect(TokSymbol, "<="); err != nil {
+				return nil, p.errorf("expected assignment")
+			}
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ";"); err != nil {
+			return nil, err
+		}
+		return &ProcAssign{LHS: lhs, RHS: rhs, Line: line}, nil
+	}
+}
+
+// Expression parsing: precedence climbing.
+
+var binaryPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4, "~^": 4, "^~": 4,
+	"&":  5,
+	"==": 6, "!=": 6, "===": 6, "!==": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8, "<<<": 8, ">>>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	return p.parseTernary()
+}
+
+func (p *parser) parseTernary() (Expr, error) {
+	cond, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(TokSymbol, "?") {
+		return cond, nil
+	}
+	t, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSymbol, ":"); err != nil {
+		return nil, err
+	}
+	f, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	return &Ternary{Cond: cond, T: t, F: f}, nil
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind != TokSymbol {
+			return lhs, nil
+		}
+		prec, ok := binaryPrec[t.Text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: t.Text, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.Kind == TokSymbol {
+		switch t.Text {
+		case "~", "!", "-", "+", "&", "|", "^":
+			p.next()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			if t.Text == "+" {
+				return x, nil
+			}
+			return &Unary{Op: t.Text, X: x}, nil
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		return p.parsePostfix(&Number{Text: t.Text, Line: t.Line})
+	case t.Kind == TokIdent:
+		p.next()
+		return p.parsePostfix(&Ident{Name: t.Text, Line: t.Line})
+	case p.accept(TokSymbol, "("):
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return p.parsePostfix(e)
+	case p.accept(TokSymbol, "{"):
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		// Replication {n{x}}?
+		if p.accept(TokSymbol, "{") {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSymbol, "}"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSymbol, "}"); err != nil {
+				return nil, err
+			}
+			return &Repeat{Count: first, X: x}, nil
+		}
+		c := &Concat{Parts: []Expr{first}}
+		for p.accept(TokSymbol, ",") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			c.Parts = append(c.Parts, e)
+		}
+		if _, err := p.expect(TokSymbol, "}"); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	return nil, p.errorf("unexpected token %s in expression", t)
+}
+
+func (p *parser) parsePostfix(x Expr) (Expr, error) {
+	for p.atSymbol("[") {
+		p.next()
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(TokSymbol, ":") {
+			lsb, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSymbol, "]"); err != nil {
+				return nil, err
+			}
+			x = &Slice{X: x, MSB: first, LSB: lsb}
+			continue
+		}
+		if _, err := p.expect(TokSymbol, "]"); err != nil {
+			return nil, err
+		}
+		x = &Index{X: x, Idx: first}
+	}
+	return x, nil
+}

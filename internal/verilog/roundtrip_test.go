@@ -1,0 +1,144 @@
+package verilog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cec"
+	"repro/internal/genbench"
+	"repro/internal/rtlil"
+)
+
+// TestWriterRoundTrip cross-validates three subsystems at once: a
+// generated netlist is written as structural Verilog, re-parsed and
+// re-elaborated, and the result is proven equivalent to the original.
+func TestWriterRoundTrip(t *testing.T) {
+	recipes := genbench.Recipes()
+	for _, idx := range []int{1, 9} {
+		r := recipes[idx]
+		m := genbench.Generate(r, 0.02)
+		var sb strings.Builder
+		if err := rtlil.WriteVerilog(&sb, m); err != nil {
+			t.Fatalf("%s: write: %v", r.Name, err)
+		}
+		f, err := Parse(sb.String())
+		if err != nil {
+			t.Fatalf("%s: reparse: %v\n%s", r.Name, err, head(sb.String(), 30))
+		}
+		m2, err := ElaborateModule(f.Modules[0])
+		if err != nil {
+			t.Fatalf("%s: re-elaborate: %v", r.Name, err)
+		}
+		// Port names survive sanitization unchanged for these designs,
+		// so the CEC name matching applies directly.
+		if err := cec.Check(m, m2, &cec.Options{RandomRounds: 2}); err != nil {
+			t.Fatalf("%s: round trip not equivalent: %v", r.Name, err)
+		}
+	}
+}
+
+// TestWriterRoundTripSequential covers dff emission.
+func TestWriterRoundTripSequential(t *testing.T) {
+	m := rtlil.NewModule("seq")
+	clk := m.AddInput("clk", 1).Bits()
+	d := m.AddInput("d", 4).Bits()
+	en := m.AddInput("en", 1).Bits()
+	q := m.NewWireHint("state", 4)
+	m.AddDff("ff", clk, m.Mux(q.Bits(), d, en), q.Bits())
+	y := m.AddOutput("y", 4)
+	m.Connect(y.Bits(), m.Not(q.Bits()))
+
+	var sb strings.Builder
+	if err := rtlil.WriteVerilog(&sb, m); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(sb.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, sb.String())
+	}
+	m2, err := ElaborateModule(f.Modules[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dff cell name differs after re-elaboration, so compare only
+	// the combinational output cone by checking outputs under random
+	// stimulus with matching Q injection is out of scope here; instead
+	// assert structure: one dff of width 4 exists.
+	dffs := 0
+	for _, c := range m2.Cells() {
+		if c.Type == rtlil.CellDff {
+			dffs++
+			if len(c.Port("D")) != 4 {
+				t.Errorf("dff width %d", len(c.Port("D")))
+			}
+		}
+	}
+	if dffs != 1 {
+		t.Errorf("dffs = %d, want 1", dffs)
+	}
+}
+
+// TestWriterRandomModules round-trips random combinational netlists.
+func TestWriterRandomModules(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		m := rtlil.NewModule("rand")
+		sigs := []rtlil.SigSpec{
+			m.AddInput("a", 4).Bits(),
+			m.AddInput("b", 4).Bits(),
+			m.AddInput("c", 1).Bits(),
+		}
+		pick := func() rtlil.SigSpec { return sigs[rng.Intn(len(sigs))] }
+		for i := 0; i < 12; i++ {
+			switch rng.Intn(8) {
+			case 0:
+				sigs = append(sigs, m.And(pick(), pick()))
+			case 1:
+				sigs = append(sigs, m.Or(pick(), pick()))
+			case 2:
+				sigs = append(sigs, m.Not(pick()))
+			case 3:
+				sigs = append(sigs, m.AddOp(pick(), pick()))
+			case 4:
+				sigs = append(sigs, m.Eq(pick(), pick()))
+			case 5:
+				sigs = append(sigs, m.Mux(pick(), pick(), pick().Extract(0, 1)))
+			case 6:
+				sigs = append(sigs, m.Lt(pick(), pick()))
+			case 7:
+				a := pick()
+				words := []rtlil.SigSpec{pick().Resize(len(a), false), pick().Resize(len(a), false)}
+				sel := rtlil.Concat(pick().Extract(0, 1), pick().Extract(0, 1))
+				sigs = append(sigs, m.Pmux(a, words, sel))
+			}
+		}
+		last := sigs[len(sigs)-1]
+		y := m.AddOutput("y", len(last))
+		m.Connect(y.Bits(), last)
+
+		var sb strings.Builder
+		if err := rtlil.WriteVerilog(&sb, m); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		f, err := Parse(sb.String())
+		if err != nil {
+			t.Fatalf("trial %d: reparse: %v\n%s", trial, err, head(sb.String(), 40))
+		}
+		m2, err := ElaborateModule(f.Modules[0])
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := cec.Check(m, m2, &cec.Options{RandomRounds: 2}); err != nil {
+			t.Fatalf("trial %d: not equivalent: %v\n%s", trial, err, head(sb.String(), 40))
+		}
+	}
+}
+
+func head(s string, lines int) string {
+	parts := strings.SplitN(s, "\n", lines+1)
+	if len(parts) > lines {
+		parts = parts[:lines]
+	}
+	return strings.Join(parts, "\n")
+}

@@ -1,0 +1,186 @@
+// Package smartly is a Go reproduction of "SmaRTLy: RTL Optimization
+// with Logic Inferencing and Structural Rebuilding" (DAC 2025): an RTL
+// logic-optimization library that replaces Yosys' opt_muxtree pass with
+// two stronger multiplexer-tree optimizations — SAT-based redundancy
+// elimination and ADD-driven muxtree restructuring.
+//
+// The package is a facade over the implementation packages:
+//
+//	rtlil    — word-level netlist IR (Yosys RTLIL model)
+//	verilog  — synthesizable-subset Verilog frontend
+//	opt      — pass framework + baseline passes (opt_expr/muxtree/clean)
+//	core     — the paper's passes (satmux, rebuild)
+//	aig      — AIG mapping and the paper's area metric
+//	cec      — combinational equivalence checking
+//	genbench — benchmark generators reproducing the paper's evaluation
+//
+// Quick start:
+//
+//	design, _ := smartly.ParseVerilog(src)
+//	m := design.Top()
+//	before, _ := smartly.Area(m)
+//	report, _ := smartly.Optimize(m, smartly.PipelineFull)
+//	after, _ := smartly.Area(m)
+package smartly
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/aig"
+	"repro/internal/cec"
+	"repro/internal/core"
+	"repro/internal/genbench"
+	"repro/internal/opt"
+	"repro/internal/rtlil"
+	"repro/internal/verilog"
+)
+
+// Re-exported IR types: the facade's netlist vocabulary.
+type (
+	// Design is a collection of modules.
+	Design = rtlil.Design
+	// Module is a netlist of cells, wires and connections.
+	Module = rtlil.Module
+	// Cell is a word-level logic operator instance.
+	Cell = rtlil.Cell
+	// Wire is a named multi-bit net.
+	Wire = rtlil.Wire
+	// SigSpec is an LSB-first signal.
+	SigSpec = rtlil.SigSpec
+	// SigBit is one bit of a signal.
+	SigBit = rtlil.SigBit
+)
+
+// NewDesign returns an empty design.
+func NewDesign() *Design { return rtlil.NewDesign() }
+
+// NewModule returns an empty module with the given name.
+func NewModule(name string) *Module { return rtlil.NewModule(name) }
+
+// Const returns a width-bit constant signal.
+func Const(value uint64, width int) SigSpec { return rtlil.Const(value, width) }
+
+// ParseVerilog parses and elaborates Verilog source (the synthesizable
+// subset: modules, assign, always @(*) / @(posedge), if/else,
+// case/casez) into a netlist design.
+func ParseVerilog(src string) (*Design, error) {
+	f, err := verilog.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return verilog.Elaborate(f)
+}
+
+// Pipeline selects an optimization flow from the paper's evaluation.
+type Pipeline int
+
+// The four flows compared in the paper's Tables II and III.
+const (
+	// PipelineYosys is the baseline: opt_expr; opt_muxtree; opt_clean.
+	PipelineYosys Pipeline = iota
+	// PipelineSAT replaces opt_muxtree with smaRTLy's SAT-based
+	// redundancy elimination.
+	PipelineSAT
+	// PipelineRebuild adds smaRTLy's muxtree restructuring to the
+	// baseline.
+	PipelineRebuild
+	// PipelineFull is complete smaRTLy: SAT elimination + restructuring.
+	PipelineFull
+)
+
+// String names the pipeline.
+func (p Pipeline) String() string {
+	switch p {
+	case PipelineYosys:
+		return "yosys"
+	case PipelineSAT:
+		return "sat"
+	case PipelineRebuild:
+		return "rebuild"
+	case PipelineFull:
+		return "full"
+	}
+	return fmt.Sprintf("Pipeline(%d)", int(p))
+}
+
+// ParsePipeline parses a pipeline name as printed by String.
+func ParsePipeline(name string) (Pipeline, error) {
+	switch strings.ToLower(name) {
+	case "yosys", "baseline":
+		return PipelineYosys, nil
+	case "sat", "satmux":
+		return PipelineSAT, nil
+	case "rebuild", "restructure":
+		return PipelineRebuild, nil
+	case "full", "smartly":
+		return PipelineFull, nil
+	}
+	return 0, fmt.Errorf("smartly: unknown pipeline %q (yosys|sat|rebuild|full)", name)
+}
+
+func (p Pipeline) pass() opt.Pass {
+	switch p {
+	case PipelineYosys:
+		return core.PipelineYosys()
+	case PipelineSAT:
+		return core.PipelineSAT(core.SatMuxOptions{})
+	case PipelineRebuild:
+		return core.PipelineRebuild(core.RebuildOptions{})
+	default:
+		return core.PipelineFull(core.SatMuxOptions{}, core.RebuildOptions{})
+	}
+}
+
+// Report summarizes an optimization run.
+type Report struct {
+	// Changed reports whether any rewrite fired.
+	Changed bool
+	// Details maps pass counters (e.g. "mux_collapsed") to counts.
+	Details map[string]int
+}
+
+// Optimize runs the selected pipeline on the module in place.
+func Optimize(m *Module, p Pipeline) (Report, error) {
+	r, err := p.pass().Run(m)
+	return Report{Changed: r.Changed, Details: r.Details}, err
+}
+
+// Area maps the module to an And-Inverter Graph and returns the number
+// of AND nodes reachable from its outputs — the paper's area metric
+// (flip-flops excluded).
+func Area(m *Module) (int, error) { return aig.Area(m) }
+
+// CheckEquivalence proves combinational equivalence of two modules
+// (flip-flops are cut into pseudo inputs/outputs and matched by cell
+// name). It returns nil when equivalent and a counterexample error when
+// not.
+func CheckEquivalence(a, b *Module) error { return cec.Check(a, b, nil) }
+
+// BenchmarkNames lists the public benchmark cases reproduced from the
+// paper's Table II.
+func BenchmarkNames() []string {
+	var out []string
+	for _, r := range genbench.Recipes() {
+		out = append(out, r.Name)
+	}
+	return out
+}
+
+// GenerateBenchmark builds the named public benchmark substitute at the
+// given scale (1.0 = calibrated size). It returns an error for unknown
+// names; see BenchmarkNames.
+func GenerateBenchmark(name string, scale float64) (*Module, error) {
+	for _, r := range genbench.Recipes() {
+		if r.Name == name {
+			return genbench.Generate(r, scale), nil
+		}
+	}
+	return nil, fmt.Errorf("smartly: unknown benchmark %q", name)
+}
+
+// GenerateIndustrial builds one industrial-style test point at the
+// given scale (paper §IV-B).
+func GenerateIndustrial(point int, scale float64) *Module {
+	return genbench.Generate(genbench.IndustrialRecipe(point), scale)
+}

@@ -1,0 +1,122 @@
+package smartly
+
+import (
+	"strings"
+	"testing"
+)
+
+const quickstartSrc = `
+module demo(input s, input r, input [3:0] a, input [3:0] b,
+            input [3:0] c, output [3:0] y);
+  // Paper Figure 3: the inner select (s|r) is implied by the outer s.
+  assign y = s ? ((s | r) ? a : b) : c;
+endmodule`
+
+func TestFacadeEndToEnd(t *testing.T) {
+	design, err := ParseVerilog(quickstartSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := design.Top()
+	orig := m.Clone()
+	before, err := Area(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Optimize(m, PipelineFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Changed {
+		t.Error("nothing optimized")
+	}
+	after, err := Area(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Errorf("area %d -> %d, expected reduction", before, after)
+	}
+	if err := CheckEquivalence(orig, m); err != nil {
+		t.Fatalf("not equivalent: %v", err)
+	}
+}
+
+func TestFacadeBaselineWeaker(t *testing.T) {
+	areas := map[Pipeline]int{}
+	for _, p := range []Pipeline{PipelineYosys, PipelineFull} {
+		design, err := ParseVerilog(quickstartSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := design.Top()
+		if _, err := Optimize(m, p); err != nil {
+			t.Fatal(err)
+		}
+		a, err := Area(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		areas[p] = a
+	}
+	if areas[PipelineFull] >= areas[PipelineYosys] {
+		t.Errorf("full=%d should beat yosys=%d on the Figure 3 circuit",
+			areas[PipelineFull], areas[PipelineYosys])
+	}
+}
+
+func TestPipelineNames(t *testing.T) {
+	for _, p := range []Pipeline{PipelineYosys, PipelineSAT, PipelineRebuild, PipelineFull} {
+		got, err := ParsePipeline(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip %v: got %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParsePipeline("bogus"); err == nil {
+		t.Error("bogus pipeline accepted")
+	}
+	if !strings.Contains(Pipeline(99).String(), "99") {
+		t.Error("unknown pipeline String")
+	}
+}
+
+func TestBenchmarkGeneration(t *testing.T) {
+	names := BenchmarkNames()
+	if len(names) != 10 {
+		t.Fatalf("BenchmarkNames = %d entries, want 10", len(names))
+	}
+	m, err := GenerateBenchmark(names[0], 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCells() == 0 {
+		t.Error("empty benchmark module")
+	}
+	if _, err := GenerateBenchmark("nope", 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	ind := GenerateIndustrial(0, 0.02)
+	if ind.NumCells() == 0 {
+		t.Error("empty industrial module")
+	}
+}
+
+func TestFacadeBuilderAPI(t *testing.T) {
+	m := NewModule("api")
+	a := m.AddInput("a", 4).Bits()
+	b := m.AddInput("b", 4).Bits()
+	s := m.AddInput("s", 1).Bits()
+	y := m.AddOutput("y", 4)
+	m.Connect(y.Bits(), m.Mux(a, b, s))
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDesign()
+	d.AddModule(m)
+	if d.Top() != m {
+		t.Error("design top lost")
+	}
+	if got := Const(5, 4).String(); got != "4'b0101" {
+		t.Errorf("Const rendering = %q", got)
+	}
+}
