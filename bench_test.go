@@ -180,7 +180,7 @@ func BenchmarkSubgraphFilter(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				m := genbench.Generate(recipe, 1)
 				pass := &core.SatMuxPass{Opts: core.SatMuxOptions{DisableSubgraphFilter: disabled}}
-				if _, err := pass.Run(m); err != nil {
+				if _, err := pass.Run(nil, m); err != nil {
 					b.Fatal(err)
 				}
 				stats = pass.LastStats
@@ -211,7 +211,7 @@ func BenchmarkInferenceRules(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				m := genbench.Generate(recipe, 1)
 				pass := &core.SatMuxPass{Opts: core.SatMuxOptions{DisableInference: disabled}}
-				if _, err := pass.Run(m); err != nil {
+				if _, err := pass.Run(nil, m); err != nil {
 					b.Fatal(err)
 				}
 				stats = pass.LastStats
@@ -237,7 +237,7 @@ func BenchmarkSimVsSAT(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				m := genbench.Generate(recipe, 1)
 				pass := &core.SatMuxPass{Opts: core.SatMuxOptions{SimInputLimit: limit}}
-				if _, err := pass.Run(m); err != nil {
+				if _, err := pass.Run(nil, m); err != nil {
 					b.Fatal(err)
 				}
 				stats = pass.LastStats
@@ -288,7 +288,7 @@ func BenchmarkPipelines(b *testing.B) {
 				b.StopTimer()
 				m := genbench.Generate(recipe, benchScale())
 				b.StartTimer()
-				if _, err := mk().Run(m); err != nil {
+				if _, err := mk().Run(nil, m); err != nil {
 					b.Fatal(err)
 				}
 			}

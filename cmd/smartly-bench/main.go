@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	smartly-bench [-scale 1.0] [-table 2|3|all] [-industrial n] [-check] [-v]
+//	smartly-bench [-scale 1.0] [-table 2|3|all] [-industrial n] [-j n] [-check] [-v]
 //
 // Scale 1.0 runs the calibrated case sizes (minutes); smaller scales
 // reproduce the table shape faster. The paper's absolute circuit sizes
@@ -24,10 +24,11 @@ func main() {
 	table := flag.String("table", "all", "which table to regenerate: 2, 3 or all")
 	industrial := flag.Int("industrial", 0, "also run n industrial test points")
 	check := flag.Bool("check", false, "equivalence-check every optimized netlist (slow)")
+	jobs := flag.Int("j", 0, "benchmark cases and SAT-mux queries run concurrently (0 = all cores, 1 = sequential); results are identical for every value")
 	verbose := flag.Bool("v", false, "log per-pipeline progress")
 	flag.Parse()
 
-	opts := harness.Options{Scale: *scale, Check: *check}
+	opts := harness.Options{Scale: *scale, Check: *check, Jobs: *jobs, Workers: *jobs}
 	if *verbose {
 		opts.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

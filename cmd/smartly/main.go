@@ -7,10 +7,11 @@
 //
 // Usage:
 //
-//	smartly [-pipeline yosys|sat|rebuild|full] [-o out.json] [-check] design.v
+//	smartly [-pipeline yosys|sat|rebuild|full] [-j n] [-o out.json] [-check] design.v
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,19 +28,20 @@ func main() {
 	outPath := flag.String("o", "", "write optimized netlist as JSON to this path")
 	check := flag.Bool("check", false, "equivalence-check the optimized netlist against the input")
 	quiet := flag.Bool("q", false, "print only the final area line")
+	jobs := flag.Int("j", 0, "worker budget: modules optimized concurrently and parallel SAT-mux queries (0 = all cores, 1 = sequential)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: smartly [flags] design.v|design.json")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *pipeline, *outPath, *check, *quiet); err != nil {
+	if err := run(flag.Arg(0), *pipeline, *outPath, *check, *quiet, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "smartly:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, pipelineName, outPath string, check, quiet bool) error {
+func run(path, pipelineName, outPath string, check, quiet bool, jobs int) error {
 	design, err := readDesign(path)
 	if err != nil {
 		return err
@@ -48,26 +50,42 @@ func run(path, pipelineName, outPath string, check, quiet bool) error {
 	if err != nil {
 		return err
 	}
+
+	// Snapshot per-module "before" state, then optimize all modules
+	// concurrently; the report map keeps the printout deterministic.
+	type moduleInfo struct {
+		orig        *smartly.Module
+		before      int
+		beforeStats rtlil.Stats
+	}
+	infos := make(map[string]moduleInfo, len(design.Modules()))
 	for _, m := range design.Modules() {
-		orig := m.Clone()
-		before, err := smartly.Area(m)
-		if err != nil {
+		info := moduleInfo{beforeStats: rtlil.CollectStats(m)}
+		if check {
+			info.orig = m.Clone()
+		}
+		if info.before, err = smartly.Area(m); err != nil {
 			return fmt.Errorf("module %s: %w", m.Name, err)
 		}
-		if !quiet {
-			fmt.Printf("== module %s ==\n", m.Name)
-			fmt.Print(rtlil.CollectStats(m))
-		}
-		rep, err := smartly.Optimize(m, pipe)
-		if err != nil {
-			return fmt.Errorf("module %s: %w", m.Name, err)
-		}
+		infos[m.Name] = info
+	}
+	reports, err := smartly.OptimizeDesign(context.Background(), design, pipe,
+		smartly.OptimizeOptions{Workers: jobs})
+	if err != nil {
+		return err
+	}
+	for _, m := range design.Modules() {
+		info := infos[m.Name]
 		after, err := smartly.Area(m)
 		if err != nil {
 			return err
 		}
+		if !quiet {
+			fmt.Printf("== module %s ==\n", m.Name)
+			fmt.Print(info.beforeStats)
+		}
 		if check {
-			if err := cec.Check(orig, m, nil); err != nil {
+			if err := cec.Check(info.orig, m, nil); err != nil {
 				return fmt.Errorf("module %s failed equivalence check: %w", m.Name, err)
 			}
 			if !quiet {
@@ -77,16 +95,16 @@ func run(path, pipelineName, outPath string, check, quiet bool) error {
 		if !quiet {
 			fmt.Println("after optimization:")
 			fmt.Print(rtlil.CollectStats(m))
-			for k, v := range rep.Details {
+			for k, v := range reports[m.Name].Details {
 				fmt.Printf("  %s: %d\n", k, v)
 			}
 		}
 		reduction := 0.0
-		if before > 0 {
-			reduction = 100 * float64(before-after) / float64(before)
+		if info.before > 0 {
+			reduction = 100 * float64(info.before-after) / float64(info.before)
 		}
 		fmt.Printf("%s: AIG area %d -> %d (%.2f%% reduction, pipeline=%s)\n",
-			m.Name, before, after, reduction, pipe)
+			m.Name, info.before, after, reduction, pipe)
 	}
 	if outPath != "" {
 		f, err := os.Create(outPath)

@@ -11,7 +11,7 @@ import (
 
 func TestRunVerilogInput(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "out.json")
-	if err := run("../../testdata/fig3.v", "full", out, true, true); err != nil {
+	if err := run("../../testdata/fig3.v", "full", out, true, true, 0); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -31,29 +31,29 @@ func TestRunVerilogInput(t *testing.T) {
 func TestRunJSONRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	first := filepath.Join(dir, "a.json")
-	if err := run("../../testdata/case4.v", "yosys", first, false, true); err != nil {
+	if err := run("../../testdata/case4.v", "yosys", first, false, true, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Feed the JSON back in with a different pipeline.
 	second := filepath.Join(dir, "b.json")
-	if err := run(first, "full", second, true, true); err != nil {
+	if err := run(first, "full", second, true, true, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAllPipelines(t *testing.T) {
 	for _, p := range []string{"yosys", "sat", "rebuild", "full"} {
-		if err := run("../../testdata/case4.v", p, "", true, true); err != nil {
+		if err := run("../../testdata/case4.v", p, "", true, true, 0); err != nil {
 			t.Errorf("pipeline %s: %v", p, err)
 		}
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("missing.v", "full", "", false, true); err == nil {
+	if err := run("missing.v", "full", "", false, true, 0); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run("../../testdata/fig3.v", "bogus", "", false, true); err == nil ||
+	if err := run("../../testdata/fig3.v", "bogus", "", false, true, 0); err == nil ||
 		!strings.Contains(err.Error(), "unknown pipeline") {
 		t.Errorf("bogus pipeline: %v", err)
 	}

@@ -35,7 +35,7 @@ func main() {
 	// --- Figure 3: resolved by inference alone ------------------------
 	fig3 := buildFigure3()
 	pass := &core.SatMuxPass{Opts: core.SatMuxOptions{DisableSAT: true}}
-	if _, err := opt.RunScript(fig3, pass, opt.ExprPass{}, opt.CleanPass{}); err != nil {
+	if _, err := opt.RunScript(nil, fig3, pass, opt.ExprPass{}, opt.CleanPass{}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("figure 3, inference only:   %s\n", pass.LastStats)
@@ -43,14 +43,14 @@ func main() {
 	// --- Arithmetic dependency: needs simulation or SAT ---------------
 	hard := buildArithDependency()
 	pass2 := &core.SatMuxPass{Opts: core.SatMuxOptions{SimInputLimit: -1}} // force SAT
-	if _, err := opt.RunScript(hard, pass2, opt.ExprPass{}, opt.CleanPass{}); err != nil {
+	if _, err := opt.RunScript(nil, hard, pass2, opt.ExprPass{}, opt.CleanPass{}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("x<2 vs x==5, SAT forced:    %s\n", pass2.LastStats)
 
 	hard2 := buildArithDependency()
 	pass3 := &core.SatMuxPass{} // default: exhaustive simulation (few inputs)
-	if _, err := opt.RunScript(hard2, pass3, opt.ExprPass{}, opt.CleanPass{}); err != nil {
+	if _, err := opt.RunScript(nil, hard2, pass3, opt.ExprPass{}, opt.CleanPass{}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("x<2 vs x==5, sim preferred: %s\n", pass3.LastStats)

@@ -31,7 +31,7 @@ func TestAblationsPreserveCorrectness(t *testing.T) {
 			m := genbench.Generate(recipe, 1)
 			orig := m.Clone()
 			pass := &SatMuxPass{Opts: opts}
-			if _, err := opt.RunScript(m, pass, opt.ExprPass{}, opt.CleanPass{}); err != nil {
+			if _, err := opt.RunScript(nil, m, pass, opt.ExprPass{}, opt.CleanPass{}); err != nil {
 				t.Fatal(err)
 			}
 			checkEquiv(t, orig, m)
@@ -50,7 +50,7 @@ func TestAblationEffectOrdering(t *testing.T) {
 	run := func(opts SatMuxOptions) int {
 		m := genbench.Generate(recipe, 1)
 		pass := &SatMuxPass{Opts: opts}
-		if _, err := opt.RunScript(m, pass, opt.ExprPass{}, opt.CleanPass{}); err != nil {
+		if _, err := opt.RunScript(nil, m, pass, opt.ExprPass{}, opt.CleanPass{}); err != nil {
 			t.Fatal(err)
 		}
 		a := areaOf(t, m)
@@ -88,7 +88,7 @@ func TestRebuildForce(t *testing.T) {
 	orig := m.Clone()
 
 	pass := &RebuildPass{Opts: RebuildOptions{Force: true}}
-	if _, err := opt.RunScript(m, pass, opt.CleanPass{}); err != nil {
+	if _, err := opt.RunScript(nil, m, pass, opt.CleanPass{}); err != nil {
 		t.Fatal(err)
 	}
 	if pass.LastStats.TreesRebuilt != 1 {
@@ -113,7 +113,7 @@ func TestRebuildSelectorLimit(t *testing.T) {
 	m.Connect(y.Bits(), t0)
 
 	pass := &RebuildPass{Opts: RebuildOptions{MaxSelectorBits: 4, Force: true}}
-	if _, err := pass.Run(m); err != nil {
+	if _, err := pass.Run(nil, m); err != nil {
 		t.Fatal(err)
 	}
 	if pass.LastStats.TreesEligible != 0 {
@@ -141,7 +141,7 @@ func TestSatMuxOnPmuxBranches(t *testing.T) {
 	orig := m.Clone()
 
 	pass := &SatMuxPass{}
-	if _, err := opt.RunScript(m, pass, opt.ExprPass{}, opt.CleanPass{}); err != nil {
+	if _, err := opt.RunScript(nil, m, pass, opt.ExprPass{}, opt.CleanPass{}); err != nil {
 		t.Fatal(err)
 	}
 	checkEquiv(t, orig, m)
@@ -154,7 +154,7 @@ func TestSatMuxOnPmuxBranches(t *testing.T) {
 func TestSmartlyPassStats(t *testing.T) {
 	m := buildFigure3()
 	p := &SmartlyPass{}
-	if _, err := p.Run(m); err != nil {
+	if _, err := p.Run(nil, m); err != nil {
 		t.Fatal(err)
 	}
 	if p.SatStats().Queries == 0 {
@@ -180,7 +180,7 @@ func TestDeepChainCollapse(t *testing.T) {
 	m.AddMux("root", m.AddInput("c", w).Bits(), cur, s, y)
 	orig := m.Clone()
 
-	if _, err := opt.RunScript(m, &SatMuxPass{}, opt.ExprPass{}, opt.CleanPass{}); err != nil {
+	if _, err := opt.RunScript(nil, m, &SatMuxPass{}, opt.ExprPass{}, opt.CleanPass{}); err != nil {
 		t.Fatal(err)
 	}
 	checkEquiv(t, orig, m)

@@ -38,7 +38,7 @@ func TestPassCombinationsPreserveEquivalence(t *testing.T) {
 		for pname, mkPasses := range passSets {
 			m := genbench.Generate(r, 1)
 			orig := m.Clone()
-			if _, err := opt.RunScript(m, mkPasses()...); err != nil {
+			if _, err := opt.RunScript(nil, m, mkPasses()...); err != nil {
 				t.Fatalf("%s/%s: %v", cname, pname, err)
 			}
 			if err := cec.Check(orig, m, nil); err != nil {

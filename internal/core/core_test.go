@@ -57,7 +57,7 @@ func TestFigure3(t *testing.T) {
 	m := buildFigure3()
 	orig := m.Clone()
 	pass := &SatMuxPass{}
-	if _, err := opt.RunScript(m, pass, opt.ExprPass{}, opt.CleanPass{}); err != nil {
+	if _, err := opt.RunScript(nil, m, pass, opt.ExprPass{}, opt.CleanPass{}); err != nil {
 		t.Fatal(err)
 	}
 	checkEquiv(t, orig, m)
@@ -87,7 +87,7 @@ func TestFigure3ByInferenceOnly(t *testing.T) {
 	m := buildFigure3()
 	orig := m.Clone()
 	pass := &SatMuxPass{Opts: SatMuxOptions{DisableSAT: true}}
-	if _, err := opt.RunScript(m, pass, opt.ExprPass{}, opt.CleanPass{}); err != nil {
+	if _, err := opt.RunScript(nil, m, pass, opt.ExprPass{}, opt.CleanPass{}); err != nil {
 		t.Fatal(err)
 	}
 	checkEquiv(t, orig, m)
@@ -116,7 +116,7 @@ func TestAndDependentControl(t *testing.T) {
 	m.AddMux("root", c, inner, and, y) // (S&R) ? inner : C
 	orig := m.Clone()
 
-	if _, err := opt.RunScript(m, &SatMuxPass{}, opt.ExprPass{}, opt.CleanPass{}); err != nil {
+	if _, err := opt.RunScript(nil, m, &SatMuxPass{}, opt.ExprPass{}, opt.CleanPass{}); err != nil {
 		t.Fatal(err)
 	}
 	checkEquiv(t, orig, m)
@@ -146,7 +146,7 @@ func TestSatMuxNeedsSAT(t *testing.T) {
 	orig := m.Clone()
 
 	pass := &SatMuxPass{}
-	if _, err := opt.RunScript(m, pass, opt.ExprPass{}, opt.CleanPass{}); err != nil {
+	if _, err := opt.RunScript(nil, m, pass, opt.ExprPass{}, opt.CleanPass{}); err != nil {
 		t.Fatal(err)
 	}
 	checkEquiv(t, orig, m)
@@ -174,7 +174,7 @@ func TestSatMuxForcesSATPath(t *testing.T) {
 	orig := m.Clone()
 
 	pass := &SatMuxPass{Opts: SatMuxOptions{SimInputLimit: -1}}
-	if _, err := opt.RunScript(m, pass, opt.ExprPass{}, opt.CleanPass{}); err != nil {
+	if _, err := opt.RunScript(nil, m, pass, opt.ExprPass{}, opt.CleanPass{}); err != nil {
 		t.Fatal(err)
 	}
 	checkEquiv(t, orig, m)
@@ -201,7 +201,7 @@ func TestUnreachableBranch(t *testing.T) {
 	y := m.AddOutput("y", 1).Bits()
 	m.AddMux("root", c, inner, s, y)
 	orig := m.Clone()
-	if _, err := opt.RunScript(m, &SatMuxPass{}, opt.ExprPass{}, opt.CleanPass{}); err != nil {
+	if _, err := opt.RunScript(nil, m, &SatMuxPass{}, opt.ExprPass{}, opt.CleanPass{}); err != nil {
 		t.Fatal(err)
 	}
 	checkEquiv(t, orig, m)
@@ -240,7 +240,7 @@ func TestListing1Rebuild(t *testing.T) {
 	areaBefore := area(t, m)
 
 	pass := &RebuildPass{}
-	if _, err := opt.RunScript(m, pass, opt.CleanPass{}); err != nil {
+	if _, err := opt.RunScript(nil, m, pass, opt.CleanPass{}); err != nil {
 		t.Fatal(err)
 	}
 	checkEquiv(t, orig, m)
@@ -281,7 +281,7 @@ func TestListing2Rebuild(t *testing.T) {
 	orig := m.Clone()
 
 	pass := &RebuildPass{}
-	if _, err := opt.RunScript(m, pass, opt.CleanPass{}); err != nil {
+	if _, err := opt.RunScript(nil, m, pass, opt.CleanPass{}); err != nil {
 		t.Fatal(err)
 	}
 	checkEquiv(t, orig, m)
@@ -315,7 +315,7 @@ func TestRebuildPmuxCase(t *testing.T) {
 	areaBefore := area(t, m)
 
 	pass := &RebuildPass{}
-	if _, err := opt.RunScript(m, pass, opt.CleanPass{}); err != nil {
+	if _, err := opt.RunScript(nil, m, pass, opt.CleanPass{}); err != nil {
 		t.Fatal(err)
 	}
 	checkEquiv(t, orig, m)
@@ -344,7 +344,7 @@ func TestRebuildCostModelDeclines(t *testing.T) {
 	m.Connect(y.Bits(), rtlil.Concat(mx, eq0))
 
 	pass := &RebuildPass{}
-	if _, err := pass.Run(m); err != nil {
+	if _, err := pass.Run(nil, m); err != nil {
 		t.Fatal(err)
 	}
 	if pass.LastStats.TreesRebuilt != 0 {
@@ -370,7 +370,7 @@ func TestRebuildSkipsMultiSelector(t *testing.T) {
 	m.Connect(y.Bits(), t0)
 
 	pass := &RebuildPass{Opts: RebuildOptions{Force: true}}
-	if _, err := pass.Run(m); err != nil {
+	if _, err := pass.Run(nil, m); err != nil {
 		t.Fatal(err)
 	}
 	if pass.LastStats.TreesEligible != 0 {
@@ -416,7 +416,7 @@ func TestFullPipelineCombination(t *testing.T) {
 	} {
 		m := build()
 		orig := m.Clone()
-		if _, err := pipe.Run(m); err != nil {
+		if _, err := pipe.Run(nil, m); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		checkEquiv(t, orig, m)

@@ -59,7 +59,7 @@ func TestFuzzSmartlyPreservesEquivalence(t *testing.T) {
 		m := randomMuxModule(rng)
 		orig := m.Clone()
 		pipe := PipelineFull(SatMuxOptions{}, RebuildOptions{})
-		if _, err := pipe.Run(m); err != nil {
+		if _, err := pipe.Run(nil, m); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 		if err := m.Validate(); err != nil {
@@ -80,10 +80,10 @@ func TestFuzzSmartlyNeverWorseThanBaseline(t *testing.T) {
 		m := randomMuxModule(rng)
 		base := m.Clone()
 		full := m.Clone()
-		if _, err := PipelineYosys().Run(base); err != nil {
+		if _, err := PipelineYosys().Run(nil, base); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := PipelineFull(SatMuxOptions{}, RebuildOptions{}).Run(full); err != nil {
+		if _, err := PipelineFull(SatMuxOptions{}, RebuildOptions{}).Run(nil, full); err != nil {
 			t.Fatal(err)
 		}
 		ab, af := area(t, base), area(t, full)
@@ -99,10 +99,10 @@ func TestSatMuxIdempotent(t *testing.T) {
 	rng := rand.New(rand.NewSource(125))
 	for trial := 0; trial < 10; trial++ {
 		m := randomMuxModule(rng)
-		if _, err := PipelineFull(SatMuxOptions{}, RebuildOptions{}).Run(m); err != nil {
+		if _, err := PipelineFull(SatMuxOptions{}, RebuildOptions{}).Run(nil, m); err != nil {
 			t.Fatal(err)
 		}
-		r, err := PipelineFull(SatMuxOptions{}, RebuildOptions{}).Run(m)
+		r, err := PipelineFull(SatMuxOptions{}, RebuildOptions{}).Run(nil, m)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -106,7 +106,7 @@ type RebuildPass struct {
 func (p *RebuildPass) Name() string { return "smartly_rebuild" }
 
 // Run implements opt.Pass.
-func (p *RebuildPass) Run(m *rtlil.Module) (opt.Result, error) {
+func (p *RebuildPass) Run(ec *opt.Ctx, m *rtlil.Module) (opt.Result, error) {
 	o := p.Opts.withDefaults()
 	p.LastStats = RebuildStats{}
 	res := resultShim()
@@ -148,6 +148,9 @@ func (p *RebuildPass) Run(m *rtlil.Module) (opt.Result, error) {
 
 	consumed := map[*rtlil.Cell]bool{}
 	for _, c := range order {
+		if err := ec.Err(); err != nil {
+			return res, err
+		}
 		if consumed[c] {
 			continue
 		}

@@ -97,8 +97,19 @@ func (s SatMuxStats) String() string {
 
 // SmartOracle is the smaRTLy control-value oracle: path facts first, then
 // sub-graph inference, then exhaustive simulation or SAT.
+//
+// The oracle is not safe for concurrent use from the outside, but
+// ValueBatch fans independent queries out to Ctx.Workers() goroutines
+// internally: each query builds its own inference engine, simulator state
+// and CDCL solver over the shared read-only Index, and the results are
+// merged in submission order so cache contents and counters are
+// bit-identical to the sequential path.
 type SmartOracle struct {
 	Stats SatMuxStats
+
+	// Ctx supplies the worker budget and cancellation for ValueBatch;
+	// nil means sequential.
+	Ctx *opt.Ctx
 
 	ix    *rtlil.Index
 	facts *opt.FactOracle
@@ -144,9 +155,69 @@ func (s *SmartOracle) Value(bit rtlil.SigBit) (rtlil.State, bool) {
 	if e, ok := s.cache[key]; ok {
 		return e.v, e.known
 	}
-	v, known := s.solve(bit)
+	var st SatMuxStats
+	v, known := s.solve(bit, &st)
+	accumulate(&s.Stats, st)
 	s.cache[key] = cacheEntry{v, known}
 	return v, known
+}
+
+// ValueBatch implements opt.BatchOracle: the independent control-value
+// queries of one pmux select scan are deduplicated by cache key,
+// dispatched to a bounded worker pool (one solver instance per query —
+// the CDCL solver is not shareable) and merged back in slice order.
+// Results, cache contents and counters are identical to calling Value
+// sequentially, for every worker count.
+func (s *SmartOracle) ValueBatch(bits []rtlil.SigBit) []opt.BatchValue {
+	out := make([]opt.BatchValue, len(bits))
+	type job struct {
+		bit   rtlil.SigBit
+		key   string
+		idxs  []int
+		v     rtlil.State
+		known bool
+		st    SatMuxStats
+	}
+	var jobs []*job
+	byKey := map[string]*job{}
+	for i, bit := range bits {
+		if v, ok := s.facts.Lookup(bit); ok {
+			s.Stats.FactHits++
+			out[i] = opt.BatchValue{V: v, Known: true}
+			continue
+		}
+		s.Stats.Queries++
+		key := s.cacheKey(bit)
+		if e, ok := s.cache[key]; ok {
+			out[i] = opt.BatchValue{V: e.v, Known: e.known}
+			continue
+		}
+		if j, dup := byKey[key]; dup {
+			// Sequentially the first occurrence would have primed the
+			// cache; attach this index to the same job.
+			j.idxs = append(j.idxs, i)
+			continue
+		}
+		j := &job{bit: bit, key: key, idxs: []int{i}}
+		byKey[key] = j
+		jobs = append(jobs, j)
+	}
+	if len(jobs) == 0 {
+		return out
+	}
+	opt.ForEach(s.Ctx.Context(), s.Ctx.Workers(), len(jobs), func(i int) {
+		j := jobs[i]
+		j.v, j.known = s.solve(j.bit, &j.st)
+	})
+	// Deterministic merge: stats and cache writes in submission order.
+	for _, j := range jobs {
+		accumulate(&s.Stats, j.st)
+		s.cache[j.key] = cacheEntry{j.v, j.known}
+		for _, i := range j.idxs {
+			out[i] = opt.BatchValue{V: j.v, Known: j.known}
+		}
+	}
+	return out
 }
 
 func (s *SmartOracle) cacheKey(bit rtlil.SigBit) string {
@@ -159,64 +230,96 @@ func (s *SmartOracle) cacheKey(bit rtlil.SigBit) string {
 	return bit.String() + "|" + strings.Join(keys, ",")
 }
 
-func (s *SmartOracle) solve(bit rtlil.SigBit) (rtlil.State, bool) {
-	facts := s.facts.Facts()
-	knowns := make([]rtlil.SigBit, 0, len(facts))
-	for b := range facts {
-		knowns = append(knowns, b)
+// solve runs the sub-graph machinery for one query, writing counters to
+// st (a worker-local sink during parallel batches, merged in order
+// afterwards). It never touches the oracle's shared mutable state.
+func (s *SmartOracle) solve(bit rtlil.SigBit, st *SatMuxStats) (rtlil.State, bool) {
+	if s.Ctx.Err() != nil {
+		// Canceled: report unknown; the pass surfaces the context error.
+		st.Unknown++
+		return rtlil.Sx, false
 	}
+	facts := s.facts.Facts()
+	// Deterministic fact order: it seeds the sub-graph BFS and the SAT
+	// assumption list, where map iteration order could otherwise change
+	// conflict-bounded solver outcomes between runs.
+	knowns := sortedBits(facts)
 	sg := subgraph.Extract(s.ix, bit, knowns, subgraph.Options{
 		Depth:         s.o.SubgraphDepth,
 		MaxCells:      s.o.MaxSubgraphCells,
 		DisableFilter: s.o.DisableSubgraphFilter,
 	})
-	s.Stats.SubgraphCells += len(sg.Cells)
-	s.Stats.CandidateCells += sg.CandidateCells
+	st.SubgraphCells += len(sg.Cells)
+	st.CandidateCells += sg.CandidateCells
 
 	// Stage 1: inference rules (paper Table I).
 	if !s.o.DisableInference {
 		e := infer.New(s.ix, sg.Cells)
-		for b, v := range facts {
-			e.Assume(b, v)
+		for _, b := range knowns {
+			e.Assume(b, facts[b])
 		}
 		if !e.Propagate() {
 			// The path condition is unreachable: the mux output is
 			// never observed, so either branch is sound.
-			s.Stats.UnreachablePath++
+			st.UnreachablePath++
 			return rtlil.S0, true
 		}
 		if v, ok := e.Value(bit); ok {
-			s.Stats.InferenceHits++
+			st.InferenceHits++
 			return v, true
 		}
 	}
 	if s.o.DisableSAT {
-		s.Stats.Unknown++
+		st.Unknown++
 		return rtlil.Sx, false
 	}
 
 	// Stage 2: exhaustive simulation for few inputs, SAT otherwise.
 	if len(sg.Inputs) <= s.o.SimInputLimit {
-		if v, ok := s.simulate(sg, facts, bit); ok {
-			s.Stats.SimHits++
+		if v, ok := s.simulate(sg, facts, bit, st); ok {
+			st.SimHits++
 			return v, true
 		}
-		s.Stats.Unknown++
+		st.Unknown++
 		return rtlil.Sx, false
 	}
 	if len(sg.Inputs) > s.o.SATInputLimit {
-		s.Stats.Unknown++
+		st.Unknown++
 		return rtlil.Sx, false
 	}
-	if v, ok := s.satQuery(sg, facts, bit); ok {
-		s.Stats.SATHits++
+	if v, ok := s.satQuery(sg, facts, knowns, bit, st); ok {
+		st.SATHits++
 		return v, true
 	}
-	s.Stats.Unknown++
+	st.Unknown++
 	return rtlil.Sx, false
 }
 
-// topoCells orders the sub-graph cells so drivers precede readers.
+// sortedBits returns the fact keys in a deterministic order.
+func sortedBits(facts map[rtlil.SigBit]rtlil.State) []rtlil.SigBit {
+	out := make([]rtlil.SigBit, 0, len(facts))
+	for b := range facts {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		bi, bj := out[i], out[j]
+		if (bi.Wire == nil) != (bj.Wire == nil) {
+			return bi.Wire == nil
+		}
+		if bi.Wire != nil && bi.Wire.Name != bj.Wire.Name {
+			return bi.Wire.Name < bj.Wire.Name
+		}
+		if bi.Offset != bj.Offset {
+			return bi.Offset < bj.Offset
+		}
+		return bi.Const < bj.Const
+	})
+	return out
+}
+
+// topoCells orders the sub-graph cells so drivers precede readers. Ports
+// are visited in the cell library's fixed order (not the Conn map's) so
+// the ordering — and hence SAT variable numbering — is deterministic.
 func (s *SmartOracle) topoCells(cells []*rtlil.Cell) []*rtlil.Cell {
 	inSet := make(map[*rtlil.Cell]bool, len(cells))
 	for _, c := range cells {
@@ -230,11 +333,8 @@ func (s *SmartOracle) topoCells(cells []*rtlil.Cell) []*rtlil.Cell {
 			return
 		}
 		state[c] = 1
-		for port, sig := range c.Conn {
-			if !c.IsInputPort(port) {
-				continue
-			}
-			for _, b := range s.ix.Map(sig) {
+		for _, port := range rtlil.InputPorts(c.Type) {
+			for _, b := range s.ix.Map(c.Port(port)) {
 				if b.IsConst() {
 					continue
 				}
@@ -256,7 +356,7 @@ func (s *SmartOracle) topoCells(cells []*rtlil.Cell) []*rtlil.Cell {
 // ones inconsistent with the path facts, and observes the target bit. A
 // single observed value proves the bit constant; no consistent
 // assignment means the path is unreachable.
-func (s *SmartOracle) simulate(sg *subgraph.Result, facts map[rtlil.SigBit]rtlil.State, target rtlil.SigBit) (rtlil.State, bool) {
+func (s *SmartOracle) simulate(sg *subgraph.Result, facts map[rtlil.SigBit]rtlil.State, target rtlil.SigBit, st *SatMuxStats) (rtlil.State, bool) {
 	order := s.topoCells(sg.Cells)
 	n := len(sg.Inputs)
 	target = s.ix.MapBit(target)
@@ -327,7 +427,7 @@ func (s *SmartOracle) simulate(sg *subgraph.Result, facts map[rtlil.SigBit]rtlil
 		return rtlil.S1, true
 	case !seen0 && !seen1:
 		// No consistent assignment: unreachable path.
-		s.Stats.UnreachablePath++
+		st.UnreachablePath++
 		return rtlil.S0, true
 	}
 	return rtlil.Sx, false
@@ -378,7 +478,7 @@ func (s *SmartOracle) evalCells(order []*rtlil.Cell, vals map[rtlil.SigBit]rtlil
 // satQuery encodes the sub-graph into CNF and checks SAT(target=0) and
 // SAT(target=1) under the path facts, following the paper's
 // "SAT(S=0)=false or SAT(S=1)=false" criterion.
-func (s *SmartOracle) satQuery(sg *subgraph.Result, facts map[rtlil.SigBit]rtlil.State, target rtlil.SigBit) (rtlil.State, bool) {
+func (s *SmartOracle) satQuery(sg *subgraph.Result, facts map[rtlil.SigBit]rtlil.State, knowns []rtlil.SigBit, target rtlil.SigBit, st *SatMuxStats) (rtlil.State, bool) {
 	order := s.topoCells(sg.Cells)
 	mp := aig.NewPartialMapping(s.ix)
 	for _, b := range sg.Inputs {
@@ -397,26 +497,29 @@ func (s *SmartOracle) satQuery(sg *subgraph.Result, facts map[rtlil.SigBit]rtlil
 	solver.MaxConflicts = s.o.MaxConflicts
 	cnf := aig.NewCNF(mp.G, solver)
 
+	// Assumptions in sorted fact order: under a conflict budget the
+	// solver outcome may depend on assumption order, which must not vary
+	// between runs or worker counts.
 	var assumptions []sat.Lit
-	for b, v := range facts {
+	for _, b := range knowns {
 		if !mp.HasBit(b) {
 			continue
 		}
 		l := cnf.SatLit(mp.LitOf(b))
-		if v == rtlil.S0 {
+		if facts[b] == rtlil.S0 {
 			l = l.Not()
 		}
 		assumptions = append(assumptions, l)
 	}
 	tl := cnf.SatLit(mp.LitOf(target))
 
-	s.Stats.SATCalls++
+	st.SATCalls++
 	r0 := solver.Solve(append(append([]sat.Lit(nil), assumptions...), tl.Not())...)
-	s.Stats.SATCalls++
+	st.SATCalls++
 	r1 := solver.Solve(append(append([]sat.Lit(nil), assumptions...), tl)...)
 	switch {
 	case r0 == sat.Unsat && r1 == sat.Unsat:
-		s.Stats.UnreachablePath++
+		st.UnreachablePath++
 		return rtlil.S0, true // unreachable path
 	case r0 == sat.Unsat && r1 == sat.Sat:
 		return rtlil.S1, true
@@ -438,15 +541,21 @@ type SatMuxPass struct {
 // Name implements opt.Pass.
 func (p *SatMuxPass) Name() string { return "smartly_satmux" }
 
-// Run implements opt.Pass.
-func (p *SatMuxPass) Run(m *rtlil.Module) (opt.Result, error) {
+// Run implements opt.Pass. The oracle inherits the engine context, so
+// pmux select scans fan out to c.Workers() goroutines and the fixpoint
+// aborts on cancellation.
+func (p *SatMuxPass) Run(c *opt.Ctx, m *rtlil.Module) (opt.Result, error) {
 	var total opt.Result
 	p.LastStats = SatMuxStats{}
 	for iter := 0; iter < 20; iter++ {
+		if err := c.Err(); err != nil {
+			return total, err
+		}
 		ix := rtlil.NewIndex(m)
 		oracle := NewSmartOracle(ix, p.Opts)
+		oracle.Ctx = c
 		walk := &opt.MuxtreeWalk{Oracle: oracle}
-		r, err := walk.Run(m)
+		r, err := walk.Run(c, m)
 		if err != nil {
 			return total, err
 		}

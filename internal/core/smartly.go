@@ -22,10 +22,10 @@ type SmartlyPass struct {
 func (p *SmartlyPass) Name() string { return "smartly" }
 
 // Run implements opt.Pass.
-func (p *SmartlyPass) Run(m *rtlil.Module) (opt.Result, error) {
+func (p *SmartlyPass) Run(c *opt.Ctx, m *rtlil.Module) (opt.Result, error) {
 	p.satmux = SatMuxPass{Opts: p.SatOpts}
 	p.rebuild = RebuildPass{Opts: p.RebuildOpts}
-	return opt.RunScript(m, &p.satmux, &p.rebuild)
+	return opt.RunScript(c, m, &p.satmux, &p.rebuild)
 }
 
 // SatStats returns the redundancy-elimination counters of the last Run.

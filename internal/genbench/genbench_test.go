@@ -65,7 +65,7 @@ func TestOptimizationPreservesEquivalence(t *testing.T) {
 		m := Generate(r, 0.03)
 		orig := m.Clone()
 		pipe := core.PipelineFull(core.SatMuxOptions{}, core.RebuildOptions{})
-		if _, err := pipe.Run(m); err != nil {
+		if _, err := pipe.Run(nil, m); err != nil {
 			t.Fatalf("%s: %v", r.Name, err)
 		}
 		if err := cec.Check(orig, m, nil); err != nil {
@@ -84,7 +84,7 @@ func TestBlockClassBehaviour(t *testing.T) {
 	}
 	area := func(m *rtlil.Module, p opt.Pass) int {
 		w := m.Clone()
-		if _, err := p.Run(w); err != nil {
+		if _, err := p.Run(nil, w); err != nil {
 			t.Fatal(err)
 		}
 		a, err := aig.Area(w)

@@ -6,8 +6,11 @@
 package harness
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/aig"
@@ -52,8 +55,19 @@ type Options struct {
 	// Check runs combinational equivalence checking on every
 	// optimized netlist (slow; intended for tests and small scales).
 	Check bool
-	// Verbose prints progress via Logf.
+	// Verbose prints progress via Logf. The harness may call it from
+	// several goroutines; withDefaults wraps it in a mutex.
 	Logf func(format string, args ...any)
+	// Jobs bounds how many benchmark cases (and, within one case, how
+	// many of the four pipelines) run concurrently. 0 means
+	// runtime.GOMAXPROCS(0); 1 forces the sequential path. Results are
+	// identical for every value.
+	Jobs int
+	// Workers is the per-optimization worker budget forwarded to the
+	// pass engine (parallel SAT-mux queries). 0 means GOMAXPROCS.
+	Workers int
+	// Context cancels a run early; nil means context.Background().
+	Context context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -62,8 +76,38 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
+	} else {
+		var mu sync.Mutex
+		logf := o.Logf
+		o.Logf = func(format string, args ...any) {
+			mu.Lock()
+			defer mu.Unlock()
+			logf(format, args...)
+		}
+	}
+	if o.Jobs <= 0 {
+		o.Jobs = runtime.GOMAXPROCS(0)
+	}
+	if o.Context == nil {
+		o.Context = context.Background()
 	}
 	return o
+}
+
+// perCase derives the options a case-level sweep (RunAll/RunIndustrial)
+// hands to each RunCase: when the cases themselves run concurrently they
+// already occupy the job budget, so each case runs sequentially inside —
+// "-j N" means roughly N concurrent workers in total, not N*4*N.
+// Explicitly set Workers are respected.
+func (o Options) perCase() Options {
+	inner := o
+	if inner.Jobs > 1 {
+		inner.Jobs = 1
+		if inner.Workers == 0 {
+			inner.Workers = 1
+		}
+	}
+	return inner
 }
 
 // RunCase generates one case and measures all four pipelines.
@@ -92,38 +136,67 @@ func RunCase(r genbench.Recipe, o Options) (CaseResult, error) {
 		{"rebuild", core.PipelineRebuild(core.RebuildOptions{}), &res.Rebuild},
 		{"full", core.PipelineFull(core.SatMuxOptions{}, core.RebuildOptions{}), &res.Full},
 	}
-	for _, p := range pipelines {
+	// The four pipelines each optimize a private clone, so they run
+	// concurrently; every area lands in its own slot, keeping the result
+	// independent of scheduling. An unset Workers budget is shared
+	// between the concurrent pipelines rather than multiplied by them.
+	workers := o.Workers
+	if workers == 0 && o.Jobs > 1 {
+		workers = max(1, runtime.GOMAXPROCS(0)/len(pipelines))
+	}
+	errs := make([]error, len(pipelines))
+	opt.ForEach(o.Context, o.Jobs, len(pipelines), func(i int) {
+		p := pipelines[i]
 		work := m.Clone()
-		if _, err := p.pass.Run(work); err != nil {
-			return res, fmt.Errorf("harness: %s/%s: %w", r.Name, p.name, err)
+		ec := opt.NewCtx(o.Context, opt.Config{Workers: workers})
+		if _, err := p.pass.Run(ec, work); err != nil {
+			errs[i] = fmt.Errorf("harness: %s/%s: %w", r.Name, p.name, err)
+			return
 		}
 		if o.Check {
 			if err := cec.Check(m, work, nil); err != nil {
-				return res, fmt.Errorf("harness: %s/%s not equivalent: %w", r.Name, p.name, err)
+				errs[i] = fmt.Errorf("harness: %s/%s not equivalent: %w", r.Name, p.name, err)
+				return
 			}
 		}
 		a, err := aig.Area(work)
 		if err != nil {
-			return res, err
+			errs[i] = err
+			return
 		}
 		*p.out = a
 		o.Logf("%s/%s: area %d (original %d)", r.Name, p.name, a, res.Original)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+	if err := o.Context.Err(); err != nil {
+		return res, err
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
 
-// RunAll measures every public-benchmark case.
+// RunAll measures every public-benchmark case, up to Options.Jobs of
+// them concurrently. The result order (and every number in it) is
+// independent of the job count.
 func RunAll(o Options) ([]CaseResult, error) {
-	var out []CaseResult
-	for _, r := range genbench.Recipes() {
-		cr, err := RunCase(r, o)
+	o = o.withDefaults()
+	recipes := genbench.Recipes()
+	out := make([]CaseResult, len(recipes))
+	errs := make([]error, len(recipes))
+	inner := o.perCase()
+	opt.ForEach(o.Context, o.Jobs, len(recipes), func(i int) {
+		out[i], errs[i] = RunCase(recipes[i], inner)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return out, err
 		}
-		out = append(out, cr)
 	}
-	return out, nil
+	return out, o.Context.Err()
 }
 
 // Averages computes the per-column averages used in the tables' last row.
@@ -202,15 +275,23 @@ type IndustrialResult struct {
 	AvgExtra float64 // average extra reduction vs Yosys, %
 }
 
-// RunIndustrial measures n industrial test points.
+// RunIndustrial measures n industrial test points, up to Options.Jobs
+// of them concurrently.
 func RunIndustrial(n int, o Options) (IndustrialResult, error) {
-	var out IndustrialResult
-	for i := 0; i < n; i++ {
-		cr, err := RunCase(genbench.IndustrialRecipe(i), o)
+	o = o.withDefaults()
+	out := IndustrialResult{Points: make([]CaseResult, n)}
+	errs := make([]error, n)
+	inner := o.perCase()
+	opt.ForEach(o.Context, o.Jobs, n, func(i int) {
+		out.Points[i], errs[i] = RunCase(genbench.IndustrialRecipe(i), inner)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return out, err
 		}
-		out.Points = append(out.Points, cr)
+	}
+	if err := o.Context.Err(); err != nil {
+		return out, err
 	}
 	out.AvgExtra = avgOf(out.Points, CaseResult.RatioFull)
 	return out, nil

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"context"
+	"testing"
+)
+
+// stripElapsed zeroes the wall-clock field so results can be compared
+// structurally.
+func stripElapsed(rs []CaseResult) []CaseResult {
+	out := append([]CaseResult(nil), rs...)
+	for i := range out {
+		out[i].Elapsed = 0
+	}
+	return out
+}
+
+// TestRunAllParallelDeterministic: RunAll with Jobs/Workers=N must
+// report exactly the same areas, in the same order, as the fully
+// sequential run.
+func TestRunAllParallelDeterministic(t *testing.T) {
+	seq, err := RunAll(Options{Scale: 0.05, Jobs: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunAll(Options{Scale: 0.05, Jobs: 4, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := stripElapsed(seq), stripElapsed(par)
+	if len(a) != len(b) {
+		t.Fatalf("case counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("case %s: sequential %+v != parallel %+v", a[i].Name, a[i], b[i])
+		}
+	}
+}
+
+// TestRunIndustrialParallel mirrors the determinism check on the
+// industrial points.
+func TestRunIndustrialParallel(t *testing.T) {
+	seq, err := RunIndustrial(2, Options{Scale: 0.03, Jobs: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunIndustrial(2, Options{Scale: 0.03, Jobs: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.AvgExtra != par.AvgExtra {
+		t.Errorf("AvgExtra differs: %v vs %v", seq.AvgExtra, par.AvgExtra)
+	}
+	for i := range seq.Points {
+		a, b := seq.Points[i], par.Points[i]
+		a.Elapsed, b.Elapsed = 0, 0
+		if a != b {
+			t.Errorf("point %d: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+// TestRunAllCancellation: a canceled context stops the sweep with the
+// context error instead of running every case to completion.
+func TestRunAllCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunAll(Options{Scale: 0.05, Jobs: 2, Context: ctx}); err == nil {
+		t.Fatal("canceled RunAll reported success")
+	}
+}

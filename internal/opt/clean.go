@@ -13,9 +13,12 @@ type CleanPass struct{}
 func (CleanPass) Name() string { return "opt_clean" }
 
 // Run implements Pass.
-func (CleanPass) Run(m *rtlil.Module) (Result, error) {
+func (CleanPass) Run(c *Ctx, m *rtlil.Module) (Result, error) {
 	res := newResult()
 	for {
+		if err := c.Err(); err != nil {
+			return res, err
+		}
 		n := cleanSweep(m)
 		if n == 0 {
 			break

@@ -1,0 +1,142 @@
+package opt
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Ctx is the engine context threaded through every pass. It carries the
+// caller's context.Context (cancellation and deadlines), the worker
+// budget for parallel stages (SAT-mux query batches, design-level and
+// harness fan-out), a per-pass timing sink and a structured log
+// function.
+//
+// A nil *Ctx is valid everywhere and behaves like a background context
+// with a single worker, no timing sink and no logging, so sequential
+// callers and tests need not construct one.
+type Ctx struct {
+	ctx     context.Context
+	workers int
+	logf    func(format string, args ...any)
+
+	mu      sync.Mutex
+	timings map[string]*PassTiming
+}
+
+// Config configures a new engine context.
+type Config struct {
+	// Workers bounds the goroutines used by parallel stages. 0 means
+	// runtime.GOMAXPROCS(0); 1 forces fully sequential execution.
+	// Results are identical for every value (deterministic merges).
+	Workers int
+	// Logf receives structured progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// NewCtx builds an engine context on top of parent (nil = Background).
+func NewCtx(parent context.Context, cfg Config) *Ctx {
+	if parent == nil {
+		parent = context.Background()
+	}
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	logf := cfg.Logf
+	if logf != nil {
+		// Serialize: design-level runs call the sink from many goroutines.
+		var mu sync.Mutex
+		inner := logf
+		logf = func(format string, args ...any) {
+			mu.Lock()
+			defer mu.Unlock()
+			inner(format, args...)
+		}
+	}
+	return &Ctx{ctx: parent, workers: w, logf: logf, timings: map[string]*PassTiming{}}
+}
+
+// Background returns an engine context over context.Background with the
+// default worker budget.
+func Background() *Ctx { return NewCtx(context.Background(), Config{}) }
+
+// Context returns the underlying context.Context (never nil).
+func (c *Ctx) Context() context.Context {
+	if c == nil || c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
+}
+
+// Err reports the cancellation state of the underlying context.
+func (c *Ctx) Err() error {
+	if c == nil || c.ctx == nil {
+		return nil
+	}
+	return c.ctx.Err()
+}
+
+// Workers returns the worker budget (always >= 1).
+func (c *Ctx) Workers() int {
+	if c == nil || c.workers < 1 {
+		return 1
+	}
+	return c.workers
+}
+
+// Logf emits one log line to the configured sink; no-op without one.
+func (c *Ctx) Logf(format string, args ...any) {
+	if c == nil || c.logf == nil {
+		return
+	}
+	c.logf(format, args...)
+}
+
+// PassTiming aggregates the run count and total wall time of one pass.
+type PassTiming struct {
+	Name  string
+	Calls int
+	Total time.Duration
+}
+
+// StartPass records the start of a named pass and returns the function
+// that records its completion. Safe for concurrent use: design-level
+// runs share one Ctx across modules.
+func (c *Ctx) StartPass(name string) func() {
+	if c == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		c.mu.Lock()
+		t := c.timings[name]
+		if t == nil {
+			t = &PassTiming{Name: name}
+			c.timings[name] = t
+		}
+		t.Calls++
+		t.Total += d
+		calls, total := t.Calls, t.Total
+		c.mu.Unlock()
+		c.Logf("pass=%s last=%s calls=%d total=%s", name, d, calls, total)
+	}
+}
+
+// Timings returns a snapshot of the per-pass timings, sorted by name.
+func (c *Ctx) Timings() []PassTiming {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]PassTiming, 0, len(c.timings))
+	for _, t := range c.timings {
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

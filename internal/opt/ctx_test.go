@@ -1,0 +1,98 @@
+package opt
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/rtlil"
+)
+
+func TestNilCtxDefaults(t *testing.T) {
+	var c *Ctx
+	if c.Workers() != 1 {
+		t.Errorf("nil ctx workers = %d, want 1", c.Workers())
+	}
+	if c.Err() != nil {
+		t.Errorf("nil ctx err = %v", c.Err())
+	}
+	if c.Context() == nil {
+		t.Error("nil ctx context is nil")
+	}
+	c.Logf("ignored %d", 1)
+	c.StartPass("x")() // must not panic
+	if got := c.Timings(); got != nil {
+		t.Errorf("nil ctx timings = %v", got)
+	}
+}
+
+func TestCtxWorkersAndTimings(t *testing.T) {
+	c := NewCtx(nil, Config{Workers: 3})
+	if c.Workers() != 3 {
+		t.Errorf("workers = %d, want 3", c.Workers())
+	}
+	if NewCtx(nil, Config{}).Workers() < 1 {
+		t.Error("default workers < 1")
+	}
+	done := c.StartPass("demo")
+	done()
+	c.StartPass("demo")()
+	ts := c.Timings()
+	if len(ts) != 1 || ts[0].Name != "demo" || ts[0].Calls != 2 {
+		t.Errorf("timings = %+v", ts)
+	}
+}
+
+func TestCtxLogfSink(t *testing.T) {
+	var lines atomic.Int32
+	c := NewCtx(nil, Config{Logf: func(string, ...any) { lines.Add(1) }})
+	c.Logf("hello")
+	c.StartPass("p")()
+	if lines.Load() != 2 {
+		t.Errorf("log lines = %d, want 2", lines.Load())
+	}
+}
+
+func TestForEachCoversAllItems(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		out := make([]int32, 100)
+		if err := ForEach(context.Background(), workers, len(out), func(i int) {
+			atomic.AddInt32(&out[i], 1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := int32(0)
+	err := ForEach(ctx, 4, 50, func(i int) { atomic.AddInt32(&ran, 1) })
+	if err == nil {
+		t.Error("canceled ForEach returned nil error")
+	}
+	if got := atomic.LoadInt32(&ran); got == 50 {
+		t.Error("canceled ForEach still ran every item")
+	}
+}
+
+// TestFixpointRespectsCancellation: the fixpoint driver must stop at a
+// canceled context instead of iterating to convergence.
+func TestFixpointRespectsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := NewCtx(ctx, Config{})
+	m := rtlil.NewModule("cancel")
+	a := m.AddInput("a", 2).Bits()
+	y := m.AddOutput("y", 2)
+	m.Connect(y.Bits(), m.And(a, rtlil.Const(0, 2)))
+	if _, err := Fixpoint(0, ExprPass{}, CleanPass{}).Run(c, m); err == nil {
+		t.Error("canceled fixpoint reported success")
+	}
+}

@@ -15,9 +15,12 @@ type ExprPass struct{}
 func (ExprPass) Name() string { return "opt_expr" }
 
 // Run implements Pass.
-func (ExprPass) Run(m *rtlil.Module) (Result, error) {
+func (ExprPass) Run(c *Ctx, m *rtlil.Module) (Result, error) {
 	total := newResult()
 	for iter := 0; iter < 50; iter++ {
+		if err := c.Err(); err != nil {
+			return total, err
+		}
 		r, err := exprSweep(m)
 		if err != nil {
 			return total, err

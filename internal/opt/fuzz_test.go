@@ -74,7 +74,7 @@ func TestFuzzPassesPreserveEquivalence(t *testing.T) {
 		}
 		for _, combo := range combos {
 			work := m.Clone()
-			if _, err := RunScript(work, combo.passes()...); err != nil {
+			if _, err := RunScript(nil, work, combo.passes()...); err != nil {
 				t.Fatalf("trial %d %s: %v", trial, combo.name, err)
 			}
 			if err := work.Validate(); err != nil {
@@ -94,10 +94,10 @@ func TestFuzzPassesIdempotent(t *testing.T) {
 	for trial := 0; trial < 15; trial++ {
 		m := randomMuxModule(rng)
 		pipe := func() Pass { return Fixpoint(0, ExprPass{}, MuxtreePass{}, CleanPass{}) }
-		if _, err := pipe().Run(m); err != nil {
+		if _, err := pipe().Run(nil, m); err != nil {
 			t.Fatal(err)
 		}
-		r, err := pipe().Run(m)
+		r, err := pipe().Run(nil, m)
 		if err != nil {
 			t.Fatal(err)
 		}

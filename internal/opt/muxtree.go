@@ -77,6 +77,23 @@ func (o *FactOracle) Value(bit rtlil.SigBit) (rtlil.State, bool) {
 // Facts returns the current fact map (shared, do not mutate).
 func (o *FactOracle) Facts() map[rtlil.SigBit]rtlil.State { return o.facts }
 
+// BatchValue is one result of a BatchOracle query.
+type BatchValue struct {
+	V     rtlil.State
+	Known bool
+}
+
+// BatchOracle is implemented by oracles that can resolve several control
+// bits under the same path condition at once — smaRTLy's oracle fans the
+// independent simulation/SAT queries of a pmux select scan out to a
+// worker pool. Implementations must return results identical to calling
+// Value on each bit sequentially in slice order (deterministic merge),
+// so the walker's rewrites do not depend on the worker count.
+type BatchOracle interface {
+	Oracle
+	ValueBatch(bits []rtlil.SigBit) []BatchValue
+}
+
 // MuxtreeWalk traverses all muxtrees of the module root-down, consulting
 // the oracle for control values, and applies three rewrites:
 //
@@ -98,8 +115,10 @@ type MuxtreeWalk struct {
 	res     *Result
 }
 
-// Run traverses and rewrites the module's muxtrees once.
-func (w *MuxtreeWalk) Run(m *rtlil.Module) (Result, error) {
+// Run traverses and rewrites the module's muxtrees once. Cancellation is
+// checked between tree roots; a canceled run returns the context error
+// with the rewrites applied so far (each is individually sound).
+func (w *MuxtreeWalk) Run(c *Ctx, m *rtlil.Module) (Result, error) {
 	res := newResult()
 	w.m = m
 	w.ix = rtlil.NewIndex(m)
@@ -111,9 +130,12 @@ func (w *MuxtreeWalk) Run(m *rtlil.Module) (Result, error) {
 	}
 
 	muxes := w.muxCells()
-	for _, c := range muxes {
-		if w.isRoot(c) {
-			w.visit(c)
+	for _, mc := range muxes {
+		if err := c.Err(); err != nil {
+			return res, err
+		}
+		if w.isRoot(mc) {
+			w.visit(mc)
 		}
 	}
 	return res, nil
@@ -299,12 +321,29 @@ func (w *MuxtreeWalk) visitPmux(c *rtlil.Cell) {
 	sw := c.Param("S_WIDTH")
 	s := c.Port("S")
 
-	// Determine select values under the current path condition.
+	// Determine select values under the current path condition. All sw
+	// queries see the same module state and fact set, so a batch-capable
+	// oracle may resolve them concurrently.
+	bits := make([]rtlil.SigBit, sw)
 	vals := make([]rtlil.State, sw)
 	for i := 0; i < sw; i++ {
+		bits[i] = w.ctrlBit(rtlil.SigSpec{s[i]})
+		// Unknown by default: the State zero value is S0 ("known 0"),
+		// which would unsoundly drop words if an oracle left a slot
+		// unanswered.
 		vals[i] = rtlil.Sx
-		if v, ok := w.Oracle.Value(w.ctrlBit(rtlil.SigSpec{s[i]})); ok {
-			vals[i] = v
+	}
+	if bo, ok := w.Oracle.(BatchOracle); ok && sw > 1 {
+		for i, r := range bo.ValueBatch(bits) {
+			if r.Known {
+				vals[i] = r.V
+			}
+		}
+	} else {
+		for i := 0; i < sw; i++ {
+			if v, ok := w.Oracle.Value(bits[i]); ok {
+				vals[i] = v
+			}
 		}
 	}
 
@@ -394,11 +433,11 @@ type MuxtreePass struct{}
 func (MuxtreePass) Name() string { return "opt_muxtree" }
 
 // Run implements Pass.
-func (MuxtreePass) Run(m *rtlil.Module) (Result, error) {
+func (MuxtreePass) Run(c *Ctx, m *rtlil.Module) (Result, error) {
 	total := newResult()
 	for iter := 0; iter < 20; iter++ {
 		walk := &MuxtreeWalk{Oracle: NewFactOracle()}
-		r, err := walk.Run(m)
+		r, err := walk.Run(c, m)
 		if err != nil {
 			return total, err
 		}

@@ -39,7 +39,7 @@ func TestFigure1(t *testing.T) {
 	m.AddMux("root", c, inner, s, y) // S ? inner : C
 	orig := m.Clone()
 
-	r, err := RunScript(m, MuxtreePass{}, ExprPass{}, CleanPass{})
+	r, err := RunScript(nil, m, MuxtreePass{}, ExprPass{}, CleanPass{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestFigure2(t *testing.T) {
 	m.AddMux("root", c, inner, s, y) // S ? inner : C
 	orig := m.Clone()
 
-	if _, err := RunScript(m, MuxtreePass{}, ExprPass{}, CleanPass{}); err != nil {
+	if _, err := RunScript(nil, m, MuxtreePass{}, ExprPass{}, CleanPass{}); err != nil {
 		t.Fatal(err)
 	}
 	checkEquiv(t, orig, m)
@@ -108,7 +108,7 @@ func TestNestedSameControlChain(t *testing.T) {
 	m.Connect(y.Bits(), l3)
 	orig := m.Clone()
 
-	if _, err := RunScript(m, Fixpoint(0, MuxtreePass{}, ExprPass{}, CleanPass{})); err != nil {
+	if _, err := RunScript(nil, m, Fixpoint(0, MuxtreePass{}, ExprPass{}, CleanPass{})); err != nil {
 		t.Fatal(err)
 	}
 	checkEquiv(t, orig, m)
@@ -135,7 +135,7 @@ func TestPmuxBranchPruning(t *testing.T) {
 	m.AddMux("root", pm, cIn, s, y)
 	orig := m.Clone()
 
-	if _, err := RunScript(m, Fixpoint(0, MuxtreePass{}, ExprPass{}, CleanPass{})); err != nil {
+	if _, err := RunScript(nil, m, Fixpoint(0, MuxtreePass{}, ExprPass{}, CleanPass{})); err != nil {
 		t.Fatal(err)
 	}
 	checkEquiv(t, orig, m)
@@ -152,7 +152,7 @@ func TestExprConstFold(t *testing.T) {
 	and := m.And(a, rtlil.Const(0, 4))
 	m.AddBinary(rtlil.CellOr, "or", and, rtlil.Const(5, 4), y)
 	orig := m.Clone()
-	r, err := RunScript(m, ExprPass{}, CleanPass{})
+	r, err := RunScript(nil, m, ExprPass{}, CleanPass{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestExprIdentity(t *testing.T) {
 	// a & 1111 = a
 	m.AddBinary(rtlil.CellAnd, "and", a, rtlil.Const(0xf, 4), y)
 	orig := m.Clone()
-	if _, err := RunScript(m, ExprPass{}, CleanPass{}); err != nil {
+	if _, err := RunScript(nil, m, ExprPass{}, CleanPass{}); err != nil {
 		t.Fatal(err)
 	}
 	checkEquiv(t, orig, m)
@@ -185,7 +185,7 @@ func TestExprMuxConstSelect(t *testing.T) {
 	y := m.AddOutput("y", 2).Bits()
 	m.AddMux("mx", a, b, rtlil.Const(1, 1), y)
 	orig := m.Clone()
-	if _, err := RunScript(m, ExprPass{}, CleanPass{}); err != nil {
+	if _, err := RunScript(nil, m, ExprPass{}, CleanPass{}); err != nil {
 		t.Fatal(err)
 	}
 	checkEquiv(t, orig, m)
@@ -205,7 +205,7 @@ func TestExprEqualBranches(t *testing.T) {
 	y := m.AddOutput("y", 2).Bits()
 	m.AddMux("mx", a, a, s, y)
 	orig := m.Clone()
-	if _, err := RunScript(m, ExprPass{}, CleanPass{}); err != nil {
+	if _, err := RunScript(nil, m, ExprPass{}, CleanPass{}); err != nil {
 		t.Fatal(err)
 	}
 	checkEquiv(t, orig, m)
@@ -224,7 +224,7 @@ func TestExprPmuxShrink(t *testing.T) {
 	// Word 1's select is constant 0: must be dropped, leaving a $mux.
 	m.AddPmux("pm", a, []rtlil.SigSpec{b, c}, rtlil.Concat(s, rtlil.Const(0, 1)), y)
 	orig := m.Clone()
-	if _, err := RunScript(m, ExprPass{}, CleanPass{}); err != nil {
+	if _, err := RunScript(nil, m, ExprPass{}, CleanPass{}); err != nil {
 		t.Fatal(err)
 	}
 	checkEquiv(t, orig, m)
@@ -242,7 +242,7 @@ func TestCleanRemovesDeadLogic(t *testing.T) {
 	m.AddBinary(rtlil.CellAnd, "live", a, b, y)
 	m.Or(a, b)         // dead
 	m.Not(m.Xor(a, b)) // dead chain
-	r, err := CleanPass{}.Run(m)
+	r, err := CleanPass{}.Run(nil, m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +260,7 @@ func TestCleanKeepsDffCone(t *testing.T) {
 	m.AddDff("ff", clk, inv, q.Bits())
 	y := m.AddOutput("y", 1)
 	m.Connect(y.Bits(), q.Bits())
-	if _, err := (CleanPass{}).Run(m); err != nil {
+	if _, err := (CleanPass{}).Run(nil, m); err != nil {
 		t.Fatal(err)
 	}
 	if m.NumCells() != 2 {
@@ -301,7 +301,7 @@ func TestFactOracle(t *testing.T) {
 func TestBaselineCannotDoFigure3(t *testing.T) {
 	m := buildFigure3()
 	orig := m.Clone()
-	if _, err := RunScript(m, Fixpoint(0, MuxtreePass{}, ExprPass{}, CleanPass{})); err != nil {
+	if _, err := RunScript(nil, m, Fixpoint(0, MuxtreePass{}, ExprPass{}, CleanPass{})); err != nil {
 		t.Fatal(err)
 	}
 	checkEquiv(t, orig, m)

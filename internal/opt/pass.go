@@ -56,17 +56,27 @@ func (r Result) String() string {
 	return strings.Join(parts, " ")
 }
 
-// Pass is a module-level optimization.
+// Pass is a module-level optimization. Run optimizes m in place under
+// the engine context c; a nil c means sequential background execution.
 type Pass interface {
 	Name() string
-	Run(m *rtlil.Module) (Result, error)
+	Run(c *Ctx, m *rtlil.Module) (Result, error)
 }
 
-// RunScript runs the passes in order, merging their results.
-func RunScript(m *rtlil.Module, passes ...Pass) (Result, error) {
+// RunScript runs the passes in order under c, merging their results and
+// recording per-pass timings in the context's sink. It stops at the
+// first pass error or context cancellation; the module is left in
+// whatever (still semantically equivalent) state the completed rewrites
+// produced.
+func RunScript(c *Ctx, m *rtlil.Module, passes ...Pass) (Result, error) {
 	total := newResult()
 	for _, p := range passes {
-		r, err := p.Run(m)
+		if err := c.Err(); err != nil {
+			return total, fmt.Errorf("opt: pass %s: %w", p.Name(), err)
+		}
+		done := c.StartPass(p.Name())
+		r, err := p.Run(c, m)
+		done()
 		if err != nil {
 			return total, fmt.Errorf("opt: pass %s: %w", p.Name(), err)
 		}
@@ -97,10 +107,13 @@ func (f fixpointPass) Name() string {
 	return "fixpoint(" + strings.Join(names, ";") + ")"
 }
 
-func (f fixpointPass) Run(m *rtlil.Module) (Result, error) {
+func (f fixpointPass) Run(c *Ctx, m *rtlil.Module) (Result, error) {
 	total := newResult()
 	for i := 0; i < f.iters; i++ {
-		r, err := RunScript(m, f.passes...)
+		if err := c.Err(); err != nil {
+			return total, err
+		}
+		r, err := RunScript(c, m, f.passes...)
 		if err != nil {
 			return total, err
 		}

@@ -1,0 +1,50 @@
+package opt
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n), fanning out over at most
+// workers goroutines. Items are claimed from a shared counter, so the
+// assignment of items to goroutines is nondeterministic — callers obtain
+// deterministic results by writing into slot i of a pre-sized slice and
+// merging in index order afterwards.
+//
+// When ctx is canceled, unclaimed items are skipped (items already
+// started still finish) and the context error is returned.
+func ForEach(ctx context.Context, workers, n int, fn func(i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}

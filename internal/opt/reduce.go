@@ -19,9 +19,12 @@ type ReducePass struct{}
 func (ReducePass) Name() string { return "opt_reduce" }
 
 // Run implements Pass.
-func (ReducePass) Run(m *rtlil.Module) (Result, error) {
+func (ReducePass) Run(c *Ctx, m *rtlil.Module) (Result, error) {
 	total := newResult()
 	for iter := 0; iter < 20; iter++ {
+		if err := c.Err(); err != nil {
+			return total, err
+		}
 		r := newResult()
 		r.merge(mergeIdenticalCells(m))
 		r.merge(sharePmuxWords(m))

@@ -18,7 +18,7 @@ func TestReduceMergesIdenticalCells(t *testing.T) {
 	m.AddBinary(rtlil.CellAnd, "g2", b, a, y2) // commuted duplicate
 	orig := m.Clone()
 
-	r, err := (ReducePass{}).Run(m)
+	r, err := (ReducePass{}).Run(nil, m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestReduceKeepsNonCommutedDistinct(t *testing.T) {
 	y2 := m.AddOutput("y2", 4).Bits()
 	m.AddBinary(rtlil.CellSub, "g1", a, b, y1)
 	m.AddBinary(rtlil.CellSub, "g2", b, a, y2) // NOT equivalent for $sub
-	if _, err := (ReducePass{}).Run(m); err != nil {
+	if _, err := (ReducePass{}).Run(nil, m); err != nil {
 		t.Fatal(err)
 	}
 	if m.NumCells() != 2 {
@@ -59,7 +59,7 @@ func TestReduceMergesThroughAliases(t *testing.T) {
 	m.AddUnary(rtlil.CellNot, "g1", a, y1)
 	m.AddUnary(rtlil.CellNot, "g2", alias.Bits(), y2) // same input via alias
 	orig := m.Clone()
-	r, err := (ReducePass{}).Run(m)
+	r, err := (ReducePass{}).Run(nil, m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestReduceSharesPmuxWords(t *testing.T) {
 	m.AddPmux("p", a, []rtlil.SigSpec{w1, w1, a}, s, y)
 	orig := m.Clone()
 
-	r, err := (ReducePass{}).Run(m)
+	r, err := (ReducePass{}).Run(nil, m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestReducePmuxToMux(t *testing.T) {
 	y := m.AddOutput("y", 2).Bits()
 	m.AddPmux("p", a, []rtlil.SigSpec{w, w}, s, y)
 	orig := m.Clone()
-	if _, err := (ReducePass{}).Run(m); err != nil {
+	if _, err := (ReducePass{}).Run(nil, m); err != nil {
 		t.Fatal(err)
 	}
 	if n := countType(m, rtlil.CellPmux); n != 0 {
@@ -149,7 +149,7 @@ func TestReduceFuzz(t *testing.T) {
 			}
 		}
 		orig := m.Clone()
-		if _, err := RunScript(m, ReducePass{}, CleanPass{}); err != nil {
+		if _, err := RunScript(nil, m, ReducePass{}, CleanPass{}); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 		if err := m.Validate(); err != nil {

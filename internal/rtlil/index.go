@@ -9,7 +9,9 @@ type PortRef struct {
 
 // Index provides driver and reader lookups for every bit of a module,
 // with all signals resolved through a SigMap. Build it once per pass; it
-// is not automatically updated when the module changes.
+// is not automatically updated when the module changes. The SigMap is
+// frozen at construction, so an Index is safe for concurrent lookups as
+// long as the module itself is not mutated.
 type Index struct {
 	mod     *Module
 	sigmap  *SigMap
@@ -65,6 +67,7 @@ func NewIndex(m *Module) *Index {
 			}
 		}
 	}
+	ix.sigmap.Freeze()
 	return ix
 }
 

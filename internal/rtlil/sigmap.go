@@ -8,6 +8,7 @@ package rtlil
 type SigMap struct {
 	parent map[SigBit]SigBit
 	rank   map[SigBit]int
+	frozen bool
 }
 
 // NewSigMap builds a SigMap from the module's connection list. A nil
@@ -35,9 +36,22 @@ func (sm *SigMap) find(b SigBit) SigBit {
 	if !ok || p == b {
 		return b
 	}
+	if sm.frozen {
+		return p // fully compressed by Freeze: one hop, no writes
+	}
 	root := sm.find(p)
 	sm.parent[b] = root
 	return root
+}
+
+// Freeze fully path-compresses the map and switches lookups to pure
+// reads, making Bit and Map safe for concurrent use (the parallel
+// SAT-mux queries share one frozen Index). Add panics afterwards.
+func (sm *SigMap) Freeze() {
+	for b := range sm.parent {
+		sm.parent[b] = sm.find(b)
+	}
+	sm.frozen = true
 }
 
 func (sm *SigMap) better(a, b SigBit) bool {
@@ -62,6 +76,9 @@ func (sm *SigMap) better(a, b SigBit) bool {
 // Add records that the bits of a and b are connected (a is driven by b).
 // Widths must match.
 func (sm *SigMap) Add(a, b SigSpec) {
+	if sm.frozen {
+		panic("rtlil: SigMap.Add on frozen map")
+	}
 	if len(a) != len(b) {
 		panic("rtlil: SigMap.Add width mismatch")
 	}

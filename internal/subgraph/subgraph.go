@@ -91,21 +91,24 @@ func Extract(ix *rtlil.Index, target rtlil.SigBit, known []rtlil.SigBit, opt Opt
 			inSet[c] = true
 			queue = append(queue, entry{c, e.depth + 1})
 		}
-		for port, sig := range e.c.Conn {
-			if e.c.IsInputPort(port) {
-				for _, b := range ix.Map(sig) {
-					if !b.IsConst() {
-						visit(ix.DriverCell(b))
-					}
+		// Fixed port order (not the Conn map's): the BFS frontier, and
+		// therefore the kept set under the MaxCells cap, must not vary
+		// between runs — parallel and sequential query results are
+		// compared bit for bit.
+		for _, port := range rtlil.InputPorts(e.c.Type) {
+			for _, b := range ix.Map(e.c.Port(port)) {
+				if !b.IsConst() {
+					visit(ix.DriverCell(b))
 				}
-			} else {
-				for _, b := range ix.Map(sig) {
-					if b.IsConst() {
-						continue
-					}
-					for _, r := range ix.Readers(b) {
-						visit(r.Cell)
-					}
+			}
+		}
+		for _, port := range rtlil.OutputPorts(e.c.Type) {
+			for _, b := range ix.Map(e.c.Port(port)) {
+				if b.IsConst() {
+					continue
+				}
+				for _, r := range ix.Readers(b) {
+					visit(r.Cell)
 				}
 			}
 		}
@@ -133,11 +136,8 @@ func Extract(ix *rtlil.Index, target rtlil.SigBit, known []rtlil.SigBit, opt Opt
 	}
 	seen := map[rtlil.SigBit]bool{}
 	for _, c := range kept {
-		for port, sig := range c.Conn {
-			if !c.IsInputPort(port) {
-				continue
-			}
-			for _, b := range ix.Map(sig) {
+		for _, port := range rtlil.InputPorts(c.Type) {
+			for _, b := range ix.Map(c.Port(port)) {
 				if b.IsConst() || seen[b] {
 					continue
 				}
@@ -168,11 +168,8 @@ func filterByConnectivity(ix *rtlil.Index, candidates []*rtlil.Cell, inSet map[*
 			return
 		}
 		visited[c] = true
-		for port, sig := range c.Conn {
-			if !c.IsInputPort(port) {
-				continue
-			}
-			for _, b := range ix.Map(sig) {
+		for _, port := range rtlil.InputPorts(c.Type) {
+			for _, b := range ix.Map(c.Port(port)) {
 				if !b.IsConst() {
 					back(b)
 				}

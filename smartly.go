@@ -24,6 +24,7 @@
 package smartly
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -140,10 +141,61 @@ type Report struct {
 	Details map[string]int
 }
 
+// OptimizeOptions tunes a context-aware optimization run.
+type OptimizeOptions struct {
+	// Workers bounds the goroutines of parallel stages: the SAT-mux
+	// query batches inside a pipeline and, for OptimizeDesign, the
+	// concurrently optimized modules. 0 means runtime.GOMAXPROCS(0);
+	// 1 forces fully sequential execution. The optimized netlists are
+	// bit-identical for every value.
+	Workers int
+	// Logf receives structured pass-timing lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
 // Optimize runs the selected pipeline on the module in place.
 func Optimize(m *Module, p Pipeline) (Report, error) {
-	r, err := p.pass().Run(m)
+	return OptimizeContext(context.Background(), m, p, OptimizeOptions{})
+}
+
+// OptimizeContext runs the selected pipeline on the module in place,
+// honoring ctx cancellation and deadlines. A canceled run returns the
+// context error; the rewrites applied before the cancellation are each
+// individually sound, so the module is still equivalent to the input.
+func OptimizeContext(ctx context.Context, m *Module, p Pipeline, o OptimizeOptions) (Report, error) {
+	ec := opt.NewCtx(ctx, opt.Config{Workers: o.Workers, Logf: o.Logf})
+	r, err := opt.RunScript(ec, m, p.pass())
 	return Report{Changed: r.Changed, Details: r.Details}, err
+}
+
+// OptimizeDesign runs the selected pipeline over every module of the
+// design, optimizing up to o.Workers modules concurrently (modules are
+// disjoint netlists, so the per-module results are independent of the
+// schedule). It returns the reports keyed by module name and the first
+// error encountered.
+func OptimizeDesign(ctx context.Context, d *Design, p Pipeline, o OptimizeOptions) (map[string]Report, error) {
+	ec := opt.NewCtx(ctx, opt.Config{Workers: o.Workers, Logf: o.Logf})
+	mods := d.Modules() // insertion order: deterministic, left untouched
+	reports := make([]Report, len(mods))
+	errs := make([]error, len(mods))
+	opt.ForEach(ec.Context(), ec.Workers(), len(mods), func(i int) {
+		// One pass instance per module: passes carry per-run state.
+		r, err := opt.RunScript(ec, mods[i], p.pass())
+		reports[i] = Report{Changed: r.Changed, Details: r.Details}
+		errs[i] = err
+	})
+	out := make(map[string]Report, len(mods))
+	var firstErr error
+	for i, m := range mods {
+		out[m.Name] = reports[i]
+		if firstErr == nil && errs[i] != nil {
+			firstErr = fmt.Errorf("module %s: %w", m.Name, errs[i])
+		}
+	}
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	return out, firstErr
 }
 
 // Area maps the module to an And-Inverter Graph and returns the number

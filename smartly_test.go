@@ -1,6 +1,7 @@
 package smartly
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -62,6 +63,99 @@ func TestFacadeBaselineWeaker(t *testing.T) {
 	if areas[PipelineFull] >= areas[PipelineYosys] {
 		t.Errorf("full=%d should beat yosys=%d on the Figure 3 circuit",
 			areas[PipelineFull], areas[PipelineYosys])
+	}
+}
+
+func TestOptimizeContextMatchesOptimize(t *testing.T) {
+	run := func(opts OptimizeOptions) (Report, int) {
+		design, err := ParseVerilog(quickstartSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := design.Top()
+		rep, err := OptimizeContext(context.Background(), m, PipelineFull, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Area(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, a
+	}
+	repSeq, areaSeq := run(OptimizeOptions{Workers: 1})
+	repPar, areaPar := run(OptimizeOptions{Workers: 8})
+	if areaSeq != areaPar {
+		t.Errorf("area differs by worker count: %d vs %d", areaSeq, areaPar)
+	}
+	if len(repSeq.Details) != len(repPar.Details) {
+		t.Errorf("details differ: %v vs %v", repSeq.Details, repPar.Details)
+	}
+}
+
+func TestOptimizeContextCanceled(t *testing.T) {
+	design, err := ParseVerilog(quickstartSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := OptimizeContext(ctx, design.Top(), PipelineFull, OptimizeOptions{}); err == nil {
+		t.Error("canceled optimize reported success")
+	}
+}
+
+const twoModuleSrc = `
+module alpha(input s, input r, input [3:0] a, input [3:0] b,
+             input [3:0] c, output [3:0] y);
+  assign y = s ? ((s | r) ? a : b) : c;
+endmodule
+module beta(input [1:0] s, input [3:0] p0, input [3:0] p1,
+            input [3:0] p2, input [3:0] p3, output reg [3:0] y);
+  always @(*) begin
+    case (s)
+      2'b00: y = p0;
+      2'b01: y = p1;
+      2'b10: y = p2;
+      default: y = p3;
+    endcase
+  end
+endmodule`
+
+func TestOptimizeDesignAllModules(t *testing.T) {
+	design, err := ParseVerilog(twoModuleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := map[string]int{}
+	for _, m := range design.Modules() {
+		if before[m.Name], err = Area(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reports, err := OptimizeDesign(context.Background(), design, PipelineFull,
+		OptimizeOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports for %d modules, want 2", len(reports))
+	}
+	for _, m := range design.Modules() {
+		rep, ok := reports[m.Name]
+		if !ok {
+			t.Fatalf("no report for module %s", m.Name)
+		}
+		if !rep.Changed {
+			t.Errorf("module %s: nothing optimized", m.Name)
+		}
+		after, err := Area(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after >= before[m.Name] {
+			t.Errorf("module %s: area %d -> %d, expected reduction", m.Name, before[m.Name], after)
+		}
 	}
 }
 

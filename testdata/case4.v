@@ -1,0 +1,15 @@
+// A four-way case statement over a two-bit selector: elaborates into an
+// eq+mux chain that muxtree restructuring rebuilds into muxes controlled
+// directly by the selector bits (paper SS III), deleting the comparators.
+module case4(input [1:0] s,
+             input [3:0] p0, input [3:0] p1, input [3:0] p2, input [3:0] p3,
+             output reg [3:0] y);
+  always @(*) begin
+    case (s)
+      2'b00: y = p0;
+      2'b01: y = p1;
+      2'b10: y = p2;
+      default: y = p3;
+    endcase
+  end
+endmodule

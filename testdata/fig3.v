@@ -1,0 +1,13 @@
+// Paper Figure 3: the inner mux selects on s|r, but along the outer
+// mux's s=1 branch that control is provably 1 (S => S|R), so smaRTLy's
+// SAT-based redundancy elimination collapses the inner mux to its
+// "a" branch. The baseline opt_muxtree cannot see through the OR gate.
+module fig3(input s, input r,
+            input [7:0] a, input [7:0] b, input [7:0] c,
+            output [7:0] y);
+  wire t;
+  assign t = s | r;
+  wire [7:0] inner;
+  assign inner = t ? a : b;
+  assign y = s ? inner : c;
+endmodule
