@@ -58,8 +58,8 @@ func BenchmarkTableII(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(cr.Original), "area_original")
-			b.ReportMetric(float64(cr.Yosys), "area_yosys")
-			b.ReportMetric(float64(cr.Full), "area_smartly")
+			b.ReportMetric(float64(cr.Area(harness.FlowYosys)), "area_yosys")
+			b.ReportMetric(float64(cr.Area(harness.FlowFull)), "area_smartly")
 			b.ReportMetric(cr.RatioFull(), "ratio_%")
 		})
 	}

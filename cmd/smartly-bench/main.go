@@ -1,23 +1,47 @@
 // Command smartly-bench regenerates the paper's evaluation: Table II
 // (AIG areas, Yosys vs smaRTLy), Table III (per-method reductions) and
-// the §IV-B industrial summary.
+// the §IV-B industrial summary — or measures an arbitrary flow set.
 //
 // Usage:
 //
 //	smartly-bench [-scale 1.0] [-table 2|3|all] [-industrial n] [-j n] [-check] [-v]
+//	              [-json] [-flow name|name=script]...
 //
 // Scale 1.0 runs the calibrated case sizes (minutes); smaller scales
 // reproduce the table shape faster. The paper's absolute circuit sizes
 // correspond to roughly scale 100 — see EXPERIMENTS.md.
+//
+// -flow selects the measured flows (repeatable): either a registered
+// named flow ("full") or "name=script" with a flow script, e.g.
+// -flow "tuned=fixpoint { opt_expr; satmux(conflicts=64); opt_clean }".
+// Without -flow the paper's four pipelines run.
+//
+// -json replaces the tables with one machine-readable report on stdout
+// (schema smartly-bench/v1): per-case areas for every flow, reduction
+// ratios vs the first flow, and wall times. BENCH_baseline.json in the
+// repository root holds the committed reference run
+// (-json -scale 0.25).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"repro/internal/harness"
 )
+
+// flowList collects repeated -flow flags.
+type flowList []string
+
+func (f *flowList) String() string { return fmt.Sprint(*f) }
+
+func (f *flowList) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "benchmark scale factor")
@@ -25,35 +49,81 @@ func main() {
 	industrial := flag.Int("industrial", 0, "also run n industrial test points")
 	check := flag.Bool("check", false, "equivalence-check every optimized netlist (slow)")
 	jobs := flag.Int("j", 0, "benchmark cases and SAT-mux queries run concurrently (0 = all cores, 1 = sequential); results are identical for every value")
-	verbose := flag.Bool("v", false, "log per-pipeline progress")
+	verbose := flag.Bool("v", false, "log per-flow progress")
+	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON report instead of tables")
+	var flows flowList
+	flag.Var(&flows, "flow", "flow to measure: a named flow or name=script (repeatable; default: the paper's four pipelines)")
 	flag.Parse()
 
-	opts := harness.Options{Scale: *scale, Check: *check, Jobs: *jobs, Workers: *jobs}
-	if *verbose {
+	if err := runBench(*scale, *table, *industrial, *check, *jobs, *verbose, *jsonOut, flows, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "smartly-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func runBench(scale float64, table string, industrial int, check bool, jobs int,
+	verbose, jsonOut bool, flowSpecs []string, out io.Writer) error {
+	opts := harness.Options{Scale: scale, Check: check, Jobs: jobs, Workers: jobs}
+	if verbose {
 		opts.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
+	custom := len(flowSpecs) > 0
+	if custom {
+		fs, err := harness.ParseFlows(flowSpecs)
+		if err != nil {
+			return err
+		}
+		opts.Flows = fs
+	} else {
+		opts.Flows = harness.DefaultFlows()
+	}
 
-	if *table == "2" || *table == "3" || *table == "all" {
-		results, err := harness.RunAll(opts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "smartly-bench:", err)
-			os.Exit(1)
-		}
-		if *table != "3" {
-			fmt.Println(harness.TableII(results))
-		}
-		if *table != "2" {
-			fmt.Println(harness.TableIII(results))
+	start := time.Now()
+	var results, points []harness.CaseResult
+	var industrialSummary string
+	if table == "2" || table == "3" || table == "all" {
+		var err error
+		if results, err = harness.RunAll(opts); err != nil {
+			return err
 		}
 	}
-	if *industrial > 0 {
-		res, err := harness.RunIndustrial(*industrial, opts)
+	if industrial > 0 {
+		res, err := harness.RunIndustrial(industrial, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "smartly-bench:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Println(res.IndustrialSummary())
+		points = res.Points
+		if custom {
+			// The §IV-B summary hardcodes the yosys/full columns;
+			// custom flow sets get the generic table instead.
+			industrialSummary = "Industrial test points\n" +
+				harness.TableFlows(points, opts.Flows)
+		} else {
+			industrialSummary = res.IndustrialSummary()
+		}
 	}
+
+	if jsonOut {
+		rep := harness.NewBenchReport(scale, opts.Flows, results, points, time.Since(start))
+		return rep.WriteJSON(out)
+	}
+	if results != nil {
+		switch {
+		case custom:
+			fmt.Fprintln(out, harness.TableFlows(results, opts.Flows))
+		default:
+			if table != "3" {
+				fmt.Fprintln(out, harness.TableII(results))
+			}
+			if table != "2" {
+				fmt.Fprintln(out, harness.TableIII(results))
+			}
+		}
+	}
+	if industrialSummary != "" {
+		fmt.Fprintln(out, industrialSummary)
+	}
+	return nil
 }

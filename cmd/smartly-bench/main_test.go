@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// TestBenchJSONReport: a tiny-scale -json run emits a parseable report
+// with every case and flow populated.
+func TestBenchJSONReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runBench(0.02, "all", 1, false, 0, false, true, nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep harness.BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if rep.Schema != harness.BenchSchema {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if len(rep.Flows) != 4 || rep.Flows[0] != harness.FlowYosys {
+		t.Errorf("flows = %v", rep.Flows)
+	}
+	if len(rep.Cases) == 0 || len(rep.Industrial) != 1 {
+		t.Fatalf("cases = %d, industrial = %d", len(rep.Cases), len(rep.Industrial))
+	}
+	for _, c := range rep.Cases {
+		if c.OriginalArea <= 0 {
+			t.Errorf("case %s: original area %d", c.Name, c.OriginalArea)
+		}
+		for _, f := range rep.Flows {
+			if _, ok := c.Areas[f]; !ok {
+				t.Errorf("case %s: flow %s missing", c.Name, f)
+			}
+		}
+	}
+}
+
+// TestBenchCustomFlows: -flow specs switch the run to the generic table.
+func TestBenchCustomFlows(t *testing.T) {
+	var buf bytes.Buffer
+	flows := []string{"yosys", "quick=opt_expr; opt_clean"}
+	if err := runBench(0.02, "2", 0, false, 0, false, false, flows, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"yosys", "quick", "Average", "Ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("custom-flow table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBenchCustomFlowsIndustrial: with custom flows the industrial run
+// must render the generic table (the §IV-B summary hardcodes
+// yosys/full and would print all zeros).
+func TestBenchCustomFlowsIndustrial(t *testing.T) {
+	var buf bytes.Buffer
+	flows := []string{"base=opt_expr; opt_clean", "quick=fixpoint { opt_expr; opt_clean }"}
+	if err := runBench(0.02, "", 1, false, 0, false, false, flows, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Industrial", "base", "quick"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("custom industrial output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "smaRTLy removes") {
+		t.Errorf("custom flows used the hardcoded yosys/full summary:\n%s", out)
+	}
+}
+
+func TestBenchBadFlowSpec(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runBench(0.02, "2", 0, false, 0, false, false,
+		[]string{"bad=no_such_pass"}, &buf); err == nil {
+		t.Error("invalid flow spec accepted")
+	}
+}
+
+func TestBenchTables(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runBench(0.02, "all", 0, false, 0, false, false, nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table II") || !strings.Contains(out, "Table III") {
+		t.Errorf("tables missing:\n%s", out)
+	}
+}

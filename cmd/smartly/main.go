@@ -1,52 +1,106 @@
-// Command smartly optimizes an RTL netlist with the smaRTLy passes.
+// Command smartly optimizes an RTL netlist with composable optimization
+// flows.
 //
 // It reads a design from a Verilog source file (.v) or a JSON netlist
-// (.json, as written by -o), runs the selected optimization pipeline,
-// prints before/after statistics and AIG areas, and optionally writes
-// the optimized netlist back out as JSON.
+// (.json, as written by -o), runs the selected flow — a named pipeline
+// or an arbitrary Yosys-style script — prints before/after statistics,
+// AIG areas and the per-pass run report, and optionally writes the
+// optimized netlist back out as JSON.
 //
 // Usage:
 //
-//	smartly [-pipeline yosys|sat|rebuild|full] [-j n] [-o out.json] [-check] design.v
+//	smartly [-flow yosys|sat|rebuild|full] [-script "opt_expr; satmux(conflicts=64); opt_clean"]
+//	        [-j n] [-timings] [-o out.json] [-check] design.v
+//
+// The script grammar is pass [ "(" key=value {"," key=value} ")" ]
+// separated by ";", plus the fixpoint wrapper
+// "fixpoint(iters=n) { ... }"; run with -passes to list the registry.
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"repro/internal/cec"
-	"repro/internal/rtlil"
-
 	"repro"
 )
 
 func main() {
-	pipeline := flag.String("pipeline", "full", "optimization pipeline: yosys|sat|rebuild|full")
+	pipeline := flag.String("pipeline", "", "deprecated alias of -flow")
+	flowName := flag.String("flow", "full", "named optimization flow: yosys|sat|rebuild|full")
+	script := flag.String("script", "", "run this flow script instead of a named flow (e.g. \"opt_expr; satmux(conflicts=64); opt_clean\")")
+	listPasses := flag.Bool("passes", false, "list the registered passes and their options, then exit")
 	outPath := flag.String("o", "", "write optimized netlist as JSON to this path")
 	check := flag.Bool("check", false, "equivalence-check the optimized netlist against the input")
 	quiet := flag.Bool("q", false, "print only the final area line")
+	timings := flag.Bool("timings", false, "include per-pass wall times in the run report")
 	jobs := flag.Int("j", 0, "worker budget: modules optimized concurrently and parallel SAT-mux queries (0 = all cores, 1 = sequential)")
 	flag.Parse()
+	if *listPasses {
+		printPasses()
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: smartly [flags] design.v|design.json")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *pipeline, *outPath, *check, *quiet, *jobs); err != nil {
+	name := *flowName
+	if *pipeline != "" {
+		name = *pipeline
+	}
+	if err := run(flag.Arg(0), name, *script, *outPath, *check, *quiet, *jobs, *timings); err != nil {
 		fmt.Fprintln(os.Stderr, "smartly:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, pipelineName, outPath string, check, quiet bool, jobs int) error {
+// printPasses renders the pass registry as a small reference table.
+func printPasses() {
+	fmt.Println("registered passes (compose with ';'):")
+	for _, spec := range smartly.Passes() {
+		fmt.Printf("  %-12s %s\n", spec.Name, spec.Summary)
+		for _, o := range spec.Options {
+			fmt.Printf("    %-22s %-6s default=%-5s %s\n", o.Key, o.Kind, o.Default, o.Help)
+		}
+	}
+	fmt.Println("built-in wrapper:")
+	fmt.Println("  fixpoint     repeat { body } until no pass reports a change")
+	fmt.Printf("    %-22s %-6s default=%-5s %s\n", "iters", "int", "10", "maximum iterations")
+	fmt.Println("named flows:", strings.Join(smartly.FlowNames(), ", "))
+}
+
+// selectFlow resolves the -script / -flow flags into a flow and a label
+// for the report line.
+func selectFlow(name, script string) (*smartly.Flow, string, error) {
+	if script != "" {
+		f, err := smartly.ParseFlow(script)
+		if err != nil {
+			return nil, "", err
+		}
+		return f, f.String(), nil
+	}
+	// Any registered named flow works; the legacy pipeline aliases
+	// ("baseline", "smartly", ...) are accepted as a fallback.
+	f, err := smartly.NamedFlow(name)
+	if err != nil {
+		if p, aliasErr := smartly.ParsePipeline(name); aliasErr == nil {
+			if f, err2 := smartly.NamedFlow(p.String()); err2 == nil {
+				return f, p.String(), nil
+			}
+		}
+		return nil, "", err
+	}
+	return f, name, nil
+}
+
+func run(path, flowName, script, outPath string, check, quiet bool, jobs int, timings bool) error {
 	design, err := readDesign(path)
 	if err != nil {
 		return err
 	}
-	pipe, err := smartly.ParsePipeline(pipelineName)
+	flow, label, err := selectFlow(flowName, script)
 	if err != nil {
 		return err
 	}
@@ -56,11 +110,11 @@ func run(path, pipelineName, outPath string, check, quiet bool, jobs int) error 
 	type moduleInfo struct {
 		orig        *smartly.Module
 		before      int
-		beforeStats rtlil.Stats
+		beforeStats smartly.Stats
 	}
 	infos := make(map[string]moduleInfo, len(design.Modules()))
 	for _, m := range design.Modules() {
-		info := moduleInfo{beforeStats: rtlil.CollectStats(m)}
+		info := moduleInfo{beforeStats: smartly.CollectStats(m)}
 		if check {
 			info.orig = m.Clone()
 		}
@@ -69,8 +123,11 @@ func run(path, pipelineName, outPath string, check, quiet bool, jobs int) error 
 		}
 		infos[m.Name] = info
 	}
-	reports, err := smartly.OptimizeDesign(context.Background(), design, pipe,
-		smartly.OptimizeOptions{Workers: jobs})
+	opts := []smartly.RunOption{smartly.WithWorkers(jobs)}
+	if timings {
+		opts = append(opts, smartly.WithTimings())
+	}
+	reports, err := flow.RunDesign(design, opts...)
 	if err != nil {
 		return err
 	}
@@ -85,7 +142,7 @@ func run(path, pipelineName, outPath string, check, quiet bool, jobs int) error 
 			fmt.Print(info.beforeStats)
 		}
 		if check {
-			if err := cec.Check(info.orig, m, nil); err != nil {
+			if err := smartly.CheckEquivalence(info.orig, m); err != nil {
 				return fmt.Errorf("module %s failed equivalence check: %w", m.Name, err)
 			}
 			if !quiet {
@@ -94,17 +151,16 @@ func run(path, pipelineName, outPath string, check, quiet bool, jobs int) error 
 		}
 		if !quiet {
 			fmt.Println("after optimization:")
-			fmt.Print(rtlil.CollectStats(m))
-			for k, v := range reports[m.Name].Details {
-				fmt.Printf("  %s: %d\n", k, v)
-			}
+			fmt.Print(smartly.CollectStats(m))
+			rep := reports[m.Name]
+			fmt.Print((&rep).String())
 		}
 		reduction := 0.0
 		if info.before > 0 {
 			reduction = 100 * float64(info.before-after) / float64(info.before)
 		}
-		fmt.Printf("%s: AIG area %d -> %d (%.2f%% reduction, pipeline=%s)\n",
-			m.Name, info.before, after, reduction, pipe)
+		fmt.Printf("%s: AIG area %d -> %d (%.2f%% reduction, flow=%s)\n",
+			m.Name, info.before, after, reduction, label)
 	}
 	if outPath != "" {
 		f, err := os.Create(outPath)
@@ -112,7 +168,7 @@ func run(path, pipelineName, outPath string, check, quiet bool, jobs int) error 
 			return err
 		}
 		defer f.Close()
-		if err := rtlil.WriteJSON(f, design); err != nil {
+		if err := smartly.WriteJSON(f, design); err != nil {
 			return err
 		}
 		if !quiet {
@@ -123,12 +179,17 @@ func run(path, pipelineName, outPath string, check, quiet bool, jobs int) error 
 }
 
 func readDesign(path string) (*smartly.Design, error) {
+	if strings.HasSuffix(path, ".json") {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return smartly.ReadJSON(f)
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
-	}
-	if strings.HasSuffix(path, ".json") {
-		return rtlil.ReadJSON(strings.NewReader(string(data)))
 	}
 	return smartly.ParseVerilog(string(data))
 }

@@ -6,12 +6,12 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/rtlil"
+	"repro"
 )
 
 func TestRunVerilogInput(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "out.json")
-	if err := run("../../testdata/fig3.v", "full", out, true, true, 0); err != nil {
+	if err := run("../../testdata/fig3.v", "full", "", out, true, true, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -19,7 +19,7 @@ func TestRunVerilogInput(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	d, err := rtlil.ReadJSON(f)
+	d, err := smartly.ReadJSON(f)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,30 +31,56 @@ func TestRunVerilogInput(t *testing.T) {
 func TestRunJSONRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	first := filepath.Join(dir, "a.json")
-	if err := run("../../testdata/case4.v", "yosys", first, false, true, 0); err != nil {
+	if err := run("../../testdata/case4.v", "yosys", "", first, false, true, 0, false); err != nil {
 		t.Fatal(err)
 	}
-	// Feed the JSON back in with a different pipeline.
+	// Feed the JSON back in with a different flow.
 	second := filepath.Join(dir, "b.json")
-	if err := run(first, "full", second, true, true, 0); err != nil {
+	if err := run(first, "full", "", second, true, true, 0, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
-func TestRunAllPipelines(t *testing.T) {
+func TestRunAllNamedFlows(t *testing.T) {
 	for _, p := range []string{"yosys", "sat", "rebuild", "full"} {
-		if err := run("../../testdata/case4.v", p, "", true, true, 0); err != nil {
-			t.Errorf("pipeline %s: %v", p, err)
+		if err := run("../../testdata/case4.v", p, "", "", true, true, 0, false); err != nil {
+			t.Errorf("flow %s: %v", p, err)
 		}
 	}
 }
 
+func TestRunScriptFlow(t *testing.T) {
+	script := "fixpoint { opt_expr; satmux(conflicts=500); opt_clean }"
+	if err := run("../../testdata/fig3.v", "", script, "", true, true, 0, false); err != nil {
+		t.Fatalf("script flow: %v", err)
+	}
+	// With timings enabled the run must still succeed.
+	if err := run("../../testdata/fig3.v", "", "opt_expr; opt_clean", "", false, true, 0, true); err != nil {
+		t.Fatalf("script flow with timings: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("missing.v", "full", "", false, true, 0); err == nil {
+	if err := run("missing.v", "full", "", "", false, true, 0, false); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run("../../testdata/fig3.v", "bogus", "", false, true, 0); err == nil ||
-		!strings.Contains(err.Error(), "unknown pipeline") {
-		t.Errorf("bogus pipeline: %v", err)
+	if err := run("../../testdata/fig3.v", "bogus", "", "", false, true, 0, false); err == nil ||
+		!strings.Contains(err.Error(), "unknown flow") {
+		t.Errorf("bogus flow: %v", err)
+	}
+	if err := run("../../testdata/fig3.v", "", "satmux(gain=2)", "", false, true, 0, false); err == nil ||
+		!strings.Contains(err.Error(), "unknown option") {
+		t.Errorf("bogus script: %v", err)
+	}
+}
+
+func TestSelectFlowLabels(t *testing.T) {
+	f, label, err := selectFlow("full", "")
+	if err != nil || f == nil || label != "full" {
+		t.Errorf("named: %v %q %v", f, label, err)
+	}
+	f, label, err = selectFlow("", "opt_expr; opt_clean")
+	if err != nil || f == nil || label != "opt_expr; opt_clean" {
+		t.Errorf("script: %v %q %v", f, label, err)
 	}
 }

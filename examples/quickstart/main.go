@@ -2,6 +2,9 @@
 // Figure 3 redundancy, optimize it with the full smaRTLy pipeline, and
 // compare against the Yosys baseline.
 //
+// This uses the legacy Pipeline enum; see examples/flows for the
+// composable Flow API (script DSL, pass registry, structured reports).
+//
 // Run with: go run ./examples/quickstart
 package main
 

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"repro/internal/opt"
+)
+
+// Script-level option tables for the smaRTLy passes. The keys are the
+// names accepted in flow scripts ("satmux(conflicts=64)"); each maps
+// onto one field of SatMuxOptions / RebuildOptions.
+// The numeric options are Positive: their option-struct fields treat 0
+// as "use the default", so an explicit zero would silently run the
+// default budget — the bool switches (inference, sat) are the supported
+// way to disable a stage.
+var satMuxOptionSpecs = []opt.OptionSpec{
+	{Key: "depth", Kind: opt.KindInt, Positive: true, Default: "6", Help: "sub-graph BFS radius k"},
+	{Key: "cells", Kind: opt.KindInt, Positive: true, Default: "300", Help: "max cells kept per sub-graph"},
+	{Key: "sim_inputs", Kind: opt.KindInt, Positive: true, Default: "11", Help: "exhaustive simulation up to this many inputs"},
+	{Key: "sat_inputs", Kind: opt.KindInt, Positive: true, Default: "200", Help: "skip SAT above this many inputs"},
+	{Key: "conflicts", Kind: opt.KindInt64, Positive: true, Default: "2000", Help: "CDCL conflict budget per query"},
+	{Key: "inference", Kind: opt.KindBool, Default: "true", Help: "enable the Table I inference rules"},
+	{Key: "sat", Kind: opt.KindBool, Default: "true", Help: "enable simulation/SAT queries"},
+	{Key: "subgraph_filter", Kind: opt.KindBool, Default: "true", Help: "enable the Theorem II.1 pruning"},
+}
+
+var rebuildOptionSpecs = []opt.OptionSpec{
+	{Key: "selector_bits", Kind: opt.KindInt, Positive: true, Default: "24", Help: "skip trees with wider selectors"},
+	{Key: "patterns", Kind: opt.KindInt, Positive: true, Default: "512", Help: "skip trees with more pattern rows"},
+	{Key: "force", Kind: opt.KindBool, Default: "false", Help: "rebuild every eligible tree, ignoring the cost model"},
+}
+
+// satMuxOptionsFromArgs translates validated script args into the typed
+// option struct (zero fields fall through to withDefaults).
+func satMuxOptionsFromArgs(a opt.Args) SatMuxOptions {
+	return SatMuxOptions{
+		SubgraphDepth:         a.Int("depth", 0),
+		MaxSubgraphCells:      a.Int("cells", 0),
+		SimInputLimit:         a.Int("sim_inputs", 0),
+		SATInputLimit:         a.Int("sat_inputs", 0),
+		MaxConflicts:          a.Int64("conflicts", 0),
+		DisableInference:      !a.Bool("inference", true),
+		DisableSAT:            !a.Bool("sat", true),
+		DisableSubgraphFilter: !a.Bool("subgraph_filter", true),
+	}
+}
+
+func rebuildOptionsFromArgs(a opt.Args) RebuildOptions {
+	return RebuildOptions{
+		MaxSelectorBits: a.Int("selector_bits", 0),
+		MaxPatterns:     a.Int("patterns", 0),
+		Force:           a.Bool("force", false),
+	}
+}
+
+// The smaRTLy passes and the paper's named pipelines, exposed to the
+// flow registry. The named flows compile to exactly the pass structures
+// of PipelineYosys/PipelineSAT/PipelineRebuild/PipelineFull, so legacy
+// enum runs and script runs are bit-identical.
+func init() {
+	opt.Register(opt.PassSpec{
+		Name:    "satmux",
+		Summary: "SAT-based mux redundancy elimination (paper §II)",
+		Options: satMuxOptionSpecs,
+		Build: func(a opt.Args) (opt.Pass, error) {
+			return &SatMuxPass{Opts: satMuxOptionsFromArgs(a)}, nil
+		},
+	})
+	opt.Register(opt.PassSpec{
+		Name:    "rebuild",
+		Summary: "ADD-driven muxtree restructuring (paper §III)",
+		Options: rebuildOptionSpecs,
+		Build: func(a opt.Args) (opt.Pass, error) {
+			return &RebuildPass{Opts: rebuildOptionsFromArgs(a)}, nil
+		},
+	})
+	opt.Register(opt.PassSpec{
+		Name:    "smartly",
+		Summary: "full smaRTLy: SAT elimination + restructuring",
+		Options: append(append([]opt.OptionSpec{}, satMuxOptionSpecs...), rebuildOptionSpecs...),
+		Build: func(a opt.Args) (opt.Pass, error) {
+			return &SmartlyPass{
+				SatOpts:     satMuxOptionsFromArgs(a),
+				RebuildOpts: rebuildOptionsFromArgs(a),
+			}, nil
+		},
+	})
+
+	opt.RegisterFlow("yosys", "fixpoint { opt_expr; opt_muxtree; opt_clean }")
+	opt.RegisterFlow("sat", "fixpoint { opt_expr; satmux; opt_clean }")
+	opt.RegisterFlow("rebuild", "fixpoint { opt_expr; opt_muxtree; rebuild; opt_clean }")
+	opt.RegisterFlow("full", "fixpoint { opt_expr; smartly; opt_clean }")
+}

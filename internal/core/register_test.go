@@ -1,0 +1,131 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/opt"
+	"repro/internal/rtlil"
+)
+
+func TestSmartlyPassesRegistered(t *testing.T) {
+	for _, name := range []string{"satmux", "rebuild", "smartly"} {
+		spec, ok := opt.LookupPass(name)
+		if !ok {
+			t.Fatalf("pass %s not registered", name)
+		}
+		p, err := spec.Build(opt.Args{})
+		if err != nil || p == nil {
+			t.Errorf("Build(%s) = %v, %v", name, p, err)
+		}
+	}
+}
+
+func TestScriptOptionsReachTypedOptions(t *testing.T) {
+	f, err := opt.ParseFlow("satmux(conflicts=64, depth=3, inference=false)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes, err := f.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, ok := passes[0].(*SatMuxPass)
+	if !ok {
+		t.Fatalf("compiled %T, want *SatMuxPass", passes[0])
+	}
+	want := SatMuxOptions{MaxConflicts: 64, SubgraphDepth: 3, DisableInference: true}
+	if sm.Opts != want {
+		t.Errorf("opts = %+v, want %+v", sm.Opts, want)
+	}
+
+	f, err = opt.ParseFlow("rebuild(selector_bits=8, force=true); smartly(patterns=7, conflicts=9)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passes, err = f.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	rb := passes[0].(*RebuildPass)
+	if rb.Opts != (RebuildOptions{MaxSelectorBits: 8, Force: true}) {
+		t.Errorf("rebuild opts = %+v", rb.Opts)
+	}
+	sp := passes[1].(*SmartlyPass)
+	if sp.RebuildOpts.MaxPatterns != 7 || sp.SatOpts.MaxConflicts != 9 {
+		t.Errorf("smartly opts = %+v / %+v", sp.SatOpts, sp.RebuildOpts)
+	}
+}
+
+func TestUnknownScriptOptionRejected(t *testing.T) {
+	if _, err := opt.ParseFlow("satmux(gain=2)"); err == nil {
+		t.Error("unknown satmux option accepted")
+	}
+	if _, err := opt.ParseFlow("rebuild(conflicts=1)"); err == nil {
+		t.Error("satmux option on rebuild accepted")
+	}
+}
+
+// TestZeroBudgetRejected: the option structs treat 0 as "use the
+// default", so an explicit zero in a script must be rejected rather
+// than silently running the default budget (misreported ablations).
+func TestZeroBudgetRejected(t *testing.T) {
+	for _, script := range []string{
+		"satmux(conflicts=0)", "satmux(cells=0)", "satmux(depth=-1)",
+		"rebuild(patterns=0)", "smartly(selector_bits=0)",
+	} {
+		if _, err := opt.ParseFlow(script); err == nil {
+			t.Errorf("ParseFlow(%q) accepted an explicit zero/negative budget", script)
+		}
+	}
+}
+
+// TestNamedFlowsMatchLegacyPipelines: each registered named flow must
+// rewrite a design bit-identically to the legacy pipeline constructor,
+// with identical counters.
+func TestNamedFlowsMatchLegacyPipelines(t *testing.T) {
+	legacy := map[string]func() opt.Pass{
+		"yosys":   func() opt.Pass { return PipelineYosys() },
+		"sat":     func() opt.Pass { return PipelineSAT(SatMuxOptions{}) },
+		"rebuild": func() opt.Pass { return PipelineRebuild(RebuildOptions{}) },
+		"full":    func() opt.Pass { return PipelineFull(SatMuxOptions{}, RebuildOptions{}) },
+	}
+	if got := opt.FlowNames(); len(got) != len(legacy) {
+		t.Fatalf("FlowNames = %v, want the four paper pipelines", got)
+	}
+	build := func() *rtlil.Module {
+		m := buildFigure3()
+		return m
+	}
+	for name, mk := range legacy {
+		flow, err := opt.NamedFlow(name)
+		if err != nil {
+			t.Fatalf("NamedFlow(%s): %v", name, err)
+		}
+		mLegacy, mFlow := build(), build()
+		rLegacy, err := opt.RunScript(nil, mLegacy, mk())
+		if err != nil {
+			t.Fatalf("%s legacy: %v", name, err)
+		}
+		rFlow, err := flow.Run(nil, mFlow)
+		if err != nil {
+			t.Fatalf("%s flow: %v", name, err)
+		}
+		if !reflect.DeepEqual(rLegacy.Details, rFlow.Details) || rLegacy.Changed != rFlow.Changed {
+			t.Errorf("%s: counters differ: legacy %v, flow %v", name, rLegacy.Details, rFlow.Details)
+		}
+		var a, b bytes.Buffer
+		dl, df := rtlil.NewDesign(), rtlil.NewDesign()
+		dl.AddModule(mLegacy)
+		df.AddModule(mFlow)
+		if err := rtlil.WriteJSON(&a, dl); err != nil {
+			t.Fatal(err)
+		}
+		if err := rtlil.WriteJSON(&b, df); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("%s: netlists differ between legacy pipeline and named flow", name)
+		}
+	}
+}

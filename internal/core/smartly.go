@@ -21,6 +21,11 @@ type SmartlyPass struct {
 // Name implements opt.Pass.
 func (p *SmartlyPass) Name() string { return "smartly" }
 
+// Composite implements opt.Composite: the satmux and rebuild children
+// run through a nested RunScript and report their own counters, so the
+// wrapper must not be double-counted in the run report.
+func (p *SmartlyPass) Composite() {}
+
 // Run implements opt.Pass.
 func (p *SmartlyPass) Run(c *opt.Ctx, m *rtlil.Module) (opt.Result, error) {
 	p.satmux = SatMuxPass{Opts: p.SatOpts}

@@ -35,7 +35,8 @@ func TestDiagnoseBlocks(t *testing.T) {
 			t.Fatalf("%s: %v", name, err)
 		}
 		fmt.Printf("%-10s orig=%6d yosys=%6d sat=%6d reb=%6d full=%6d  satR=%5.1f%% rebR=%5.1f%% fullR=%5.1f%%\n",
-			name, cr.Original, cr.Yosys, cr.SAT, cr.Rebuild, cr.Full,
+			name, cr.Original, cr.Area(FlowYosys), cr.Area(FlowSAT),
+			cr.Area(FlowRebuild), cr.Area(FlowFull),
 			cr.RatioSAT(), cr.RatioRebuild(), cr.RatioFull())
 	}
 }

@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/genbench"
+)
+
+func TestParseFlows(t *testing.T) {
+	flows, err := ParseFlows([]string{"yosys", "custom=opt_expr; opt_clean"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 2 || flows[0].Name != "yosys" || flows[1].Name != "custom" {
+		t.Fatalf("flows = %+v", flows)
+	}
+	if got := flows[1].Flow.String(); got != "opt_expr; opt_clean" {
+		t.Errorf("custom flow = %q", got)
+	}
+	if _, err := ParseFlows([]string{"bad=no_such_pass"}); err == nil {
+		t.Error("unknown pass in flow spec accepted")
+	}
+	if _, err := ParseFlows([]string{"nosuchflow"}); err == nil {
+		t.Error("unknown named flow accepted")
+	}
+	if _, err := ParseFlows([]string{"full", "full=opt_expr; opt_clean"}); err == nil {
+		t.Error("duplicate flow name accepted (areas are keyed by name)")
+	}
+	if _, err := ParseFlows([]string{"=opt_expr"}); err == nil {
+		t.Error("empty flow name accepted")
+	}
+}
+
+// TestRunCaseCustomFlows: the harness measures an arbitrary flow set —
+// here an ablation comparing the baseline against a satmux-only flow
+// with a tuned conflict budget.
+func TestRunCaseCustomFlows(t *testing.T) {
+	flows, err := ParseFlows([]string{
+		"base=fixpoint { opt_expr; opt_muxtree; opt_clean }",
+		"tuned=fixpoint { opt_expr; satmux(conflicts=500); opt_clean }",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := genbench.Recipes()[9] // ac97_ctrl: smallest mixed case
+	cr, err := RunCase(r, Options{Scale: 0.03, Flows: flows, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Areas) != 2 {
+		t.Fatalf("areas = %+v, want 2 flows", cr.Areas)
+	}
+	if cr.Area("base") <= 0 || cr.Area("tuned") <= 0 {
+		t.Errorf("bad areas: %+v", cr.Areas)
+	}
+	if cr.Area("tuned") > cr.Area("base") {
+		t.Errorf("tuned satmux (%d) worse than baseline (%d)", cr.Area("tuned"), cr.Area("base"))
+	}
+	if cr.Ratio("base", "tuned") < 0 {
+		t.Errorf("ratio = %v", cr.Ratio("base", "tuned"))
+	}
+}
+
+func TestBenchReportJSON(t *testing.T) {
+	flows := DefaultFlows()
+	cases := []CaseResult{
+		{Name: "alpha", Original: 1000, Elapsed: 1500 * time.Millisecond, Areas: map[string]int{
+			FlowYosys: 500, FlowSAT: 480, FlowRebuild: 450, FlowFull: 430}},
+	}
+	rep := NewBenchReport(0.25, flows, cases, nil, 2*time.Second)
+	if rep.Schema != BenchSchema || rep.Scale != 0.25 || rep.ElapsedMS != 2000 {
+		t.Errorf("header = %+v", rep)
+	}
+	if len(rep.Flows) != 4 || rep.Flows[0] != FlowYosys {
+		t.Errorf("flows = %v", rep.Flows)
+	}
+	c := rep.Cases[0]
+	if c.OriginalArea != 1000 || c.Areas[FlowFull] != 430 || c.ElapsedMS != 1500 {
+		t.Errorf("case = %+v", c)
+	}
+	if _, ok := c.RatiosPct[FlowYosys]; ok {
+		t.Error("baseline flow has a ratio against itself")
+	}
+	if got := c.RatiosPct[FlowFull]; got != 14 {
+		t.Errorf("full ratio = %v, want 14", got)
+	}
+	if got := rep.AvgRatioPct[FlowFull]; got != 14 {
+		t.Errorf("avg full ratio = %v, want 14", got)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Schema != BenchSchema || len(back.Cases) != 1 {
+		t.Errorf("round trip = %+v", back)
+	}
+}

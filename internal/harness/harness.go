@@ -1,8 +1,10 @@
 // Package harness runs the paper's experiments end to end: it generates
-// each benchmark case, optimizes it with the four pipelines (Yosys
-// baseline, smaRTLy SAT-only, Rebuild-only, Full), measures AIG areas
-// and renders the rows of Table II, Table III and the industrial
-// summary (§IV-B).
+// each benchmark case, optimizes it with a set of flows (by default the
+// paper's four pipelines: Yosys baseline, smaRTLy SAT-only,
+// Rebuild-only, Full), measures AIG areas and renders the rows of
+// Table II, Table III and the industrial summary (§IV-B). Arbitrary
+// flows — ablations, tuned budgets, custom pass orders — plug in
+// through Options.Flows.
 package harness
 
 import (
@@ -15,30 +17,110 @@ import (
 
 	"repro/internal/aig"
 	"repro/internal/cec"
-	"repro/internal/core"
+	_ "repro/internal/core" // registers the smaRTLy passes and named flows
 	"repro/internal/genbench"
 	"repro/internal/opt"
 )
 
-// CaseResult holds the measured areas for one benchmark case.
+// FlowSpec is one flow measured by the harness: a short column name and
+// the compiled flow to run.
+type FlowSpec struct {
+	Name string
+	Flow *opt.Flow
+}
+
+// The canonical flow names of the paper's evaluation.
+const (
+	FlowYosys   = "yosys"
+	FlowSAT     = "sat"
+	FlowRebuild = "rebuild"
+	FlowFull    = "full"
+)
+
+// DefaultFlows returns the four pipelines compared in the paper's
+// Tables II and III, as registered named flows.
+func DefaultFlows() []FlowSpec {
+	names := []string{FlowYosys, FlowSAT, FlowRebuild, FlowFull}
+	out := make([]FlowSpec, 0, len(names))
+	for _, name := range names {
+		f, err := opt.NamedFlow(name)
+		if err != nil {
+			panic(fmt.Sprintf("harness: built-in flow %q missing: %v", name, err))
+		}
+		out = append(out, FlowSpec{Name: name, Flow: f})
+	}
+	return out
+}
+
+// ParseFlows parses "name=script" (or bare named-flow "name") specs
+// from a CLI into FlowSpecs.
+func ParseFlows(specs []string) ([]FlowSpec, error) {
+	out := make([]FlowSpec, 0, len(specs))
+	seen := map[string]bool{}
+	for _, s := range specs {
+		name, script, hasScript := strings.Cut(s, "=")
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("harness: flow spec %q has no name", s)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("harness: duplicate flow name %q (names key the result areas)", name)
+		}
+		seen[name] = true
+		var f *opt.Flow
+		var err error
+		if hasScript {
+			f, err = opt.ParseFlow(script)
+		} else {
+			f, err = opt.NamedFlow(name)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("harness: flow %q: %w", name, err)
+		}
+		out = append(out, FlowSpec{Name: name, Flow: f})
+	}
+	return out, nil
+}
+
+// CaseResult holds the measured areas for one benchmark case, keyed by
+// flow name.
 type CaseResult struct {
 	Name     string
 	Original int
-	Yosys    int
-	SAT      int
-	Rebuild  int
-	Full     int
+	Areas    map[string]int
 	Elapsed  time.Duration
 }
 
+// Area returns the optimized area of the named flow (0 if it did not
+// run).
+func (c CaseResult) Area(flow string) int { return c.Areas[flow] }
+
+// Ratio is the extra reduction of flow vs base in percent.
+func (c CaseResult) Ratio(base, flow string) float64 {
+	return ratio(c.Areas[base], c.Areas[flow])
+}
+
 // RatioSAT is Table III's "SAT" column: extra reduction vs Yosys in %.
-func (c CaseResult) RatioSAT() float64 { return ratio(c.Yosys, c.SAT) }
+func (c CaseResult) RatioSAT() float64 { return c.Ratio(FlowYosys, FlowSAT) }
 
 // RatioRebuild is Table III's "Rebuild" column.
-func (c CaseResult) RatioRebuild() float64 { return ratio(c.Yosys, c.Rebuild) }
+func (c CaseResult) RatioRebuild() float64 { return c.Ratio(FlowYosys, FlowRebuild) }
 
 // RatioFull is the Table II/III "Full" ratio.
-func (c CaseResult) RatioFull() float64 { return ratio(c.Yosys, c.Full) }
+func (c CaseResult) RatioFull() float64 { return c.Ratio(FlowYosys, FlowFull) }
+
+// equalAreas reports whether two results measured identical areas.
+func equalAreas(a, b CaseResult) bool {
+	if a.Name != b.Name || a.Original != b.Original || len(a.Areas) != len(b.Areas) {
+		return false
+	}
+	for k, v := range a.Areas {
+		if b.Areas[k] != v {
+			return false
+		}
+	}
+	return true
+}
 
 func ratio(base, opt int) float64 {
 	if base == 0 {
@@ -52,6 +134,10 @@ type Options struct {
 	// Scale multiplies the calibrated block counts (1.0 = calibrated
 	// size; the paper's absolute circuit sizes are ~100x larger).
 	Scale float64
+	// Flows are the optimization flows to measure; nil means
+	// DefaultFlows (the paper's four pipelines). Flow names must be
+	// unique: they key the result areas.
+	Flows []FlowSpec
 	// Check runs combinational equivalence checking on every
 	// optimized netlist (slow; intended for tests and small scales).
 	Check bool
@@ -59,7 +145,7 @@ type Options struct {
 	// several goroutines; withDefaults wraps it in a mutex.
 	Logf func(format string, args ...any)
 	// Jobs bounds how many benchmark cases (and, within one case, how
-	// many of the four pipelines) run concurrently. 0 means
+	// many of the flows) run concurrently. 0 means
 	// runtime.GOMAXPROCS(0); 1 forces the sequential path. Results are
 	// identical for every value.
 	Jobs int
@@ -73,6 +159,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.Scale == 0 {
 		o.Scale = 1.0
+	}
+	if o.Flows == nil {
+		o.Flows = DefaultFlows()
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
@@ -110,11 +199,11 @@ func (o Options) perCase() Options {
 	return inner
 }
 
-// RunCase generates one case and measures all four pipelines.
+// RunCase generates one case and measures every configured flow.
 func RunCase(r genbench.Recipe, o Options) (CaseResult, error) {
 	o = o.withDefaults()
 	start := time.Now()
-	res := CaseResult{Name: r.Name}
+	res := CaseResult{Name: r.Name, Areas: map[string]int{}}
 
 	m := genbench.Generate(r, o.Scale)
 	if err := m.Validate(); err != nil {
@@ -126,36 +215,28 @@ func RunCase(r genbench.Recipe, o Options) (CaseResult, error) {
 		return res, err
 	}
 
-	pipelines := []struct {
-		name string
-		pass opt.Pass
-		out  *int
-	}{
-		{"yosys", core.PipelineYosys(), &res.Yosys},
-		{"sat", core.PipelineSAT(core.SatMuxOptions{}), &res.SAT},
-		{"rebuild", core.PipelineRebuild(core.RebuildOptions{}), &res.Rebuild},
-		{"full", core.PipelineFull(core.SatMuxOptions{}, core.RebuildOptions{}), &res.Full},
-	}
-	// The four pipelines each optimize a private clone, so they run
-	// concurrently; every area lands in its own slot, keeping the result
-	// independent of scheduling. An unset Workers budget is shared
-	// between the concurrent pipelines rather than multiplied by them.
+	// The flows each optimize a private clone, so they run concurrently;
+	// every area lands in its own slot, keeping the result independent
+	// of scheduling. An unset Workers budget is shared between the
+	// concurrent flows rather than multiplied by them.
+	flows := o.Flows
 	workers := o.Workers
 	if workers == 0 && o.Jobs > 1 {
-		workers = max(1, runtime.GOMAXPROCS(0)/len(pipelines))
+		workers = max(1, runtime.GOMAXPROCS(0)/len(flows))
 	}
-	errs := make([]error, len(pipelines))
-	opt.ForEach(o.Context, o.Jobs, len(pipelines), func(i int) {
-		p := pipelines[i]
+	areas := make([]int, len(flows))
+	errs := make([]error, len(flows))
+	opt.ForEach(o.Context, o.Jobs, len(flows), func(i int) {
+		fs := flows[i]
 		work := m.Clone()
 		ec := opt.NewCtx(o.Context, opt.Config{Workers: workers})
-		if _, err := p.pass.Run(ec, work); err != nil {
-			errs[i] = fmt.Errorf("harness: %s/%s: %w", r.Name, p.name, err)
+		if _, err := fs.Flow.Run(ec, work); err != nil {
+			errs[i] = fmt.Errorf("harness: %s/%s: %w", r.Name, fs.Name, err)
 			return
 		}
 		if o.Check {
 			if err := cec.Check(m, work, nil); err != nil {
-				errs[i] = fmt.Errorf("harness: %s/%s not equivalent: %w", r.Name, p.name, err)
+				errs[i] = fmt.Errorf("harness: %s/%s not equivalent: %w", r.Name, fs.Name, err)
 				return
 			}
 		}
@@ -164,8 +245,8 @@ func RunCase(r genbench.Recipe, o Options) (CaseResult, error) {
 			errs[i] = err
 			return
 		}
-		*p.out = a
-		o.Logf("%s/%s: area %d (original %d)", r.Name, p.name, a, res.Original)
+		areas[i] = a
+		o.Logf("%s/%s: area %d (original %d)", r.Name, fs.Name, a, res.Original)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -174,6 +255,9 @@ func RunCase(r genbench.Recipe, o Options) (CaseResult, error) {
 	}
 	if err := o.Context.Err(); err != nil {
 		return res, err
+	}
+	for i, fs := range flows {
+		res.Areas[fs.Name] = areas[i]
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil
@@ -201,24 +285,22 @@ func RunAll(o Options) ([]CaseResult, error) {
 
 // Averages computes the per-column averages used in the tables' last row.
 func Averages(results []CaseResult) CaseResult {
-	var avg CaseResult
-	avg.Name = "Average"
+	avg := CaseResult{Name: "Average", Areas: map[string]int{}}
 	n := len(results)
 	if n == 0 {
 		return avg
 	}
+	sums := map[string]int{}
 	for _, r := range results {
 		avg.Original += r.Original
-		avg.Yosys += r.Yosys
-		avg.SAT += r.SAT
-		avg.Rebuild += r.Rebuild
-		avg.Full += r.Full
+		for k, v := range r.Areas {
+			sums[k] += v
+		}
 	}
 	avg.Original /= n
-	avg.Yosys /= n
-	avg.SAT /= n
-	avg.Rebuild /= n
-	avg.Full /= n
+	for k, v := range sums {
+		avg.Areas[k] = v / n
+	}
 	return avg
 }
 
@@ -230,11 +312,11 @@ func TableII(results []CaseResult) string {
 	fmt.Fprintf(&sb, "%-15s %10s %10s %10s %8s\n", "Case", "Original", "Yosys", "smaRTLy", "Ratio")
 	for _, r := range results {
 		fmt.Fprintf(&sb, "%-15s %10d %10d %10d %7.2f%%\n",
-			r.Name, r.Original, r.Yosys, r.Full, r.RatioFull())
+			r.Name, r.Original, r.Area(FlowYosys), r.Area(FlowFull), r.RatioFull())
 	}
 	avg := Averages(results)
 	fmt.Fprintf(&sb, "%-15s %10d %10d %10d %7.2f%%\n",
-		avg.Name, avg.Original, avg.Yosys, avg.Full, avgRatioFull(results))
+		avg.Name, avg.Original, avg.Area(FlowYosys), avg.Area(FlowFull), avgRatioFull(results))
 	return sb.String()
 }
 
@@ -251,6 +333,33 @@ func TableIII(results []CaseResult) string {
 		avgOf(results, CaseResult.RatioSAT),
 		avgOf(results, CaseResult.RatioRebuild),
 		avgOf(results, CaseResult.RatioFull))
+	return sb.String()
+}
+
+// TableFlows renders a generic area table for an arbitrary flow set:
+// one column per flow plus the reduction of the last flow vs the first.
+func TableFlows(results []CaseResult, flows []FlowSpec) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-15s %10s", "Case", "Original")
+	for _, f := range flows {
+		fmt.Fprintf(&sb, " %10s", f.Name)
+	}
+	if len(flows) >= 2 {
+		fmt.Fprintf(&sb, " %8s", "Ratio")
+	}
+	sb.WriteByte('\n')
+	rows := append([]CaseResult{}, results...)
+	rows = append(rows, Averages(results))
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-15s %10d", r.Name, r.Original)
+		for _, f := range flows {
+			fmt.Fprintf(&sb, " %10d", r.Area(f.Name))
+		}
+		if len(flows) >= 2 {
+			fmt.Fprintf(&sb, " %7.2f%%", r.Ratio(flows[0].Name, flows[len(flows)-1].Name))
+		}
+		sb.WriteByte('\n')
+	}
 	return sb.String()
 }
 
@@ -303,7 +412,8 @@ func (r IndustrialResult) IndustrialSummary() string {
 	fmt.Fprintf(&sb, "Industrial benchmark (scaled reproduction, %d test points)\n", len(r.Points))
 	fmt.Fprintf(&sb, "%-15s %10s %10s %10s %8s\n", "Point", "Original", "Yosys", "smaRTLy", "Extra")
 	for i, p := range r.Points {
-		fmt.Fprintf(&sb, "point-%-9d %10d %10d %10d %7.2f%%\n", i, p.Original, p.Yosys, p.Full, p.RatioFull())
+		fmt.Fprintf(&sb, "point-%-9d %10d %10d %10d %7.2f%%\n",
+			i, p.Original, p.Area(FlowYosys), p.Area(FlowFull), p.RatioFull())
 	}
 	fmt.Fprintf(&sb, "smaRTLy removes %.1f%% more AIG area than Yosys (paper: 47.2%%)\n", r.AvgExtra)
 	return sb.String()

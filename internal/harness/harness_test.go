@@ -13,16 +13,17 @@ func TestRunCaseWithEquivalenceCheck(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cr.Original <= 0 || cr.Yosys <= 0 || cr.Full <= 0 {
+	if cr.Original <= 0 || cr.Area(FlowYosys) <= 0 || cr.Area(FlowFull) <= 0 {
 		t.Errorf("bad areas: %+v", cr)
 	}
-	if cr.Full > cr.Yosys {
-		t.Errorf("full (%d) worse than yosys (%d)", cr.Full, cr.Yosys)
+	if cr.Area(FlowFull) > cr.Area(FlowYosys) {
+		t.Errorf("full (%d) worse than yosys (%d)", cr.Area(FlowFull), cr.Area(FlowYosys))
 	}
 }
 
 func TestRatios(t *testing.T) {
-	cr := CaseResult{Yosys: 200, SAT: 180, Rebuild: 150, Full: 140}
+	cr := CaseResult{Areas: map[string]int{
+		FlowYosys: 200, FlowSAT: 180, FlowRebuild: 150, FlowFull: 140}}
 	if got := cr.RatioSAT(); got != 10 {
 		t.Errorf("RatioSAT = %v", got)
 	}
@@ -40,8 +41,10 @@ func TestRatios(t *testing.T) {
 
 func TestTableRendering(t *testing.T) {
 	results := []CaseResult{
-		{Name: "alpha", Original: 1000, Yosys: 500, SAT: 480, Rebuild: 450, Full: 430},
-		{Name: "beta", Original: 2000, Yosys: 900, SAT: 850, Rebuild: 880, Full: 820},
+		{Name: "alpha", Original: 1000, Areas: map[string]int{
+			FlowYosys: 500, FlowSAT: 480, FlowRebuild: 450, FlowFull: 430}},
+		{Name: "beta", Original: 2000, Areas: map[string]int{
+			FlowYosys: 900, FlowSAT: 850, FlowRebuild: 880, FlowFull: 820}},
 	}
 	t2 := TableII(results)
 	for _, want := range []string{"alpha", "beta", "Average", "Original", "smaRTLy"} {
@@ -56,11 +59,17 @@ func TestTableRendering(t *testing.T) {
 		}
 	}
 	avg := Averages(results)
-	if avg.Yosys != 700 || avg.Full != 625 {
+	if avg.Area(FlowYosys) != 700 || avg.Area(FlowFull) != 625 {
 		t.Errorf("averages wrong: %+v", avg)
 	}
 	if Averages(nil).Name != "Average" {
 		t.Error("empty Averages broken")
+	}
+	tf := TableFlows(results, DefaultFlows())
+	for _, want := range []string{"alpha", "beta", "Average", "yosys", "full", "Ratio"} {
+		if !strings.Contains(tf, want) {
+			t.Errorf("TableFlows missing %q:\n%s", want, tf)
+		}
 	}
 }
 
@@ -86,12 +95,13 @@ func TestTableShape(t *testing.T) {
 		}
 	}
 	for name, cr := range byName {
-		if cr.Full > cr.SAT || cr.Full > cr.Rebuild || cr.Full > cr.Yosys {
+		full, sat, reb, yosys := cr.Area(FlowFull), cr.Area(FlowSAT), cr.Area(FlowRebuild), cr.Area(FlowYosys)
+		if full > sat || full > reb || full > yosys {
 			t.Errorf("%s: full=%d should be <= sat=%d, rebuild=%d, yosys=%d",
-				name, cr.Full, cr.SAT, cr.Rebuild, cr.Yosys)
+				name, full, sat, reb, yosys)
 		}
-		if cr.Yosys > cr.Original {
-			t.Errorf("%s: yosys=%d larger than original=%d", name, cr.Yosys, cr.Original)
+		if yosys > cr.Original {
+			t.Errorf("%s: yosys=%d larger than original=%d", name, yosys, cr.Original)
 		}
 	}
 	tca := byName["top_cache_axi"]
@@ -114,7 +124,8 @@ func TestTableShape(t *testing.T) {
 
 func TestIndustrialSummaryRendering(t *testing.T) {
 	r := IndustrialResult{
-		Points:   []CaseResult{{Name: "industrial", Original: 100, Yosys: 90, Full: 50}},
+		Points: []CaseResult{{Name: "industrial", Original: 100,
+			Areas: map[string]int{FlowYosys: 90, FlowFull: 50}}},
 		AvgExtra: 44.4,
 	}
 	s := r.IndustrialSummary()

@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// BenchReport is the machine-readable output of cmd/smartly-bench
+// -json: per-case areas for every flow, reduction ratios vs the
+// baseline flow and wall times. The schema string versions the format
+// so future PRs can evolve it without breaking consumers.
+type BenchReport struct {
+	Schema     string      `json:"schema"`
+	Scale      float64     `json:"scale"`
+	Flows      []string    `json:"flows"`
+	Cases      []BenchCase `json:"cases"`
+	Industrial []BenchCase `json:"industrial,omitempty"`
+	// AvgRatioPct averages each flow's reduction vs the baseline flow
+	// over the public benchmark cases.
+	AvgRatioPct map[string]float64 `json:"avg_ratio_pct"`
+	ElapsedMS   int64              `json:"elapsed_ms"`
+}
+
+// BenchCase is one benchmark case of a BenchReport.
+type BenchCase struct {
+	Name         string         `json:"name"`
+	OriginalArea int            `json:"original_area"`
+	Areas        map[string]int `json:"areas"`
+	// RatiosPct is each flow's reduction vs the baseline (first) flow
+	// in percent; the baseline itself is omitted.
+	RatiosPct map[string]float64 `json:"ratios_pct"`
+	ElapsedMS int64              `json:"elapsed_ms"`
+}
+
+// BenchSchema identifies the current report format.
+const BenchSchema = "smartly-bench/v1"
+
+func benchCase(r CaseResult, flows []FlowSpec) BenchCase {
+	c := BenchCase{
+		Name:         r.Name,
+		OriginalArea: r.Original,
+		Areas:        map[string]int{},
+		RatiosPct:    map[string]float64{},
+		ElapsedMS:    r.Elapsed.Milliseconds(),
+	}
+	base := flows[0].Name
+	for _, f := range flows {
+		c.Areas[f.Name] = r.Area(f.Name)
+		if f.Name != base {
+			c.RatiosPct[f.Name] = r.Ratio(base, f.Name)
+		}
+	}
+	return c
+}
+
+// NewBenchReport assembles the machine-readable report from harness
+// results. The first flow is the ratio baseline.
+func NewBenchReport(scale float64, flows []FlowSpec, cases []CaseResult,
+	industrial []CaseResult, elapsed time.Duration) BenchReport {
+	if len(flows) == 0 {
+		flows = DefaultFlows()
+	}
+	rep := BenchReport{
+		Schema:      BenchSchema,
+		Scale:       scale,
+		AvgRatioPct: map[string]float64{},
+		ElapsedMS:   elapsed.Milliseconds(),
+	}
+	for _, f := range flows {
+		rep.Flows = append(rep.Flows, f.Name)
+	}
+	for _, r := range cases {
+		rep.Cases = append(rep.Cases, benchCase(r, flows))
+	}
+	for _, r := range industrial {
+		rep.Industrial = append(rep.Industrial, benchCase(r, flows))
+	}
+	base := flows[0].Name
+	for _, f := range flows[1:] {
+		rep.AvgRatioPct[f.Name] = avgOf(cases, func(c CaseResult) float64 {
+			return c.Ratio(base, f.Name)
+		})
+	}
+	return rep
+}
+
+// WriteJSON writes the report, indented for diff-friendly baselines.
+func (r BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

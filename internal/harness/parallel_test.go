@@ -32,7 +32,7 @@ func TestRunAllParallelDeterministic(t *testing.T) {
 		t.Fatalf("case counts differ: %d vs %d", len(a), len(b))
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if !equalAreas(a[i], b[i]) {
 			t.Errorf("case %s: sequential %+v != parallel %+v", a[i].Name, a[i], b[i])
 		}
 	}
@@ -53,10 +53,8 @@ func TestRunIndustrialParallel(t *testing.T) {
 		t.Errorf("AvgExtra differs: %v vs %v", seq.AvgExtra, par.AvgExtra)
 	}
 	for i := range seq.Points {
-		a, b := seq.Points[i], par.Points[i]
-		a.Elapsed, b.Elapsed = 0, 0
-		if a != b {
-			t.Errorf("point %d: %+v != %+v", i, a, b)
+		if !equalAreas(seq.Points[i], par.Points[i]) {
+			t.Errorf("point %d: %+v != %+v", i, seq.Points[i], par.Points[i])
 		}
 	}
 }

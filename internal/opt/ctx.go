@@ -22,8 +22,8 @@ type Ctx struct {
 	workers int
 	logf    func(format string, args ...any)
 
-	mu      sync.Mutex
-	timings map[string]*PassTiming
+	mu  sync.Mutex
+	rep *reportCollector
 }
 
 // Config configures a new engine context.
@@ -56,7 +56,7 @@ func NewCtx(parent context.Context, cfg Config) *Ctx {
 			inner(format, args...)
 		}
 	}
-	return &Ctx{ctx: parent, workers: w, logf: logf, timings: map[string]*PassTiming{}}
+	return &Ctx{ctx: parent, workers: w, logf: logf, rep: newReportCollector()}
 }
 
 // Background returns an engine context over context.Background with the
@@ -103,27 +103,41 @@ type PassTiming struct {
 }
 
 // StartPass records the start of a named pass and returns the function
-// that records its completion. Safe for concurrent use: design-level
-// runs share one Ctx across modules.
-func (c *Ctx) StartPass(name string) func() {
+// that records its completion (returning the measured duration). Safe
+// for concurrent use: design-level runs share one Ctx across modules.
+func (c *Ctx) StartPass(name string) func() time.Duration {
 	if c == nil {
-		return func() {}
+		return func() time.Duration { return 0 }
 	}
 	start := time.Now()
-	return func() {
+	return func() time.Duration {
 		d := time.Since(start)
 		c.mu.Lock()
-		t := c.timings[name]
-		if t == nil {
-			t = &PassTiming{Name: name}
-			c.timings[name] = t
-		}
-		t.Calls++
-		t.Total += d
-		calls, total := t.Calls, t.Total
+		calls, total := c.rep.recordTiming(name, d)
 		c.mu.Unlock()
 		c.Logf("pass=%s last=%s calls=%d total=%s", name, d, calls, total)
+		return d
 	}
+}
+
+// recordPass merges one leaf-pass invocation into the run report.
+func (c *Ctx) recordPass(name string, res Result, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rep.recordPass(name, res, d)
+}
+
+// recordFixpoint merges one fixpoint invocation into the run report.
+func (c *Ctx) recordFixpoint(name string, iters int, converged bool) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rep.recordFixpoint(name, iters, converged)
 }
 
 // Timings returns a snapshot of the per-pass timings, sorted by name.
@@ -133,8 +147,8 @@ func (c *Ctx) Timings() []PassTiming {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]PassTiming, 0, len(c.timings))
-	for _, t := range c.timings {
+	out := make([]PassTiming, 0, len(c.rep.timeOnly))
+	for _, t := range c.rep.timeOnly {
 		out = append(out, *t)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

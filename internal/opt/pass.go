@@ -63,11 +63,21 @@ type Pass interface {
 	Run(c *Ctx, m *rtlil.Module) (Result, error)
 }
 
+// Composite marks passes that orchestrate other passes through a
+// nested RunScript (fixpoint wrappers, the combined smartly pass):
+// their children report their own counters, so RunScript skips the
+// wrapper when building the per-pass run report to avoid counting the
+// same rewrites twice.
+type Composite interface {
+	// Composite is a marker method; it is never called.
+	Composite()
+}
+
 // RunScript runs the passes in order under c, merging their results and
-// recording per-pass timings in the context's sink. It stops at the
-// first pass error or context cancellation; the module is left in
-// whatever (still semantically equivalent) state the completed rewrites
-// produced.
+// recording per-pass counters and timings in the context's run report
+// (see Ctx.Report). It stops at the first pass error or context
+// cancellation; the module is left in whatever (still semantically
+// equivalent) state the completed rewrites produced.
 func RunScript(c *Ctx, m *rtlil.Module, passes ...Pass) (Result, error) {
 	total := newResult()
 	for _, p := range passes {
@@ -76,9 +86,12 @@ func RunScript(c *Ctx, m *rtlil.Module, passes ...Pass) (Result, error) {
 		}
 		done := c.StartPass(p.Name())
 		r, err := p.Run(c, m)
-		done()
+		d := done()
 		if err != nil {
 			return total, fmt.Errorf("opt: pass %s: %w", p.Name(), err)
+		}
+		if _, isComposite := p.(Composite); !isComposite {
+			c.recordPass(p.Name(), r, d)
 		}
 		total.merge(r)
 	}
@@ -107,8 +120,13 @@ func (f fixpointPass) Name() string {
 	return "fixpoint(" + strings.Join(names, ";") + ")"
 }
 
+// Composite implements the report marker: the body passes report their
+// own counters; the wrapper contributes only its iteration count.
+func (fixpointPass) Composite() {}
+
 func (f fixpointPass) Run(c *Ctx, m *rtlil.Module) (Result, error) {
 	total := newResult()
+	iters, converged := 0, false
 	for i := 0; i < f.iters; i++ {
 		if err := c.Err(); err != nil {
 			return total, err
@@ -117,10 +135,13 @@ func (f fixpointPass) Run(c *Ctx, m *rtlil.Module) (Result, error) {
 		if err != nil {
 			return total, err
 		}
+		iters++
 		total.merge(r)
 		if !r.Changed {
+			converged = true
 			break
 		}
 	}
+	c.recordFixpoint(f.Name(), iters, converged)
 	return total, nil
 }

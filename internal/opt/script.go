@@ -1,0 +1,261 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseFlow parses a Yosys-style flow script into a Flow. The grammar:
+//
+//	flow  := step { ";" step }
+//	step  := name [ "(" [ args ] ")" ] [ "{" flow "}" ]
+//	args  := key "=" value { "," key "=" value }
+//	name  := ident        (a registered pass, or "fixpoint")
+//	value := [^,;(){}= \t\n]+
+//
+// A "{ flow }" body is only valid on the fixpoint wrapper. Pass names
+// and options are validated against the registry; errors carry the
+// script position as "script:line:col".
+func ParseFlow(script string) (*Flow, error) {
+	p := &flowParser{src: script}
+	steps, err := p.parseSteps(false)
+	if err != nil {
+		return nil, err
+	}
+	if len(steps) == 0 {
+		return nil, p.errf(p.pos, "empty flow script")
+	}
+	return &Flow{steps: steps}, nil
+}
+
+// checkStep validates a step's name, option keys and option values
+// against the registry. It returns the index of the offending arg
+// (-1 for a step-level problem) so the parser can point at it.
+func checkStep(s Step) (int, error) {
+	spec, err := stepSpec(s)
+	if err != nil {
+		return -1, err
+	}
+	seen := map[string]bool{}
+	for i, a := range s.Args {
+		o, ok := spec.option(a.Key)
+		if !ok {
+			return i, fmt.Errorf("pass %s: unknown option %q%s", s.Name, a.Key, optionHint(spec))
+		}
+		if seen[a.Key] {
+			return i, fmt.Errorf("pass %s: duplicate option %q", s.Name, a.Key)
+		}
+		seen[a.Key] = true
+		if err := o.check(a.Value); err != nil {
+			return i, fmt.Errorf("pass %s: option %s: %w", s.Name, a.Key, err)
+		}
+	}
+	if s.Body != nil && len(s.Body.steps) == 0 {
+		return -1, fmt.Errorf("%s: empty body", s.Name)
+	}
+	return -1, nil
+}
+
+// optionHint lists a spec's option keys for unknown-option errors.
+func optionHint(spec PassSpec) string {
+	if len(spec.Options) == 0 {
+		return " (pass takes no options)"
+	}
+	keys := make([]string, len(spec.Options))
+	for i, o := range spec.Options {
+		keys[i] = o.Key
+	}
+	return " (have " + strings.Join(keys, ", ") + ")"
+}
+
+type flowParser struct {
+	src string
+	pos int
+}
+
+// errf builds a positional "script:line:col: msg" error.
+func (p *flowParser) errf(pos int, format string, args ...any) error {
+	line, col := 1, 1
+	for _, r := range p.src[:min(pos, len(p.src))] {
+		if r == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("opt: script:%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (p *flowParser) skipSpace() {
+	for p.pos < len(p.src) && isSpace(p.src[p.pos]) {
+		p.pos++
+	}
+}
+
+// peek returns the next non-space byte without consuming it (0 at EOF).
+func (p *flowParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+// parseSteps parses a ";"-separated step list, stopping at EOF or — in
+// a fixpoint body — at the closing brace. Empty statements (stray or
+// trailing semicolons) are tolerated, matching Yosys script behaviour.
+func (p *flowParser) parseSteps(inBody bool) ([]Step, error) {
+	var steps []Step
+	for {
+		switch c := p.peek(); {
+		case c == 0:
+			return steps, nil
+		case c == '}' && inBody:
+			return steps, nil
+		case c == ';':
+			p.pos++
+			continue
+		}
+		s, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, s)
+		switch c := p.peek(); {
+		case c == 0:
+			return steps, nil
+		case c == '}' && inBody:
+			return steps, nil
+		case c == ';':
+			p.pos++
+		default:
+			return nil, p.errf(p.pos, "expected ';' between steps, found %q", string(c))
+		}
+	}
+}
+
+func (p *flowParser) parseStep() (Step, error) {
+	namePos := p.pos
+	name, err := p.ident("pass name")
+	if err != nil {
+		return Step{}, err
+	}
+	s := Step{Name: name}
+	var argPos []int
+	if p.peek() == '(' {
+		p.pos++
+		if s.Args, argPos, err = p.parseArgs(); err != nil {
+			return Step{}, err
+		}
+	}
+	if p.peek() == '{' {
+		openPos := p.pos
+		p.pos++
+		body, err := p.parseSteps(true)
+		if err != nil {
+			return Step{}, err
+		}
+		if p.peek() != '}' {
+			return Step{}, p.errf(p.pos, "unclosed '{' opened at offset %d", openPos)
+		}
+		p.pos++
+		s.Body = &Flow{steps: body}
+	}
+	if i, err := checkStep(s); err != nil {
+		pos := namePos
+		if i >= 0 && i < len(argPos) {
+			pos = argPos[i]
+		}
+		return Step{}, p.errf(pos, "%s", err)
+	}
+	return s, nil
+}
+
+// parseArgs parses "key=value {, key=value}" up to and including the
+// closing parenthesis; an immediate ")" means no args. It returns the
+// args and the source offset of each key for error reporting.
+func (p *flowParser) parseArgs() ([]Arg, []int, error) {
+	var args []Arg
+	var argPos []int
+	if p.peek() == ')' {
+		p.pos++
+		return nil, nil, nil
+	}
+	for {
+		keyPos := p.pos
+		key, err := p.ident("option key")
+		if err != nil {
+			return nil, nil, err
+		}
+		if p.peek() != '=' {
+			return nil, nil, p.errf(p.pos, "expected '=' after option key %q", key)
+		}
+		p.pos++
+		val, err := p.value()
+		if err != nil {
+			return nil, nil, err
+		}
+		args = append(args, Arg{Key: key, Value: val})
+		argPos = append(argPos, keyPos)
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case ')':
+			p.pos++
+			return args, argPos, nil
+		default:
+			return nil, nil, p.errf(p.pos, "expected ',' or ')' in option list")
+		}
+	}
+}
+
+// ident consumes an identifier ([A-Za-z_][A-Za-z0-9_]*).
+func (p *flowParser) ident(what string) (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && isIdentByte(p.src[p.pos], p.pos > start) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf(start, "expected %s", what)
+	}
+	return p.src[start:p.pos], nil
+}
+
+// value consumes an option value: any run of bytes up to a delimiter.
+func (p *flowParser) value() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && !isSpace(p.src[p.pos]) && !strings.ContainsRune(",;(){}=", rune(p.src[p.pos])) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf(start, "expected option value")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+func isIdentByte(c byte, notFirst bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' {
+		return true
+	}
+	return notFirst && c >= '0' && c <= '9'
+}
+
+// isIdent reports whether s is a valid pass/option identifier.
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isIdentByte(s[i], i > 0) {
+			return false
+		}
+	}
+	return true
+}

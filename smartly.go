@@ -19,8 +19,14 @@
 //	design, _ := smartly.ParseVerilog(src)
 //	m := design.Top()
 //	before, _ := smartly.Area(m)
-//	report, _ := smartly.Optimize(m, smartly.PipelineFull)
+//	flow, _ := smartly.ParseFlow("fixpoint { opt_expr; smartly; opt_clean }")
+//	report, _ := flow.Run(m)
 //	after, _ := smartly.Area(m)
+//
+// Flows compose the registered passes (see Passes) with typed options;
+// NamedFlow("yosys"|"sat"|"rebuild"|"full") returns the paper's four
+// pipelines. The legacy Pipeline enum and Optimize remain as thin shims
+// over the named flows.
 package smartly
 
 import (
@@ -30,9 +36,7 @@ import (
 
 	"repro/internal/aig"
 	"repro/internal/cec"
-	"repro/internal/core"
 	"repro/internal/genbench"
-	"repro/internal/opt"
 	"repro/internal/rtlil"
 	"repro/internal/verilog"
 )
@@ -74,6 +78,11 @@ func ParseVerilog(src string) (*Design, error) {
 }
 
 // Pipeline selects an optimization flow from the paper's evaluation.
+//
+// Pipeline is the legacy closed enum; new code should use ParseFlow or
+// NamedFlow, which expose the same four pipelines plus arbitrary pass
+// combinations. Each enum value is a thin shim over its named flow and
+// produces bit-identical netlists and counters.
 type Pipeline int
 
 // The four flows compared in the paper's Tables II and III.
@@ -120,20 +129,23 @@ func ParsePipeline(name string) (Pipeline, error) {
 	return 0, fmt.Errorf("smartly: unknown pipeline %q (yosys|sat|rebuild|full)", name)
 }
 
-func (p Pipeline) pass() opt.Pass {
-	switch p {
-	case PipelineYosys:
-		return core.PipelineYosys()
-	case PipelineSAT:
-		return core.PipelineSAT(core.SatMuxOptions{})
-	case PipelineRebuild:
-		return core.PipelineRebuild(core.RebuildOptions{})
-	default:
-		return core.PipelineFull(core.SatMuxOptions{}, core.RebuildOptions{})
+// Flow returns the named flow the pipeline value shims over (never
+// fails: the four names are registered at init).
+func (p Pipeline) Flow() *Flow {
+	name := p.String()
+	if _, err := ParsePipeline(name); err != nil {
+		name = PipelineFull.String()
 	}
+	f, err := NamedFlow(name)
+	if err != nil {
+		panic(fmt.Sprintf("smartly: built-in flow %q missing: %v", name, err))
+	}
+	return f
 }
 
-// Report summarizes an optimization run.
+// Report summarizes an optimization run — the legacy flat shape kept
+// for Optimize/OptimizeContext/OptimizeDesign. Flow.Run returns the
+// structured RunReport instead.
 type Report struct {
 	// Changed reports whether any rewrite fired.
 	Changed bool
@@ -163,8 +175,9 @@ func Optimize(m *Module, p Pipeline) (Report, error) {
 // context error; the rewrites applied before the cancellation are each
 // individually sound, so the module is still equivalent to the input.
 func OptimizeContext(ctx context.Context, m *Module, p Pipeline, o OptimizeOptions) (Report, error) {
-	ec := opt.NewCtx(ctx, opt.Config{Workers: o.Workers, Logf: o.Logf})
-	r, err := opt.RunScript(ec, m, p.pass())
+	cfg := newRunConfig([]RunOption{
+		WithContext(ctx), WithWorkers(o.Workers), WithLogf(o.Logf)})
+	_, r, err := p.Flow().run(cfg, m)
 	return Report{Changed: r.Changed, Details: r.Details}, err
 }
 
@@ -174,28 +187,13 @@ func OptimizeContext(ctx context.Context, m *Module, p Pipeline, o OptimizeOptio
 // schedule). It returns the reports keyed by module name and the first
 // error encountered.
 func OptimizeDesign(ctx context.Context, d *Design, p Pipeline, o OptimizeOptions) (map[string]Report, error) {
-	ec := opt.NewCtx(ctx, opt.Config{Workers: o.Workers, Logf: o.Logf})
-	mods := d.Modules() // insertion order: deterministic, left untouched
-	reports := make([]Report, len(mods))
-	errs := make([]error, len(mods))
-	opt.ForEach(ec.Context(), ec.Workers(), len(mods), func(i int) {
-		// One pass instance per module: passes carry per-run state.
-		r, err := opt.RunScript(ec, mods[i], p.pass())
-		reports[i] = Report{Changed: r.Changed, Details: r.Details}
-		errs[i] = err
-	})
-	out := make(map[string]Report, len(mods))
-	var firstErr error
-	for i, m := range mods {
-		out[m.Name] = reports[i]
-		if firstErr == nil && errs[i] != nil {
-			firstErr = fmt.Errorf("module %s: %w", m.Name, errs[i])
-		}
+	runs, err := p.Flow().RunDesign(d,
+		WithContext(ctx), WithWorkers(o.Workers), WithLogf(o.Logf))
+	out := make(map[string]Report, len(runs))
+	for name, r := range runs {
+		out[name] = Report{Changed: r.Changed, Details: r.Counters()}
 	}
-	if firstErr == nil {
-		firstErr = ctx.Err()
-	}
-	return out, firstErr
+	return out, err
 }
 
 // Area maps the module to an And-Inverter Graph and returns the number
