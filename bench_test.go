@@ -1,4 +1,4 @@
-package smartly
+package smartly_test
 
 // The benchmark harness regenerates every table and figure of the
 // paper's evaluation (see DESIGN.md, per-experiment index):
@@ -26,6 +26,7 @@ import (
 	"strconv"
 	"testing"
 
+	"repro"
 	"repro/internal/bdd"
 	"repro/internal/core"
 	"repro/internal/genbench"
@@ -103,8 +104,8 @@ func BenchmarkIndustrial(b *testing.B) {
 // BenchmarkFigure3 measures the flagship single-circuit optimization:
 // Y = S ? ((S|R) ? A : B) : C collapsing to Y = S ? A : C.
 func BenchmarkFigure3(b *testing.B) {
-	build := func() *Module {
-		m := NewModule("fig3")
+	build := func() *smartly.Module {
+		m := smartly.NewModule("fig3")
 		a := m.AddInput("a", 8).Bits()
 		bb := m.AddInput("b", 8).Bits()
 		c := m.AddInput("c", 8).Bits()
@@ -118,10 +119,10 @@ func BenchmarkFigure3(b *testing.B) {
 	var after int
 	for i := 0; i < b.N; i++ {
 		m := build()
-		if _, err := Optimize(m, PipelineFull); err != nil {
+		if _, err := smartly.Optimize(m, smartly.PipelineFull); err != nil {
 			b.Fatal(err)
 		}
-		a, err := Area(m)
+		a, err := smartly.Area(m)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -301,7 +302,7 @@ func BenchmarkAIGMapping(b *testing.B) {
 	m := genbench.Generate(genbench.Recipes()[0], benchScale())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Area(m); err != nil {
+		if _, err := smartly.Area(m); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,200 @@
+// Package client is a thin Go client for the smartlyd HTTP API
+// (internal/server, endpoints documented in docs/api.md). It speaks the
+// wire types of internal/server/api and adds a design-level convenience
+// wrapper, OptimizeDesign, used by `smartly -remote`.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/server/api"
+)
+
+// Client talks to one smartlyd instance. The zero value is not usable;
+// construct with New.
+type Client struct {
+	baseURL string
+	httpc   *http.Client
+}
+
+// New builds a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:8080"). The default HTTP client is used; swap it
+// with SetHTTPClient for timeouts or custom transports.
+func New(baseURL string) *Client {
+	return &Client{baseURL: strings.TrimRight(baseURL, "/"), httpc: http.DefaultClient}
+}
+
+// SetHTTPClient replaces the underlying HTTP client.
+func (c *Client) SetHTTPClient(h *http.Client) { c.httpc = h }
+
+// APIError is a non-2xx response from the daemon.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("smartlyd: %s (HTTP %d)", e.Message, e.Status)
+}
+
+// do issues one request and decodes the JSON response into out.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd *bytes.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(raw)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e api.Error
+		if json.NewDecoder(resp.Body).Decode(&e) != nil || e.Error == "" {
+			e.Error = resp.Status
+		}
+		return &APIError{Status: resp.StatusCode, Message: e.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Optimize submits one optimization request. For async requests use
+// OptimizeAsync instead (the server answers with a Job, not a result).
+func (c *Client) Optimize(ctx context.Context, req api.OptimizeRequest) (*api.OptimizeResponse, error) {
+	if req.Async {
+		return nil, fmt.Errorf("client: async request sent to Optimize; use OptimizeAsync")
+	}
+	var out api.OptimizeResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/optimize", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// OptimizeAsync enqueues the request and returns the queued job.
+func (c *Client) OptimizeAsync(ctx context.Context, req api.OptimizeRequest) (api.Job, error) {
+	req.Async = true
+	var out api.Job
+	err := c.do(ctx, http.MethodPost, "/v1/optimize", req, &out)
+	return out, err
+}
+
+// Job polls one async job.
+func (c *Client) Job(ctx context.Context, id string) (api.Job, error) {
+	var out api.Job
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out)
+	return out, err
+}
+
+// Wait polls the job every interval (min 10ms) until it finishes or ctx
+// expires. A failed job returns the job and an error carrying its
+// message.
+func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (api.Job, error) {
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return j, err
+		}
+		switch j.State {
+		case api.JobDone:
+			return j, nil
+		case api.JobFailed:
+			return j, fmt.Errorf("client: job %s failed: %s", id, j.Error)
+		}
+		select {
+		case <-time.After(interval):
+		case <-ctx.Done():
+			return j, ctx.Err()
+		}
+	}
+}
+
+// Flows lists the daemon's registered named flows.
+func (c *Client) Flows(ctx context.Context) ([]api.FlowInfo, error) {
+	var out []api.FlowInfo
+	err := c.do(ctx, http.MethodGet, "/v1/flows", nil, &out)
+	return out, err
+}
+
+// Passes lists the daemon's pass registry.
+func (c *Client) Passes(ctx context.Context) ([]api.PassInfo, error) {
+	var out []api.PassInfo
+	err := c.do(ctx, http.MethodGet, "/v1/passes", nil, &out)
+	return out, err
+}
+
+// Health fetches the daemon health snapshot.
+func (c *Client) Health(ctx context.Context) (api.Health, error) {
+	var out api.Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+	return out, err
+}
+
+// OptimizeDesign ships a design to the daemon and decodes the optimized
+// netlist back. Exactly one of flow ("" = server default) and script
+// may be set. The returned response still carries the raw JSON and the
+// per-module reports.
+func (c *Client) OptimizeDesign(ctx context.Context, d *smartly.Design, flow, script string,
+	opts ...RequestOption) (*smartly.Design, *api.OptimizeResponse, error) {
+	var buf bytes.Buffer
+	if err := smartly.WriteJSON(&buf, d); err != nil {
+		return nil, nil, err
+	}
+	req := api.OptimizeRequest{Design: buf.Bytes(), Flow: flow, Script: script}
+	for _, o := range opts {
+		o(&req)
+	}
+	resp, err := c.Optimize(ctx, req)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := smartly.ReadJSON(bytes.NewReader(resp.Design))
+	if err != nil {
+		return nil, resp, fmt.Errorf("client: decoding optimized design: %w", err)
+	}
+	return out, resp, nil
+}
+
+// RequestOption tunes an OptimizeDesign request.
+type RequestOption func(*api.OptimizeRequest)
+
+// WithWorkers sets the per-request engine worker budget.
+func WithWorkers(n int) RequestOption {
+	return func(r *api.OptimizeRequest) { r.Workers = n }
+}
+
+// WithTimings includes wall-clock durations in the reports.
+func WithTimings() RequestOption {
+	return func(r *api.OptimizeRequest) { r.Timings = true }
+}
+
+// WithoutCache bypasses the daemon's result cache.
+func WithoutCache() RequestOption {
+	return func(r *api.OptimizeRequest) { r.NoCache = true }
+}

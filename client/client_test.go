@@ -1,0 +1,150 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/server"
+	"repro/internal/server/api"
+)
+
+const muxSrc = `
+module top(input [1:0] a, input [1:0] b, input s, output [1:0] y);
+  assign y = s ? a : b;
+endmodule
+`
+
+func startDaemon(t *testing.T) *Client {
+	t.Helper()
+	s := server.New(server.Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return New(ts.URL + "/") // trailing slash must not break paths
+}
+
+func parseDesign(t *testing.T) *smartly.Design {
+	t.Helper()
+	d, err := smartly.ParseVerilog(muxSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestOptimizeDesignRoundTrip(t *testing.T) {
+	c := startDaemon(t)
+	ctx := context.Background()
+	d := parseDesign(t)
+	before, err := smartly.Area(d.Top())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, resp, err := c.OptimizeDesign(ctx, d, "full", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Top() == nil {
+		t.Fatal("optimized design has no top module")
+	}
+	after, err := smartly.Area(out.Top())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > before {
+		t.Errorf("area grew: %d -> %d", before, after)
+	}
+	if resp.Cache != "miss" || resp.Key == "" {
+		t.Errorf("response %+v", resp)
+	}
+	if len(resp.Reports) == 0 {
+		t.Error("no reports in response")
+	}
+	// The optimized remote result equals a local run.
+	local := parseDesign(t)
+	flow, _ := smartly.NamedFlow("full")
+	if _, err := flow.RunDesign(local); err != nil {
+		t.Fatal(err)
+	}
+	wantArea, _ := smartly.Area(local.Top())
+	if after != wantArea {
+		t.Errorf("remote area %d != local area %d", after, wantArea)
+	}
+	if err := smartly.CheckEquivalence(parseDesign(t).Top(), out.Top()); err != nil {
+		t.Errorf("remote result not equivalent to input: %v", err)
+	}
+}
+
+func TestRegistryAndHealth(t *testing.T) {
+	c := startDaemon(t)
+	ctx := context.Background()
+	flows, err := c.Flows(ctx)
+	if err != nil || len(flows) < 4 {
+		t.Fatalf("flows: %v %v", flows, err)
+	}
+	passes, err := c.Passes(ctx)
+	if err != nil || len(passes) < 5 {
+		t.Fatalf("passes: %v %v", passes, err)
+	}
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("health: %+v %v", h, err)
+	}
+}
+
+func TestAPIErrorSurfaced(t *testing.T) {
+	c := startDaemon(t)
+	_, _, err := c.OptimizeDesign(context.Background(), parseDesign(t), "bogus", "")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if apiErr.Status != 400 || apiErr.Message == "" {
+		t.Errorf("apiErr = %+v", apiErr)
+	}
+}
+
+func TestAsyncWait(t *testing.T) {
+	c := startDaemon(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	d := parseDesign(t)
+	var req api.OptimizeRequest
+	{
+		out, _, err := c.OptimizeDesign(ctx, d, "yosys", "") // warm the cache
+		if err != nil || out == nil {
+			t.Fatal(err)
+		}
+	}
+	// Async submission of the same work finishes and hits the cache.
+	d2 := parseDesign(t)
+	buf := newDesignJSON(t, d2)
+	req = api.OptimizeRequest{Design: buf, Flow: "yosys"}
+	job, err := c.OptimizeAsync(ctx, req)
+	if err != nil || job.ID == "" {
+		t.Fatalf("submit: %+v %v", job, err)
+	}
+	job, err = c.Wait(ctx, job.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != api.JobDone || job.Result == nil || job.Result.Cache != "hit" {
+		t.Errorf("job %+v", job)
+	}
+}
+
+func newDesignJSON(t *testing.T, d *smartly.Design) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := smartly.WriteJSON(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

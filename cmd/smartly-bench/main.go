@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/harness"
@@ -43,35 +44,50 @@ func (f *flowList) Set(v string) error {
 	return nil
 }
 
+// benchConfig collects the CLI flags of one run.
+type benchConfig struct {
+	scale      float64
+	table      string
+	industrial int
+	check      bool
+	jobs       int
+	verbose    bool
+	jsonOut    bool
+	server     bool
+	flows      []string
+}
+
 func main() {
-	scale := flag.Float64("scale", 1.0, "benchmark scale factor")
-	table := flag.String("table", "all", "which table to regenerate: 2, 3 or all")
-	industrial := flag.Int("industrial", 0, "also run n industrial test points")
-	check := flag.Bool("check", false, "equivalence-check every optimized netlist (slow)")
-	jobs := flag.Int("j", 0, "benchmark cases and SAT-mux queries run concurrently (0 = all cores, 1 = sequential); results are identical for every value")
-	verbose := flag.Bool("v", false, "log per-flow progress")
-	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON report instead of tables")
+	var cfg benchConfig
+	flag.Float64Var(&cfg.scale, "scale", 1.0, "benchmark scale factor")
+	flag.StringVar(&cfg.table, "table", "all", "which table to regenerate: 2, 3 or all")
+	flag.IntVar(&cfg.industrial, "industrial", 0, "also run n industrial test points")
+	flag.BoolVar(&cfg.check, "check", false, "equivalence-check every optimized netlist (slow)")
+	flag.IntVar(&cfg.jobs, "j", 0, "benchmark cases and SAT-mux queries run concurrently (0 = all cores, 1 = sequential); results are identical for every value")
+	flag.BoolVar(&cfg.verbose, "v", false, "log per-flow progress")
+	flag.BoolVar(&cfg.jsonOut, "json", false, "emit one machine-readable JSON report instead of tables")
+	flag.BoolVar(&cfg.server, "server", false, "also measure serving-layer cold vs warm cache latency (in-process smartlyd)")
 	var flows flowList
 	flag.Var(&flows, "flow", "flow to measure: a named flow or name=script (repeatable; default: the paper's four pipelines)")
 	flag.Parse()
+	cfg.flows = flows
 
-	if err := runBench(*scale, *table, *industrial, *check, *jobs, *verbose, *jsonOut, flows, os.Stdout); err != nil {
+	if err := runBench(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "smartly-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func runBench(scale float64, table string, industrial int, check bool, jobs int,
-	verbose, jsonOut bool, flowSpecs []string, out io.Writer) error {
-	opts := harness.Options{Scale: scale, Check: check, Jobs: jobs, Workers: jobs}
-	if verbose {
+func runBench(cfg benchConfig, out io.Writer) error {
+	opts := harness.Options{Scale: cfg.scale, Check: cfg.check, Jobs: cfg.jobs, Workers: cfg.jobs}
+	if cfg.verbose {
 		opts.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
-	custom := len(flowSpecs) > 0
+	custom := len(cfg.flows) > 0
 	if custom {
-		fs, err := harness.ParseFlows(flowSpecs)
+		fs, err := harness.ParseFlows(cfg.flows)
 		if err != nil {
 			return err
 		}
@@ -83,14 +99,14 @@ func runBench(scale float64, table string, industrial int, check bool, jobs int,
 	start := time.Now()
 	var results, points []harness.CaseResult
 	var industrialSummary string
-	if table == "2" || table == "3" || table == "all" {
+	if cfg.table == "2" || cfg.table == "3" || cfg.table == "all" {
 		var err error
 		if results, err = harness.RunAll(opts); err != nil {
 			return err
 		}
 	}
-	if industrial > 0 {
-		res, err := harness.RunIndustrial(industrial, opts)
+	if cfg.industrial > 0 {
+		res, err := harness.RunIndustrial(cfg.industrial, opts)
 		if err != nil {
 			return err
 		}
@@ -104,9 +120,18 @@ func runBench(scale float64, table string, industrial int, check bool, jobs int,
 			industrialSummary = res.IndustrialSummary()
 		}
 	}
+	var serverBench *harness.ServerBench
+	if cfg.server {
+		sb, err := harness.RunServerBench(serverBenchCase, serverBenchFlow(cfg.flows), cfg.scale, 3)
+		if err != nil {
+			return err
+		}
+		serverBench = &sb
+	}
 
-	if jsonOut {
-		rep := harness.NewBenchReport(scale, opts.Flows, results, points, time.Since(start))
+	if cfg.jsonOut {
+		rep := harness.NewBenchReport(cfg.scale, opts.Flows, results, points, time.Since(start))
+		rep.Server = serverBench
 		return rep.WriteJSON(out)
 	}
 	if results != nil {
@@ -114,10 +139,10 @@ func runBench(scale float64, table string, industrial int, check bool, jobs int,
 		case custom:
 			fmt.Fprintln(out, harness.TableFlows(results, opts.Flows))
 		default:
-			if table != "3" {
+			if cfg.table != "3" {
 				fmt.Fprintln(out, harness.TableII(results))
 			}
-			if table != "2" {
+			if cfg.table != "2" {
 				fmt.Fprintln(out, harness.TableIII(results))
 			}
 		}
@@ -125,5 +150,21 @@ func runBench(scale float64, table string, industrial int, check bool, jobs int,
 	if industrialSummary != "" {
 		fmt.Fprintln(out, industrialSummary)
 	}
+	if serverBench != nil {
+		fmt.Fprintln(out, serverBench.String())
+	}
 	return nil
+}
+
+// serverBenchCase is the fixed case the -server latency smoke measures:
+// the first public benchmark, so numbers are comparable across runs.
+const serverBenchCase = "top_cache_axi"
+
+// serverBenchFlow picks the daemon-side flow for -server: the first
+// -flow spec when it is a bare registered name, else "full".
+func serverBenchFlow(flowSpecs []string) string {
+	if len(flowSpecs) > 0 && !strings.Contains(flowSpecs[0], "=") {
+		return flowSpecs[0]
+	}
+	return "full"
 }

@@ -13,7 +13,7 @@ import (
 // with every case and flow populated.
 func TestBenchJSONReport(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runBench(0.02, "all", 1, false, 0, false, true, nil, &buf); err != nil {
+	if err := runBench(benchConfig{scale: 0.02, table: "all", industrial: 1, jsonOut: true}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep harness.BenchReport
@@ -45,7 +45,7 @@ func TestBenchJSONReport(t *testing.T) {
 func TestBenchCustomFlows(t *testing.T) {
 	var buf bytes.Buffer
 	flows := []string{"yosys", "quick=opt_expr; opt_clean"}
-	if err := runBench(0.02, "2", 0, false, 0, false, false, flows, &buf); err != nil {
+	if err := runBench(benchConfig{scale: 0.02, table: "2", flows: flows}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -62,7 +62,7 @@ func TestBenchCustomFlows(t *testing.T) {
 func TestBenchCustomFlowsIndustrial(t *testing.T) {
 	var buf bytes.Buffer
 	flows := []string{"base=opt_expr; opt_clean", "quick=fixpoint { opt_expr; opt_clean }"}
-	if err := runBench(0.02, "", 1, false, 0, false, false, flows, &buf); err != nil {
+	if err := runBench(benchConfig{scale: 0.02, industrial: 1, flows: flows}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -76,17 +76,51 @@ func TestBenchCustomFlowsIndustrial(t *testing.T) {
 	}
 }
 
+// TestBenchServerMode: -server attaches the warm-vs-cold latency smoke
+// to the JSON report.
+func TestBenchServerMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins a server and optimizes repeatedly")
+	}
+	var buf bytes.Buffer
+	if err := runBench(benchConfig{scale: 0.05, table: "", server: true, jsonOut: true}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep harness.BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if rep.Server == nil {
+		t.Fatal("report has no server section")
+	}
+	if rep.Server.Case != "top_cache_axi" || rep.Server.Flow != "full" {
+		t.Errorf("server bench %+v", rep.Server)
+	}
+	if rep.Server.ColdMS <= 0 || rep.Server.WarmMS <= 0 {
+		t.Errorf("latencies not measured: %+v", rep.Server)
+	}
+
+	// The table mode prints the human-readable line.
+	buf.Reset()
+	if err := runBench(benchConfig{scale: 0.05, table: "", server: true, flows: []string{"yosys"}}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Server cache latency") ||
+		!strings.Contains(buf.String(), "flow=yosys") {
+		t.Errorf("table output:\n%s", buf.String())
+	}
+}
+
 func TestBenchBadFlowSpec(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runBench(0.02, "2", 0, false, 0, false, false,
-		[]string{"bad=no_such_pass"}, &buf); err == nil {
+	if err := runBench(benchConfig{scale: 0.02, table: "2", flows: []string{"bad=no_such_pass"}}, &buf); err == nil {
 		t.Error("invalid flow spec accepted")
 	}
 }
 
 func TestBenchTables(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runBench(0.02, "all", 0, false, 0, false, false, nil, &buf); err != nil {
+	if err := runBench(benchConfig{scale: 0.02, table: "all"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -1,17 +1,20 @@
 package main
 
 import (
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro"
+	"repro/internal/server"
 )
 
 func TestRunVerilogInput(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "out.json")
-	if err := run("../../testdata/fig3.v", "full", "", out, true, true, 0, false); err != nil {
+	o := options{flowName: "full", outPath: out, check: true, quiet: true}
+	if err := run("../../testdata/fig3.v", o); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -31,19 +34,19 @@ func TestRunVerilogInput(t *testing.T) {
 func TestRunJSONRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	first := filepath.Join(dir, "a.json")
-	if err := run("../../testdata/case4.v", "yosys", "", first, false, true, 0, false); err != nil {
+	if err := run("../../testdata/case4.v", options{flowName: "yosys", outPath: first, quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	// Feed the JSON back in with a different flow.
 	second := filepath.Join(dir, "b.json")
-	if err := run(first, "full", "", second, true, true, 0, false); err != nil {
+	if err := run(first, options{flowName: "full", outPath: second, check: true, quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAllNamedFlows(t *testing.T) {
 	for _, p := range []string{"yosys", "sat", "rebuild", "full"} {
-		if err := run("../../testdata/case4.v", p, "", "", true, true, 0, false); err != nil {
+		if err := run("../../testdata/case4.v", options{flowName: p, check: true, quiet: true}); err != nil {
 			t.Errorf("flow %s: %v", p, err)
 		}
 	}
@@ -51,26 +54,52 @@ func TestRunAllNamedFlows(t *testing.T) {
 
 func TestRunScriptFlow(t *testing.T) {
 	script := "fixpoint { opt_expr; satmux(conflicts=500); opt_clean }"
-	if err := run("../../testdata/fig3.v", "", script, "", true, true, 0, false); err != nil {
+	if err := run("../../testdata/fig3.v", options{script: script, check: true, quiet: true}); err != nil {
 		t.Fatalf("script flow: %v", err)
 	}
 	// With timings enabled the run must still succeed.
-	if err := run("../../testdata/fig3.v", "", "opt_expr; opt_clean", "", false, true, 0, true); err != nil {
+	if err := run("../../testdata/fig3.v", options{script: "opt_expr; opt_clean", quiet: true, timings: true}); err != nil {
 		t.Fatalf("script flow with timings: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("missing.v", "full", "", "", false, true, 0, false); err == nil {
+	if err := run("missing.v", options{flowName: "full", quiet: true}); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run("../../testdata/fig3.v", "bogus", "", "", false, true, 0, false); err == nil ||
-		!strings.Contains(err.Error(), "unknown flow") {
+	// An unknown flow error must name the offending flow.
+	if err := run("../../testdata/fig3.v", options{flowName: "bogus", quiet: true}); err == nil ||
+		!strings.Contains(err.Error(), "unknown flow") || !strings.Contains(err.Error(), "bogus") {
 		t.Errorf("bogus flow: %v", err)
 	}
-	if err := run("../../testdata/fig3.v", "", "satmux(gain=2)", "", false, true, 0, false); err == nil ||
+	if err := run("../../testdata/fig3.v", options{script: "satmux(gain=2)", quiet: true}); err == nil ||
 		!strings.Contains(err.Error(), "unknown option") {
 		t.Errorf("bogus script: %v", err)
+	}
+}
+
+// TestCheckFlowFlags is the regression test for the silently-ignored
+// flag combination: an explicit -flow together with -script must be
+// rejected with a usage hint (main exits 2 on this error).
+func TestCheckFlowFlags(t *testing.T) {
+	err := checkFlowFlags(true, "opt_expr; opt_clean")
+	if err == nil {
+		t.Fatal("-flow + -script accepted")
+	}
+	for _, want := range []string{"mutually exclusive", "-flow", "-script"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("conflict error %q misses %q", err, want)
+		}
+	}
+	// Each alone is fine; the -flow default with a script is fine too.
+	if err := checkFlowFlags(false, "opt_expr"); err != nil {
+		t.Errorf("script only: %v", err)
+	}
+	if err := checkFlowFlags(true, ""); err != nil {
+		t.Errorf("flow only: %v", err)
+	}
+	if err := checkFlowFlags(false, ""); err != nil {
+		t.Errorf("defaults: %v", err)
 	}
 }
 
@@ -82,5 +111,58 @@ func TestSelectFlowLabels(t *testing.T) {
 	f, label, err = selectFlow("", "opt_expr; opt_clean")
 	if err != nil || f == nil || label != "opt_expr; opt_clean" {
 		t.Errorf("script: %v %q %v", f, label, err)
+	}
+}
+
+// readHash loads a JSON netlist and returns its canonical design hash.
+func readHash(t *testing.T, path string) string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := smartly.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return smartly.HashDesign(d)
+}
+
+// TestRunRemote drives the full -remote path against an in-process
+// smartlyd and checks it matches the local run byte for byte.
+func TestRunRemote(t *testing.T) {
+	s := server.New(server.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	dir := t.TempDir()
+	localOut := filepath.Join(dir, "local.json")
+	remoteOut := filepath.Join(dir, "remote.json")
+	if err := run("../../testdata/fig3.v", options{flowName: "full", outPath: localOut, quiet: true}); err != nil {
+		t.Fatal(err)
+	}
+	o := options{flowName: "full", remote: ts.URL, outPath: remoteOut, check: true, quiet: true}
+	if err := run("../../testdata/fig3.v", o); err != nil {
+		t.Fatal(err)
+	}
+	// The remote payload goes through one extra JSON round-trip (which
+	// normalizes wire order), so compare canonical content hashes, not
+	// raw bytes.
+	if readHash(t, localOut) != readHash(t, remoteOut) {
+		t.Error("remote -o netlist differs from local -o netlist")
+	}
+
+	// Remote with a script instead of a named flow.
+	if err := run("../../testdata/fig3.v", options{script: "opt_expr; opt_clean", remote: ts.URL, quiet: true}); err != nil {
+		t.Fatalf("remote script: %v", err)
+	}
+	// Remote errors surface the daemon message.
+	if err := run("../../testdata/fig3.v", options{flowName: "bogus", remote: ts.URL, quiet: true}); err == nil ||
+		!strings.Contains(err.Error(), "bogus") {
+		t.Errorf("remote bogus flow: %v", err)
 	}
 }

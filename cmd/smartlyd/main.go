@@ -1,0 +1,129 @@
+// Command smartlyd serves RTL optimization flows over HTTP:
+// optimization as a service on top of the smartly flow registry, with a
+// content-addressed result cache so repeated submissions of the same
+// netlist + flow return without re-running the engine.
+//
+// Usage:
+//
+//	smartlyd [-addr :8080] [-jobs n] [-queue n] [-workers n]
+//	         [-cache-dir dir] [-cache-size mib] [-flow full] [-q]
+//
+// Endpoints (see docs/api.md):
+//
+//	POST /v1/optimize   optimize a JSON netlist (sync, or async with
+//	                    {"async": true})
+//	GET  /v1/jobs/{id}  poll an async submission
+//	GET  /v1/flows      registered named flows
+//	GET  /v1/passes     pass registry with options
+//	GET  /healthz       liveness + job/cache counters
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests and
+// accepted async jobs finish (bounded by -drain), new work is refused.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/server"
+)
+
+// options collects the daemon flags.
+type options struct {
+	addr     string
+	jobs     int
+	queue    int
+	workers  int
+	cacheDir string
+	cacheMiB int64
+	flow     string
+	drain    time.Duration
+	quiet    bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&o.jobs, "jobs", 0, "max concurrent optimizations (0 = all cores)")
+	flag.IntVar(&o.queue, "queue", 0, "max admitted requests before 503 (0 = 4*jobs)")
+	flag.IntVar(&o.workers, "workers", 0, "default per-request engine worker budget (0 = all cores)")
+	flag.StringVar(&o.cacheDir, "cache-dir", "", "result cache disk tier directory (empty = memory only)")
+	flag.Int64Var(&o.cacheMiB, "cache-size", 0, "memory cache bound in MiB (0 = default, 256)")
+	flag.StringVar(&o.flow, "flow", "full", "flow run when a request names none")
+	flag.DurationVar(&o.drain, "drain", 30*time.Second, "graceful shutdown budget")
+	flag.BoolVar(&o.quiet, "q", false, "log only startup and shutdown")
+	flag.Parse()
+
+	if err := serve(o); err != nil {
+		fmt.Fprintln(os.Stderr, "smartlyd:", err)
+		os.Exit(1)
+	}
+}
+
+// newServer assembles the serving stack from the daemon options.
+func newServer(o options) (*server.Server, error) {
+	c, err := cache.New(o.cacheMiB<<20, o.cacheDir)
+	if err != nil {
+		return nil, err
+	}
+	logf := log.Printf
+	if o.quiet {
+		logf = nil
+	}
+	return server.New(server.Config{
+		Jobs:        o.jobs,
+		QueueDepth:  o.queue,
+		Workers:     o.workers,
+		DefaultFlow: o.flow,
+		Cache:       c,
+		Logf:        logf,
+	}), nil
+}
+
+func serve(o options) error {
+	s, err := newServer(o)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	log.Printf("smartlyd: listening on %s (default flow %q, cache dir %q)",
+		ln.Addr(), o.flow, o.cacheDir)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("smartlyd: shutting down (draining up to %s)", o.drain)
+	dctx, cancel := context.WithTimeout(context.Background(), o.drain)
+	defer cancel()
+	err = hs.Shutdown(dctx)   // stop accepting, wait for in-flight HTTP
+	drainErr := s.Drain(dctx) // wait for accepted async jobs
+	s.Close()                 // cancel anything still running
+	if err == nil {
+		err = drainErr
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("drain budget exceeded; canceled remaining work")
+	}
+	return err
+}

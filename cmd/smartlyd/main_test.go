@@ -1,0 +1,67 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+	"repro/client"
+)
+
+func TestNewServerServesRequests(t *testing.T) {
+	dir := t.TempDir()
+	s, err := newServer(options{
+		jobs:     2,
+		cacheDir: filepath.Join(dir, "cache"),
+		cacheMiB: 1,
+		flow:     "yosys",
+		quiet:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c := client.New(ts.URL)
+	h, err := c.Health(context.Background())
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("health: %+v %v", h, err)
+	}
+	if h.Cache.MaxBytes != 1<<20 {
+		t.Errorf("cache bound %d, want 1 MiB", h.Cache.MaxBytes)
+	}
+
+	d, err := smartly.ParseVerilog("module top(input a, input b, input s, output y);\n  assign y = s ? a : b;\nendmodule\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty flow name: the daemon's -flow default applies.
+	out, resp, err := c.OptimizeDesign(context.Background(), d, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Top() == nil {
+		t.Fatal("no top module in response")
+	}
+	want, _ := smartly.NamedFlow("yosys")
+	if resp.Flow != want.Canonical() {
+		t.Errorf("default flow %q, want canonical yosys %q", resp.Flow, want.Canonical())
+	}
+}
+
+func TestNewServerBadCacheDir(t *testing.T) {
+	// A file where the cache directory should be must fail startup.
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocked")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newServer(options{cacheDir: filepath.Join(blocker, "sub")}); err == nil {
+		t.Error("cache dir under a regular file accepted")
+	}
+}

@@ -99,6 +99,17 @@ func (f *Flow) String() string {
 	return f.flow.String()
 }
 
+// Canonical renders the flow in normalized script syntax — options
+// sorted by key with canonical value spellings — the form used in
+// serving-layer cache keys. Flows that differ only in option order,
+// value spelling or whitespace render identically.
+func (f *Flow) Canonical() string {
+	if f == nil {
+		return ""
+	}
+	return f.flow.Canonical()
+}
+
 // runConfig collects the functional options of Run/RunDesign.
 type runConfig struct {
 	ctx     context.Context

@@ -1,0 +1,232 @@
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Key identifies one optimization result. Its fields must already be
+// canonical (order-invariant hash, normalized script), so that equal
+// logical requests produce equal keys; see the package comment.
+type Key struct {
+	// Netlist is the canonical content hash of the submitted design.
+	Netlist string
+	// Flow is the normalized flow script (opt.Flow.Canonical).
+	Flow string
+	// Options encodes the request-level options that change the cached
+	// payload (e.g. "timings=true"). Options that provably do not — the
+	// worker budget — must stay out.
+	Options string
+}
+
+// ID collapses the key into the cache's address: a hex SHA-256 over the
+// length-prefixed fields (so field boundaries cannot be forged).
+func (k Key) ID() string {
+	h := sha256.New()
+	for _, f := range []string{k.Netlist, k.Flow, k.Options} {
+		fmt.Fprintf(h, "%d:%s", len(f), f)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	// Entries and Bytes describe the current memory tier.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// MaxBytes is the configured memory-tier bound.
+	MaxBytes int64 `json:"max_bytes"`
+	// Hits counts memory-tier hits, DiskHits disk-tier refills and
+	// Misses lookups that found nothing in either tier.
+	Hits     uint64 `json:"hits"`
+	DiskHits uint64 `json:"disk_hits"`
+	Misses   uint64 `json:"misses"`
+	// Coalesced counts Do callers that waited on an identical in-flight
+	// computation instead of running their own.
+	Coalesced uint64 `json:"coalesced"`
+	// Evictions counts memory-tier LRU evictions.
+	Evictions uint64 `json:"evictions"`
+}
+
+// DefaultMaxBytes bounds the memory tier when New is given no limit.
+const DefaultMaxBytes = 256 << 20
+
+// ErrComputePanicked is returned to coalesced Do waiters whose leader's
+// compute function panicked instead of returning.
+var ErrComputePanicked = errors.New("cache: computation panicked")
+
+// Cache is a two-tier content-addressed cache; see the package comment.
+type Cache struct {
+	maxBytes int64
+	dir      string // "" = memory only
+
+	mu      sync.Mutex
+	byID    map[string]*list.Element
+	lru     *list.List // front = most recently used
+	bytes   int64
+	stats   Stats
+	flights map[string]*flight
+}
+
+// entry is one memory-tier value.
+type entry struct {
+	id  string
+	val []byte
+}
+
+// flight is one in-progress Do computation awaited by coalesced callers.
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// New builds a cache with the given memory bound (<= 0 means
+// DefaultMaxBytes) and optional disk tier directory ("" disables it).
+// The directory is created if needed.
+func New(maxBytes int64, dir string) (*Cache, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	c := &Cache{
+		maxBytes: maxBytes,
+		dir:      dir,
+		byID:     map[string]*list.Element{},
+		lru:      list.New(),
+		flights:  map[string]*flight{},
+	}
+	if err := c.initDisk(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Get returns the value stored under id, consulting the memory tier
+// first and refilling it from the disk tier on a memory miss.
+func (c *Cache) Get(id string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.byID[id]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		val := el.Value.(*entry).val
+		c.mu.Unlock()
+		return val, true
+	}
+	c.mu.Unlock()
+
+	if val, ok := c.readDisk(id); ok {
+		c.mu.Lock()
+		c.stats.DiskHits++
+		c.insert(id, val)
+		c.mu.Unlock()
+		return val, true
+	}
+
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// Put stores the value under id in both tiers. The caller must not
+// mutate val afterwards.
+func (c *Cache) Put(id string, val []byte) {
+	c.mu.Lock()
+	c.insert(id, val)
+	c.mu.Unlock()
+	c.writeDisk(id, val)
+}
+
+// insert adds or refreshes a memory-tier entry and evicts LRU entries
+// until the byte bound holds. Values larger than the whole bound are
+// not kept in memory (the disk tier still serves them). Caller holds mu.
+func (c *Cache) insert(id string, val []byte) {
+	if el, ok := c.byID[id]; ok {
+		e := el.Value.(*entry)
+		c.bytes += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		c.lru.MoveToFront(el)
+	} else if int64(len(val)) <= c.maxBytes {
+		c.byID[id] = c.lru.PushFront(&entry{id: id, val: val})
+		c.bytes += int64(len(val))
+	}
+	for c.bytes > c.maxBytes {
+		el := c.lru.Back()
+		if el == nil {
+			break
+		}
+		e := el.Value.(*entry)
+		c.lru.Remove(el)
+		delete(c.byID, e.id)
+		c.bytes -= int64(len(e.val))
+		c.stats.Evictions++
+	}
+}
+
+// Do returns the cached value for id, computing and storing it with fn
+// on a miss. Concurrent calls for the same id are coalesced: one runs
+// fn, the rest wait and share its result. hit reports whether the value
+// came from the cache or a coalesced computation rather than this
+// caller's own fn. A failed fn caches nothing and its error reaches
+// every coalesced caller.
+func (c *Cache) Do(id string, fn func() ([]byte, error)) (val []byte, hit bool, err error) {
+	if val, ok := c.Get(id); ok {
+		return val, true, nil
+	}
+	c.mu.Lock()
+	if fl, ok := c.flights[id]; ok {
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return nil, true, fl.err
+		}
+		return fl.val, true, nil
+	}
+	// Double-check under the lock: a flight that completed between the
+	// Get above and Lock has been removed from flights, but its Put has
+	// already landed in the memory tier.
+	if el, ok := c.byID[id]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		val := el.Value.(*entry).val
+		c.mu.Unlock()
+		return val, true, nil
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.flights[id] = fl
+	c.mu.Unlock()
+
+	// Cleanup must survive a panicking fn: the flight entry would
+	// otherwise leak and every later Do for this key would block on
+	// done forever. Waiters of a panicked flight see ErrComputePanicked
+	// (fl.err's initial value); the panic itself propagates to this
+	// caller's recover machinery.
+	fl.err = ErrComputePanicked
+	defer func() {
+		c.mu.Lock()
+		delete(c.flights, id)
+		c.mu.Unlock()
+		close(fl.done)
+	}()
+	fl.val, fl.err = fn()
+	if fl.err == nil {
+		c.Put(id, fl.val)
+	}
+	return fl.val, false, fl.err
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.lru.Len()
+	s.Bytes = c.bytes
+	s.MaxBytes = c.maxBytes
+	return s
+}

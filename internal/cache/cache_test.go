@@ -1,0 +1,289 @@
+package cache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestKeyID(t *testing.T) {
+	a := Key{Netlist: "n1", Flow: "f1", Options: ""}
+	if a.ID() != a.ID() {
+		t.Error("ID not deterministic")
+	}
+	if len(a.ID()) != 64 {
+		t.Errorf("ID %q is not hex sha256", a.ID())
+	}
+	variants := []Key{
+		{Netlist: "n2", Flow: "f1"},
+		{Netlist: "n1", Flow: "f2"},
+		{Netlist: "n1", Flow: "f1", Options: "timings=true"},
+		// Field boundaries must matter: "n1"+"f1" vs "n1f"+"1".
+		{Netlist: "n1f", Flow: "1"},
+	}
+	for _, v := range variants {
+		if v.ID() == a.ID() {
+			t.Errorf("key %+v collides with %+v", v, a)
+		}
+	}
+}
+
+func TestGetPut(t *testing.T) {
+	c, err := New(1024, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Error("hit on empty cache")
+	}
+	c.Put("k1", []byte("v1"))
+	if v, ok := c.Get("k1"); !ok || string(v) != "v1" {
+		t.Errorf("got %q %v", v, ok)
+	}
+	c.Put("k1", []byte("v1b")) // overwrite refreshes in place
+	if v, _ := c.Get("k1"); string(v) != "v1b" {
+		t.Errorf("overwrite not visible: %q", v)
+	}
+	s := c.Stats()
+	if s.Entries != 1 || s.Bytes != 3 || s.Hits != 2 || s.Misses != 1 {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, err := New(10, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", []byte("aaaa")) // 4 bytes
+	c.Put("b", []byte("bbbb")) // 8 bytes total
+	c.Get("a")                 // refresh a; b is now LRU
+	c.Put("c", []byte("cccc")) // 12 > 10: evict b
+	if _, ok := c.Get("b"); ok {
+		t.Error("LRU entry b not evicted")
+	}
+	for _, id := range []string{"a", "c"} {
+		if _, ok := c.Get(id); !ok {
+			t.Errorf("entry %s evicted unexpectedly", id)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Bytes != 8 {
+		t.Errorf("stats %+v", s)
+	}
+	// A value larger than the whole bound must not wipe the cache.
+	c.Put("huge", bytes.Repeat([]byte("x"), 100))
+	if s := c.Stats(); s.Entries != 2 {
+		t.Errorf("oversized value disturbed the memory tier: %+v", s)
+	}
+}
+
+func TestDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(1024, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := Key{Netlist: "n", Flow: "f"}.ID()
+	c.Put(id, []byte("payload"))
+
+	// A fresh cache over the same directory serves the value from disk.
+	c2, err := New(1024, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := c2.Get(id)
+	if !ok || string(v) != "payload" {
+		t.Fatalf("disk tier miss: %q %v", v, ok)
+	}
+	if s := c2.Stats(); s.DiskHits != 1 {
+		t.Errorf("stats %+v", s)
+	}
+	// The refill landed in memory: second lookup is a memory hit.
+	if _, ok := c2.Get(id); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if s := c2.Stats(); s.Hits != 1 {
+		t.Errorf("stats after promotion %+v", s)
+	}
+}
+
+func TestDiskSurvivesEviction(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("aaaa", []byte("1111"))
+	c.Put("bbbb", []byte("2222")) // evicts aaaa from memory
+	v, ok := c.Get("aaaa")
+	if !ok || string(v) != "1111" {
+		t.Fatalf("evicted entry not served from disk: %q %v", v, ok)
+	}
+}
+
+func TestDoComputesOnceAndCaches(t *testing.T) {
+	c, err := New(1024, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	fn := func() ([]byte, error) {
+		calls.Add(1)
+		return []byte("result"), nil
+	}
+	v, hit, err := c.Do("k", fn)
+	if err != nil || hit || string(v) != "result" {
+		t.Fatalf("first Do: %q hit=%v err=%v", v, hit, err)
+	}
+	v, hit, err = c.Do("k", fn)
+	if err != nil || !hit || string(v) != "result" {
+		t.Fatalf("second Do: %q hit=%v err=%v", v, hit, err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("fn ran %d times", calls.Load())
+	}
+}
+
+func TestDoCoalescesConcurrent(t *testing.T) {
+	c, err := New(1024, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	var calls atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	hits := make([]bool, n)
+	vals := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], hits[i], _ = c.Do("k", func() ([]byte, error) {
+				calls.Add(1)
+				<-release // hold every other caller in flight
+				return []byte("shared"), nil
+			})
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Errorf("fn ran %d times for %d concurrent callers", calls.Load(), n)
+	}
+	misses := 0
+	for i := range hits {
+		if string(vals[i]) != "shared" {
+			t.Errorf("caller %d got %q", i, vals[i])
+		}
+		if !hits[i] {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Errorf("%d callers computed (want exactly 1)", misses)
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c, err := New(1024, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	calls := 0
+	_, _, err = c.Do("k", func() ([]byte, error) { calls++; return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// The failure was not cached: the next Do computes again and can
+	// succeed.
+	v, hit, err := c.Do("k", func() ([]byte, error) { calls++; return []byte("ok"), nil })
+	if err != nil || hit || string(v) != "ok" {
+		t.Fatalf("retry: %q hit=%v err=%v", v, hit, err)
+	}
+	if calls != 2 {
+		t.Errorf("fn ran %d times", calls)
+	}
+}
+
+// TestDoPanicDoesNotWedge: a panicking compute function must not leak
+// its in-flight entry — coalesced waiters get ErrComputePanicked and
+// the key stays usable.
+func TestDoPanicDoesNotWedge(t *testing.T) {
+	c, err := New(1024, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		defer func() { recover() }() // the leader's panic reaches its caller
+		c.Do("k", func() ([]byte, error) {
+			close(entered)
+			<-release
+			panic("boom")
+		})
+	}()
+	<-entered
+	waiter := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do("k", func() ([]byte, error) { return nil, errors.New("waiter ran") })
+		waiter <- err
+	}()
+	// Only release the leader once the waiter is provably parked on the
+	// in-flight entry, so the panic path is what unblocks it.
+	for deadline := time.Now().Add(5 * time.Second); c.Stats().Coalesced == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never coalesced onto the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	select {
+	case err := <-waiter:
+		if !errors.Is(err, ErrComputePanicked) {
+			t.Errorf("waiter err = %v, want ErrComputePanicked", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter wedged: flight entry leaked after panic")
+	}
+	// The key is not poisoned: a fresh Do computes normally.
+	v, hit, err := c.Do("k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || hit || string(v) != "ok" {
+		t.Errorf("post-panic Do: %q hit=%v err=%v", v, hit, err)
+	}
+}
+
+func TestConcurrentMixedAccess(t *testing.T) {
+	c, err := New(512, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := fmt.Sprintf("key-%d", i%10)
+				switch i % 3 {
+				case 0:
+					c.Put(id, []byte(id))
+				case 1:
+					c.Get(id)
+				default:
+					c.Do(id, func() ([]byte, error) { return []byte(id), nil })
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := c.Stats(); s.Bytes < 0 {
+		t.Errorf("byte accounting went negative: %+v", s)
+	}
+}

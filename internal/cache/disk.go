@@ -1,0 +1,76 @@
+package cache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The disk tier stores each value as one file named by its id, sharded
+// into 256 subdirectories by the first id byte so directories stay
+// small. Writes go through a temp file + rename, so readers (and other
+// smartlyd processes sharing the directory) never observe a partial
+// value. Disk I/O failures degrade the cache, never the request: a
+// failed write is dropped, a failed read is a miss.
+
+// initDisk validates and creates the disk-tier directory.
+func (c *Cache) initDisk() error {
+	if c.dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return fmt.Errorf("cache: creating disk tier: %w", err)
+	}
+	return nil
+}
+
+// diskPath maps an id to its shard file. Ids are hex hashes; anything
+// else (impossible via Key.ID) would still stay inside dir.
+func (c *Cache) diskPath(id string) string {
+	shard := "00"
+	if len(id) >= 2 && !strings.ContainsAny(id[:2], `/\.`) {
+		shard = id[:2]
+	}
+	return filepath.Join(c.dir, shard, id)
+}
+
+// readDisk fetches a value from the disk tier; a missing tier or any
+// read failure is a miss.
+func (c *Cache) readDisk(id string) ([]byte, bool) {
+	if c.dir == "" {
+		return nil, false
+	}
+	val, err := os.ReadFile(c.diskPath(id))
+	if err != nil {
+		return nil, false
+	}
+	return val, true
+}
+
+// writeDisk persists a value to the disk tier, best effort.
+func (c *Cache) writeDisk(id string, val []byte) {
+	if c.dir == "" {
+		return
+	}
+	path := c.diskPath(id)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "put-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(val); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

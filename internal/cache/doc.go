@@ -1,0 +1,26 @@
+// Package cache is the content-addressed result cache behind the
+// smartlyd serving layer (internal/server).
+//
+// Results are keyed by a Key — the canonical netlist hash
+// (rtlil.CanonicalHashDesign), the normalized flow script
+// (opt.Flow.Canonical) and the request-level option set — so two
+// requests hit the same entry exactly when they are guaranteed to
+// produce the same bytes: the engine's results are bit-identical for
+// every worker count, which is why the worker budget is *not* part of
+// the key.
+//
+// The cache has two tiers:
+//
+//   - a memory tier: an LRU bounded by total value bytes, and
+//   - an optional disk tier (New's dir argument): every stored value is
+//     also written to dir, memory misses are refilled from it, and
+//     entries survive both memory eviction and process restarts.
+//
+// Do adds request coalescing: concurrent calls for the same key run the
+// compute function once and share its result, so a thundering herd of
+// identical submissions costs one optimization run.
+//
+// Values are opaque []byte; the server stores its serialized response
+// payload (optimized netlist JSON + run reports). All methods are safe
+// for concurrent use.
+package cache

@@ -1,0 +1,32 @@
+// Package core implements the smaRTLy paper's two contributions on top
+// of the substrate packages:
+//
+//   - SAT-based redundancy elimination (paper §II): a muxtree traversal
+//     whose control-value oracle extracts a connectivity-filtered
+//     sub-graph (internal/subgraph), applies inference rules
+//     (internal/infer), and falls back to exhaustive simulation
+//     (internal/sim) or a CDCL SAT solver (internal/sat, via
+//     internal/aig CNF encoding) to prove controls constant along the
+//     path. SatMuxPass; options in SatMuxOptions.
+//   - Muxtree restructuring (paper §III): case-statement muxtrees whose
+//     controls compare a single selector against constants are rebuilt
+//     from an Algebraic Decision Diagram (internal/bdd) with the greedy
+//     terminal-type-minimizing heuristic, deleting the comparison
+//     gates. RebuildPass; options in RebuildOptions.
+//
+// The combined SmartlyPass replaces Yosys' opt_muxtree, exactly as in
+// the paper's evaluation.
+//
+// At init, this package registers the passes in the internal/opt flow
+// registry under the script names "satmux", "rebuild" and "smartly"
+// (with typed option tables: satmux(conflicts=64, inference=false),
+// ...), and registers the paper's four pipelines as named flows:
+//
+//	yosys    fixpoint { opt_expr; opt_muxtree; opt_clean }
+//	sat      fixpoint { opt_expr; satmux; opt_clean }
+//	rebuild  fixpoint { opt_expr; opt_muxtree; rebuild; opt_clean }
+//	full     fixpoint { opt_expr; smartly; opt_clean }
+//
+// Importing this package (directly, or via the repro facade or
+// internal/harness) is what populates the registry.
+package core

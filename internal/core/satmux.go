@@ -1,18 +1,3 @@
-// Package core implements the smaRTLy paper's two contributions on top of
-// the substrate packages:
-//
-//   - SAT-based redundancy elimination (paper §II): a muxtree traversal
-//     whose control-value oracle extracts a connectivity-filtered
-//     sub-graph, applies inference rules, and falls back to exhaustive
-//     simulation or a CDCL SAT solver to prove controls constant along
-//     the path.
-//   - Muxtree restructuring (paper §III): case-statement muxtrees whose
-//     controls compare a single selector against constants are rebuilt
-//     from an Algebraic Decision Diagram with the greedy
-//     terminal-type-minimizing heuristic, deleting the comparison gates.
-//
-// The combined pass (Smartly) replaces Yosys' opt_muxtree, exactly as in
-// the paper's evaluation.
 package core
 
 import (

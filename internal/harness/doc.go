@@ -1,0 +1,25 @@
+// Package harness runs the paper's experiments end to end: it
+// generates each benchmark case (internal/genbench), optimizes it with
+// a set of flows (by default the paper's four pipelines: Yosys
+// baseline, smaRTLy SAT-only, Rebuild-only, Full), measures AIG areas
+// and renders the rows of Table II, Table III and the industrial
+// summary (§IV-B).
+//
+// Arbitrary flows — ablations, tuned budgets, custom pass orders —
+// plug in through Options.Flows; ParseFlows builds them from CLI
+// "name=script" specs. RunAll/RunCase/RunIndustrial fan cases (and the
+// flows within a case) out to Options.Jobs workers with deterministic
+// result merging: every number is identical for every job count.
+// Optional equivalence checking (Options.Check) proves each optimized
+// netlist against its input.
+//
+// Two machine-readable outputs feed CI:
+//
+//   - BenchReport (schema "smartly-bench/v1", written by
+//     cmd/smartly-bench -json) carries per-case areas, reduction
+//     ratios vs the baseline flow and wall times; BENCH_baseline.json
+//     in the repository root is the committed reference run.
+//   - RunServerBench (cmd/smartly-bench -server) spins an in-process
+//     smartlyd serving stack and measures cold-vs-warm result-cache
+//     latency, attached to the report as its "server" section.
+package harness

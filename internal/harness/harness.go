@@ -1,10 +1,3 @@
-// Package harness runs the paper's experiments end to end: it generates
-// each benchmark case, optimizes it with a set of flows (by default the
-// paper's four pipelines: Yosys baseline, smaRTLy SAT-only,
-// Rebuild-only, Full), measures AIG areas and renders the rows of
-// Table II, Table III and the industrial summary (§IV-B). Arbitrary
-// flows — ablations, tuned budgets, custom pass orders — plug in
-// through Options.Flows.
 package harness
 
 import (

@@ -20,6 +20,9 @@ type BenchReport struct {
 	// over the public benchmark cases.
 	AvgRatioPct map[string]float64 `json:"avg_ratio_pct"`
 	ElapsedMS   int64              `json:"elapsed_ms"`
+	// Server holds the serving-layer warm-vs-cold cache latency smoke
+	// (smartly-bench -server); absent when the mode did not run.
+	Server *ServerBench `json:"server,omitempty"`
 }
 
 // BenchCase is one benchmark case of a BenchReport.

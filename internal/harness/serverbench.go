@@ -1,0 +1,161 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/genbench"
+	"repro/internal/rtlil"
+	"repro/internal/server"
+	"repro/internal/server/api"
+)
+
+// ServerBench measures the serving layer's cold-vs-warm latency for one
+// benchmark case: cold requests bypass the result cache (the full
+// optimization runs), warm requests are served from it. It is attached
+// to the bench JSON report under "server" so CI tracks the cache's
+// speedup alongside the area numbers.
+type ServerBench struct {
+	Case   string  `json:"case"`
+	Flow   string  `json:"flow"`
+	Scale  float64 `json:"scale"`
+	Rounds int     `json:"rounds"`
+	// ColdMS/WarmMS are best-of-rounds latencies (best-of filters
+	// scheduler noise the same way benchstat's min does).
+	ColdMS float64 `json:"cold_ms"`
+	WarmMS float64 `json:"warm_ms"`
+	// Speedup is ColdMS/WarmMS.
+	Speedup float64 `json:"speedup"`
+	// CacheHits is the server-side hit counter after the run — warm
+	// rounds must all have hit.
+	CacheHits uint64 `json:"cache_hits"`
+}
+
+// RunServerBench spins up an in-process serving stack (server + HTTP +
+// cache), submits the named benchmark case and measures cold vs warm
+// request latency over the given number of rounds (min 1 each).
+func RunServerBench(caseName, flow string, scale float64, rounds int) (ServerBench, error) {
+	out := ServerBench{Case: caseName, Flow: flow, Scale: scale, Rounds: rounds}
+	if out.Rounds < 1 {
+		out.Rounds = 1
+	}
+	var recipe *genbench.Recipe
+	for _, r := range genbench.Recipes() {
+		if r.Name == caseName {
+			recipe = &r
+			break
+		}
+	}
+	if recipe == nil {
+		return out, fmt.Errorf("harness: unknown benchmark case %q for server bench", caseName)
+	}
+	m := genbench.Generate(*recipe, scale)
+	d := rtlil.NewDesign()
+	d.AddModule(m)
+	var buf bytes.Buffer
+	if err := rtlil.WriteJSON(&buf, d); err != nil {
+		return out, err
+	}
+	designJSON := buf.Bytes()
+
+	s := server.New(server.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	post := func(noCache bool) (time.Duration, *api.OptimizeResponse, error) {
+		req := api.OptimizeRequest{Design: designJSON, Flow: flow, NoCache: noCache}
+		start := time.Now()
+		resp, err := postOptimize(ts.URL, req)
+		return time.Since(start), resp, err
+	}
+
+	// Cold rounds bypass the cache entirely, so every one pays the full
+	// optimization; best-of is the cold latency.
+	for i := 0; i < out.Rounds; i++ {
+		el, resp, err := post(true)
+		if err != nil {
+			return out, fmt.Errorf("harness: cold round %d: %w", i, err)
+		}
+		if resp.Cache != "bypass" {
+			return out, fmt.Errorf("harness: cold round %d served as %q", i, resp.Cache)
+		}
+		if ms := toMS(el); out.ColdMS == 0 || ms < out.ColdMS {
+			out.ColdMS = ms
+		}
+	}
+	// One priming request fills the cache (a miss), then every warm
+	// round must hit.
+	if _, resp, err := post(false); err != nil {
+		return out, fmt.Errorf("harness: priming request: %w", err)
+	} else if resp.Cache != "miss" {
+		return out, fmt.Errorf("harness: priming request served as %q", resp.Cache)
+	}
+	for i := 0; i < out.Rounds; i++ {
+		el, resp, err := post(false)
+		if err != nil {
+			return out, fmt.Errorf("harness: warm round %d: %w", i, err)
+		}
+		if resp.Cache != "hit" {
+			return out, fmt.Errorf("harness: warm round %d served as %q, want hit", i, resp.Cache)
+		}
+		if ms := toMS(el); out.WarmMS == 0 || ms < out.WarmMS {
+			out.WarmMS = ms
+		}
+	}
+	if out.WarmMS > 0 {
+		out.Speedup = out.ColdMS / out.WarmMS
+	}
+	out.CacheHits = s.Cache().Stats().Hits
+	return out, nil
+}
+
+func toMS(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}
+
+// postOptimize is the harness's minimal HTTP client (the public client
+// package is not imported to keep the dependency direction
+// harness -> server only).
+func postOptimize(baseURL string, req api.OptimizeRequest) (*api.OptimizeResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hr, err := http.NewRequestWithContext(context.Background(),
+		http.MethodPost, baseURL+"/v1/optimize", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e api.Error
+		json.NewDecoder(resp.Body).Decode(&e)
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, e.Error)
+	}
+	var out api.OptimizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// String renders the bench result for the human-readable table mode.
+func (b ServerBench) String() string {
+	return fmt.Sprintf(
+		"Server cache latency (%s, flow=%s, scale=%g, best of %d):\n"+
+			"  cold %.3fms  warm %.3fms  speedup %.1fx  hits %d\n",
+		b.Case, b.Flow, b.Scale, b.Rounds, b.ColdMS, b.WarmMS, b.Speedup, b.CacheHits)
+}

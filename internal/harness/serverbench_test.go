@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunServerBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins a server and optimizes repeatedly")
+	}
+	b, err := RunServerBench("fig3-chain", "full", 0.1, 2)
+	if err == nil {
+		t.Fatalf("unknown case accepted: %+v", b)
+	}
+	b, err = RunServerBench("top_cache_axi", "full", 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ColdMS <= 0 || b.WarmMS <= 0 {
+		t.Errorf("latencies not measured: %+v", b)
+	}
+	if b.CacheHits < uint64(b.Rounds) {
+		t.Errorf("warm rounds did not hit the cache: %+v", b)
+	}
+	if !strings.Contains(b.String(), "speedup") {
+		t.Errorf("String() = %q", b.String())
+	}
+}
+
+// TestParseFlowsErrorsNameFlow is the regression test for flow-spec
+// error messages: whatever fails, the message must name the offending
+// flow (or echo the raw spec) so a -flow typo in a long command line is
+// attributable.
+func TestParseFlowsErrorsNameFlow(t *testing.T) {
+	cases := []struct {
+		specs []string
+		want  string
+	}{
+		{[]string{"nope"}, `"nope"`},                         // unknown named flow
+		{[]string{"tuned=opt_expr; bogus_pass"}, `"tuned"`},  // script error
+		{[]string{"yosys", "yosys"}, `"yosys"`},              // duplicate name
+		{[]string{"=opt_expr"}, `"=opt_expr"`},               // missing name echoes spec
+		{[]string{"tuned=satmux(conflicts=bad)"}, `"tuned"`}, // bad option value
+		{[]string{"full", "x=fixpoint { }"}, `"x"`},          // empty body
+	}
+	for _, c := range cases {
+		_, err := ParseFlows(c.specs)
+		if err == nil {
+			t.Errorf("ParseFlows(%q) accepted", c.specs)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseFlows(%q) error %q does not name %s", c.specs, err, c.want)
+		}
+	}
+	// Valid specs still parse.
+	fs, err := ParseFlows([]string{"yosys", "tuned=opt_expr; opt_clean"})
+	if err != nil || len(fs) != 2 {
+		t.Errorf("valid specs: %v %v", fs, err)
+	}
+}

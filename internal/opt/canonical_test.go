@@ -1,0 +1,63 @@
+package opt
+
+import "testing"
+
+func TestFlowCanonical(t *testing.T) {
+	same := [][2]string{
+		{"opt_expr;opt_clean", "opt_expr ; opt_clean"},
+		{
+			"fixpoint(iters=08){opt_expr;opt_clean}",
+			"fixpoint(iters=8) { opt_expr; opt_clean }",
+		},
+		{
+			"fixpoint { opt_expr; opt_clean }",
+			"fixpoint{opt_expr ; opt_clean;}",
+		},
+	}
+	for _, pair := range same {
+		a, err := ParseFlow(pair[0])
+		if err != nil {
+			t.Fatalf("parse %q: %v", pair[0], err)
+		}
+		b, err := ParseFlow(pair[1])
+		if err != nil {
+			t.Fatalf("parse %q: %v", pair[1], err)
+		}
+		if a.Canonical() != b.Canonical() {
+			t.Errorf("%q and %q canonicalize differently: %q vs %q",
+				pair[0], pair[1], a.Canonical(), b.Canonical())
+		}
+	}
+
+	different := [][2]string{
+		{"opt_expr; opt_clean", "opt_clean; opt_expr"},                       // order matters
+		{"fixpoint(iters=2) { opt_expr }", "fixpoint(iters=3) { opt_expr }"}, // option value
+		{"fixpoint { opt_expr }", "fixpoint(iters=3) { opt_expr }"},          // explicit vs default
+	}
+	for _, pair := range different {
+		a, _ := ParseFlow(pair[0])
+		b, _ := ParseFlow(pair[1])
+		if a.Canonical() == b.Canonical() {
+			t.Errorf("%q and %q canonicalize identically: %q", pair[0], pair[1], a.Canonical())
+		}
+	}
+
+	// Canonical output must itself parse and be a fixed point.
+	f, err := ParseFlow("fixpoint(iters=010) { opt_expr; opt_muxtree; opt_clean }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.Canonical()
+	g, err := ParseFlow(c)
+	if err != nil {
+		t.Fatalf("canonical form %q does not parse: %v", c, err)
+	}
+	if g.Canonical() != c {
+		t.Errorf("canonicalization not idempotent: %q -> %q", c, g.Canonical())
+	}
+
+	var nilFlow *Flow
+	if nilFlow.Canonical() != "" {
+		t.Error("nil flow canonical not empty")
+	}
+}

@@ -2,6 +2,7 @@ package opt
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/rtlil"
@@ -163,6 +164,57 @@ func (f *Flow) String() string {
 		parts[i] = s.String()
 	}
 	return strings.Join(parts, "; ")
+}
+
+// Canonical renders the flow in normalized script syntax, the form the
+// serving layer uses in cache keys: options are sorted by key and their
+// values reduced to a canonical spelling per kind ("TRUE" -> "true",
+// "064" -> "64"), so flows that differ only in option order, value
+// spelling or script whitespace render identically. Flows with
+// different passes, structure or effective option values render
+// differently.
+func (f *Flow) Canonical() string {
+	if f == nil {
+		return ""
+	}
+	parts := make([]string, len(f.steps))
+	for i, s := range f.steps {
+		parts[i] = s.canonical()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// canonical renders one step with sorted, value-normalized options.
+func (s Step) canonical() string {
+	spec, err := stepSpec(s)
+	var sb strings.Builder
+	sb.WriteString(s.Name)
+	if len(s.Args) > 0 {
+		args := append([]Arg(nil), s.Args...)
+		sort.Slice(args, func(i, j int) bool { return args[i].Key < args[j].Key })
+		sb.WriteByte('(')
+		for i, a := range args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			v := a.Value
+			if err == nil {
+				if o, ok := spec.option(a.Key); ok {
+					v = o.Kind.canonicalValue(v)
+				}
+			}
+			sb.WriteString(a.Key)
+			sb.WriteByte('=')
+			sb.WriteString(v)
+		}
+		sb.WriteByte(')')
+	}
+	if s.Body != nil {
+		sb.WriteString(" { ")
+		sb.WriteString(s.Body.Canonical())
+		sb.WriteString(" }")
+	}
+	return sb.String()
 }
 
 // Compile builds fresh pass instances for every step. Passes carry

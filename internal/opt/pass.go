@@ -1,12 +1,3 @@
-// Package opt provides the optimization-pass framework and the baseline
-// Yosys-style passes the paper compares against: opt_expr (constant
-// folding), opt_clean (dead logic removal) and opt_muxtree (muxtree
-// pruning driven by control values known along the path).
-//
-// The muxtree walker is shared with the smaRTLy passes in internal/core:
-// the baseline consults only path-local facts (Yosys behaviour), while
-// smaRTLy plugs in an oracle backed by sub-graph extraction, inference
-// rules, simulation and SAT.
 package opt
 
 import (

@@ -33,6 +33,32 @@ func (k OptionKind) String() string {
 	return fmt.Sprintf("OptionKind(%d)", int(k))
 }
 
+// canonicalValue reduces a valid raw option value to its canonical
+// spelling for the kind ("TRUE" -> "true", "064" -> "64"). Invalid
+// values are returned unchanged; callers only normalize values that
+// already passed checkValue.
+func (k OptionKind) canonicalValue(v string) string {
+	switch k {
+	case KindInt:
+		if n, err := strconv.Atoi(v); err == nil {
+			return strconv.Itoa(n)
+		}
+	case KindInt64:
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return strconv.FormatInt(n, 10)
+		}
+	case KindBool:
+		if b, err := strconv.ParseBool(v); err == nil {
+			return strconv.FormatBool(b)
+		}
+	case KindFloat:
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			return strconv.FormatFloat(f, 'g', -1, 64)
+		}
+	}
+	return v
+}
+
 // checkValue validates a raw option value against the kind.
 func (k OptionKind) checkValue(v string) error {
 	var err error

@@ -1,0 +1,32 @@
+// Package rtlil implements a word-level register-transfer-level
+// netlist intermediate representation modeled after Yosys RTLIL.
+//
+// # Model
+//
+// A Design holds Modules; a Module holds Wires (multi-bit nets), Cells
+// (word-level logic operators such as $mux, $eq, $and) and direct
+// connections between signals. Signals are SigSpec values: ordered
+// slices of SigBit, where each bit is either one bit of a Wire or a
+// four-state constant (State). The representation is deliberately
+// close to Yosys so that the optimization passes in this repository
+// (in particular the smaRTLy passes from the DAC'25 paper) transcribe
+// one-to-one.
+//
+// # Supporting structures
+//
+// SigMap resolves connection aliases to canonical bits; Index is a
+// frozen read-only driver/reader index safe to share across the
+// engine's worker goroutines; Validate checks structural invariants;
+// TopoSort orders cells for evaluation; CollectStats summarizes a
+// module.
+//
+// # Serialization and content identity
+//
+// WriteJSON/ReadJSON speak the Yosys write_json netlist format, and
+// WriteVerilog emits synthesizable Verilog. CanonicalHash and
+// CanonicalHashDesign compute an order-invariant content hash — two
+// modules that differ only in wire/cell insertion order, JSON object
+// key order or connection statement order hash identically — which the
+// serving layer (internal/server, internal/cache) uses as the netlist
+// half of its cache keys.
+package rtlil

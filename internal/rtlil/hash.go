@@ -1,0 +1,115 @@
+package rtlil
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Canonical content hashing. The serving layer keys its result cache by
+// netlist content, so the hash must identify the *logical* netlist, not
+// one particular serialization of it: two modules that differ only in
+// wire/cell insertion order, JSON object key order, map iteration order
+// or connection statement order hash identically. Anything that changes
+// semantics — names, widths, port directions and positions, cell types,
+// parameters, connectivity — changes the hash.
+
+// CanonicalHash returns the canonical content hash of the module as a
+// lowercase hex SHA-256 string.
+func CanonicalHash(m *Module) string {
+	h := sha256.New()
+	writeModule(h, m)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CanonicalHashDesign returns the canonical content hash of the whole
+// design: the module serializations combined in sorted name order.
+func CanonicalHashDesign(d *Design) string {
+	mods := append([]*Module(nil), d.Modules()...)
+	sort.Slice(mods, func(i, j int) bool { return mods[i].Name < mods[j].Name })
+	h := sha256.New()
+	for _, m := range mods {
+		writeModule(h, m)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeModule streams the canonical serialization of one module. Every
+// name is written with %q so separators cannot be forged by crafted
+// identifiers.
+func writeModule(w io.Writer, m *Module) {
+	fmt.Fprintf(w, "module %q\n", m.Name)
+	writeAttrs(w, m.Attrs)
+
+	wires := append([]*Wire(nil), m.Wires()...)
+	sort.Slice(wires, func(i, j int) bool { return wires[i].Name < wires[j].Name })
+	for _, wi := range wires {
+		fmt.Fprintf(w, "wire %q %d %v %v %d\n",
+			wi.Name, wi.Width, wi.PortInput, wi.PortOutput, wi.PortID)
+		writeAttrs(w, wi.Attrs)
+	}
+
+	cells := append([]*Cell(nil), m.Cells()...)
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Name < cells[j].Name })
+	for _, c := range cells {
+		fmt.Fprintf(w, "cell %q %q\n", c.Name, c.Type)
+		for _, k := range sortedKeys(c.Params) {
+			fmt.Fprintf(w, "param %q %d\n", k, c.Params[k])
+		}
+		ports := make([]string, 0, len(c.Conn))
+		for k := range c.Conn {
+			ports = append(ports, k)
+		}
+		sort.Strings(ports)
+		for _, k := range ports {
+			fmt.Fprintf(w, "port %q %s\n", k, sigString(c.Conn[k]))
+		}
+		writeAttrs(w, c.Attrs)
+	}
+
+	// Module-level connections are a set: the statement order carries no
+	// semantics, so sort the rendered lines.
+	lines := make([]string, len(m.Conns))
+	for i, cn := range m.Conns {
+		lines[i] = fmt.Sprintf("conn %s = %s\n", sigString(cn.LHS), sigString(cn.RHS))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		io.WriteString(w, l)
+	}
+}
+
+func writeAttrs(w io.Writer, attrs map[string]string) {
+	for _, k := range sortedKeys(attrs) {
+		fmt.Fprintf(w, "attr %q %q\n", k, attrs[k])
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sigString renders a signal as a canonical token list, LSB first:
+// constants as '0'/'1'/'x'/'z', wire bits as name[offset].
+func sigString(s SigSpec) string {
+	buf := make([]byte, 0, 16*len(s))
+	for i, b := range s {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		if b.IsConst() {
+			buf = append(buf, '\'')
+			buf = append(buf, b.Const.String()...)
+		} else {
+			buf = append(buf, fmt.Sprintf("%q[%d]", b.Wire.Name, b.Offset)...)
+		}
+	}
+	return string(buf)
+}

@@ -1,0 +1,130 @@
+package rtlil
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildMuxModule constructs a tiny mux netlist; reorder flips the
+// insertion order of wires, cells and connections without changing the
+// logical netlist.
+func buildMuxModule(reorder bool) *Module {
+	m := NewModule("top")
+	addWires := func() (a, b, s, y *Wire) {
+		if reorder {
+			y = m.AddOutput("y", 2)
+			s = m.AddInput("s", 1)
+			b = m.AddInput("b", 2)
+			a = m.AddInput("a", 2)
+			// Restore the semantic port order; PortID, not insertion
+			// order, is what carries meaning.
+			a.PortID, b.PortID, s.PortID, y.PortID = 1, 2, 3, 4
+		} else {
+			a = m.AddInput("a", 2)
+			b = m.AddInput("b", 2)
+			s = m.AddInput("s", 1)
+			y = m.AddOutput("y", 2)
+		}
+		return
+	}
+	a, b, s, y := addWires()
+	t := m.AddWire("t", 2)
+	mux := m.AddCell("mux0", "$mux")
+	mux.Params["WIDTH"] = 2
+	mux.SetPort("A", a.Bits())
+	mux.SetPort("B", b.Bits())
+	mux.SetPort("S", s.Bits())
+	mux.SetPort("Y", t.Bits())
+	if reorder {
+		m.Connect(SigSpec{y.Bit(1)}, SigSpec{t.Bit(1)})
+		m.Connect(SigSpec{y.Bit(0)}, SigSpec{t.Bit(0)})
+	} else {
+		m.Connect(SigSpec{y.Bit(0)}, SigSpec{t.Bit(0)})
+		m.Connect(SigSpec{y.Bit(1)}, SigSpec{t.Bit(1)})
+	}
+	return m
+}
+
+func TestCanonicalHashOrderInvariant(t *testing.T) {
+	h1 := CanonicalHash(buildMuxModule(false))
+	h2 := CanonicalHash(buildMuxModule(true))
+	if h1 != h2 {
+		t.Errorf("insertion order changed the hash: %s vs %s", h1, h2)
+	}
+	if len(h1) != 64 {
+		t.Errorf("hash %q is not hex sha256", h1)
+	}
+}
+
+func TestCanonicalHashCloneStable(t *testing.T) {
+	m := buildMuxModule(false)
+	if CanonicalHash(m) != CanonicalHash(m.Clone()) {
+		t.Error("clone hashes differently")
+	}
+}
+
+func TestCanonicalHashSensitivity(t *testing.T) {
+	base := CanonicalHash(buildMuxModule(false))
+	mutations := map[string]func(m *Module){
+		"cell param":     func(m *Module) { m.Cell("mux0").Params["WIDTH"] = 3 },
+		"cell type":      func(m *Module) { m.Cell("mux0").Type = "$pmux" },
+		"port direction": func(m *Module) { m.Wire("s").PortInput = false; m.Wire("s").PortOutput = true },
+		"port order":     func(m *Module) { m.Wire("a").PortID, m.Wire("b").PortID = 2, 1 },
+		"extra wire":     func(m *Module) { m.AddWire("spare", 1) },
+		"connection":     func(m *Module) { m.Conns = m.Conns[:1] },
+		"swapped ports": func(m *Module) {
+			c := m.Cell("mux0")
+			c.Conn["A"], c.Conn["B"] = c.Conn["B"], c.Conn["A"]
+		},
+	}
+	for name, mutate := range mutations {
+		m := buildMuxModule(false)
+		mutate(m)
+		if CanonicalHash(m) == base {
+			t.Errorf("mutation %q did not change the hash", name)
+		}
+	}
+}
+
+func TestCanonicalHashJSONKeyOrderInvariant(t *testing.T) {
+	// The same netlist as two JSON documents whose object keys (and the
+	// connection wire's id allocation) appear in different orders.
+	doc1 := `{"creator":"x","modules":{"top":{
+	  "ports":{"a":{"direction":"input","bits":[2]},"y":{"direction":"output","bits":[3]}},
+	  "netnames":{"a":{"bits":[2]},"y":{"bits":[3]}},
+	  "cells":{"n0":{"type":"$not","parameters":{"WIDTH":1},"connections":{"A":[2],"Y":[3]}}}}}}`
+	doc2 := `{"modules":{"top":{
+	  "cells":{"n0":{"connections":{"Y":[3],"A":[2]},"parameters":{"WIDTH":1},"type":"$not"}},
+	  "netnames":{"y":{"bits":[3]},"a":{"bits":[2]}},
+	  "ports":{"y":{"bits":[3],"direction":"output"},"a":{"bits":[2],"direction":"input"}}}},
+	  "creator":"x"}`
+	d1, err := ReadJSON(strings.NewReader(doc1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadJSON(strings.NewReader(doc2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CanonicalHashDesign(d1) != CanonicalHashDesign(d2) {
+		t.Error("JSON key order changed the design hash")
+	}
+	if CanonicalHash(d1.Top()) != CanonicalHash(d2.Top()) {
+		t.Error("JSON key order changed the module hash")
+	}
+}
+
+func TestCanonicalHashDesignModuleOrder(t *testing.T) {
+	mk := func(names ...string) *Design {
+		d := NewDesign()
+		for _, n := range names {
+			m := NewModule(n)
+			m.AddInput("i", 1)
+			d.AddModule(m)
+		}
+		return d
+	}
+	if CanonicalHashDesign(mk("a", "b")) != CanonicalHashDesign(mk("b", "a")) {
+		t.Error("module insertion order changed the design hash")
+	}
+}

@@ -1,13 +1,3 @@
-// Package rtlil implements a word-level register-transfer-level netlist
-// intermediate representation modeled after Yosys RTLIL.
-//
-// A Design holds Modules; a Module holds Wires (multi-bit nets), Cells
-// (word-level logic operators such as $mux, $eq, $and) and direct
-// connections between signals. Signals are represented as SigSpec values:
-// ordered slices of SigBit, where each bit is either one bit of a Wire or a
-// four-state constant. The representation is deliberately close to Yosys so
-// that the optimization passes in this repository (in particular the
-// smaRTLy passes from the DAC'25 paper) transcribe one-to-one.
 package rtlil
 
 import (

@@ -1,0 +1,184 @@
+// Package api defines the JSON wire types of the smartlyd HTTP API,
+// shared by the server (internal/server) and the Go client (client).
+// docs/api.md documents the endpoints and error codes.
+package api
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro"
+	"repro/internal/cache"
+)
+
+// OptimizeRequest is the body of POST /v1/optimize.
+type OptimizeRequest struct {
+	// Design is the netlist to optimize, in the Yosys-compatible JSON
+	// format (smartly.WriteJSON / yosys write_json).
+	Design json.RawMessage `json:"design"`
+	// Flow names a registered flow (GET /v1/flows). Mutually exclusive
+	// with Script; with neither set the server's default flow runs.
+	Flow string `json:"flow,omitempty"`
+	// Script is a flow script ("opt_expr; satmux(conflicts=64); ...").
+	Script string `json:"script,omitempty"`
+	// Workers bounds the per-request worker budget of parallel engine
+	// stages (0 = server default). The optimized netlist is
+	// bit-identical for every value, which is why Workers is not part
+	// of the cache key.
+	Workers int `json:"workers,omitempty"`
+	// Timings includes wall-clock durations in the run reports. Timed
+	// responses are cached separately (the recorded timings are those
+	// of the run that populated the entry).
+	Timings bool `json:"timings,omitempty"`
+	// NoCache bypasses the result cache entirely: no lookup, no store,
+	// no request coalescing. Used by latency benchmarks.
+	NoCache bool `json:"no_cache,omitempty"`
+	// Async enqueues the request and returns a Job immediately; poll
+	// GET /v1/jobs/{id} for the result.
+	Async bool `json:"async,omitempty"`
+}
+
+// OptimizeResponse is the body of a successful synchronous optimization
+// (and the Result of a finished async Job).
+type OptimizeResponse struct {
+	// Key is the content-addressed cache key of the request:
+	// (canonical netlist hash, normalized flow script, option set).
+	Key string `json:"key"`
+	// Cache reports how the response was produced: "hit" (served from
+	// cache, including requests coalesced onto an identical in-flight
+	// computation), "miss" (computed and stored) or "bypass"
+	// (no_cache).
+	Cache string `json:"cache"`
+	// Flow is the normalized flow script that ran.
+	Flow string `json:"flow"`
+	// ElapsedMS is the server-side wall time of this request.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Design is the optimized netlist, same format as the request.
+	Design json.RawMessage `json:"design"`
+	// Reports maps module names to their structured run reports.
+	Reports map[string]Report `json:"reports"`
+}
+
+// Report mirrors smartly.RunReport on the wire.
+type Report struct {
+	Changed    bool             `json:"changed"`
+	DurationNS int64            `json:"duration_ns,omitempty"`
+	Passes     []PassReport     `json:"passes,omitempty"`
+	Fixpoints  []FixpointReport `json:"fixpoints,omitempty"`
+}
+
+// PassReport mirrors smartly.PassReport on the wire.
+type PassReport struct {
+	Name       string         `json:"name"`
+	Calls      int            `json:"calls"`
+	Changed    bool           `json:"changed,omitempty"`
+	Counters   map[string]int `json:"counters,omitempty"`
+	DurationNS int64          `json:"duration_ns,omitempty"`
+}
+
+// FixpointReport mirrors smartly.FixpointReport on the wire.
+type FixpointReport struct {
+	Name       string `json:"name"`
+	Iterations int    `json:"iterations"`
+	Converged  bool   `json:"converged"`
+}
+
+// FromRunReport converts an engine report to its wire form.
+func FromRunReport(r smartly.RunReport) Report {
+	out := Report{Changed: r.Changed, DurationNS: int64(r.Duration)}
+	for _, p := range r.Passes {
+		out.Passes = append(out.Passes, PassReport{
+			Name:       p.Name,
+			Calls:      p.Calls,
+			Changed:    p.Changed,
+			Counters:   p.Counters,
+			DurationNS: int64(p.Duration),
+		})
+	}
+	for _, f := range r.Fixpoints {
+		out.Fixpoints = append(out.Fixpoints, FixpointReport{
+			Name:       f.Name,
+			Iterations: f.Iterations,
+			Converged:  f.Converged,
+		})
+	}
+	return out
+}
+
+// Counters flattens the per-pass counters into one merged map — the
+// same shape as smartly.RunReport.Counters.
+func (r Report) Counters() map[string]int {
+	out := map[string]int{}
+	for _, p := range r.Passes {
+		for k, v := range p.Counters {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// Job states reported by GET /v1/jobs/{id}.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// Job is the body of an async submission (202) and of GET /v1/jobs/{id}.
+type Job struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Error is set when State is "failed".
+	Error string `json:"error,omitempty"`
+	// Result is set when State is "done".
+	Result *OptimizeResponse `json:"result,omitempty"`
+	// SubmittedAt is the server-side enqueue time.
+	SubmittedAt time.Time `json:"submitted_at"`
+}
+
+// JobStats summarizes the job store for /healthz.
+type JobStats struct {
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	Done    int `json:"done"`
+	Failed  int `json:"failed"`
+}
+
+// Health is the body of GET /healthz.
+type Health struct {
+	Status   string      `json:"status"`
+	UptimeMS int64       `json:"uptime_ms"`
+	Jobs     JobStats    `json:"jobs"`
+	Cache    cache.Stats `json:"cache"`
+}
+
+// FlowInfo is one entry of GET /v1/flows.
+type FlowInfo struct {
+	Name string `json:"name"`
+	// Script is the flow's registered script, Canonical its normalized
+	// cache-key form.
+	Script    string `json:"script"`
+	Canonical string `json:"canonical"`
+}
+
+// PassInfo is one entry of GET /v1/passes.
+type PassInfo struct {
+	Name    string       `json:"name"`
+	Summary string       `json:"summary"`
+	Options []OptionInfo `json:"options,omitempty"`
+}
+
+// OptionInfo describes one script option of a pass.
+type OptionInfo struct {
+	Key      string `json:"key"`
+	Kind     string `json:"kind"`
+	Default  string `json:"default,omitempty"`
+	Positive bool   `json:"positive,omitempty"`
+	Help     string `json:"help,omitempty"`
+}
+
+// Error is the body of every non-2xx response.
+type Error struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,27 @@
+// Package server implements smartlyd's HTTP serving layer: RTL
+// optimization as a service on top of the public smartly facade and the
+// flow registry.
+//
+// Endpoints (wire types in the api subpackage, full reference in
+// docs/api.md):
+//
+//	POST /v1/optimize     optimize a JSON netlist with a named flow or
+//	                      flow script; sync by default, async with
+//	                      {"async": true}
+//	GET  /v1/jobs/{id}    poll an async submission
+//	GET  /v1/flows        the registered named flows
+//	GET  /v1/passes       the pass registry with option specs
+//	GET  /healthz         liveness, uptime, job and cache counters
+//
+// Requests flow through a bounded job queue: at most Config.Jobs
+// optimizations run concurrently, at most Config.QueueDepth may be
+// admitted (running + waiting) before the server answers 503, and each
+// run carries its own worker budget into the pass engine
+// (smartly.WithWorkers). Results are served through a content-addressed
+// cache (internal/cache) keyed by canonical netlist hash + normalized
+// flow script + option set, with identical in-flight requests coalesced
+// into one computation.
+//
+// Shutdown is graceful: Close cancels the run context, Drain waits for
+// admitted work. cmd/smartlyd wires both behind SIGINT/SIGTERM.
+package server

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/server/api"
+)
+
+// maxRetainedJobs bounds the job store: once exceeded, the oldest
+// finished jobs are forgotten (polling them then returns 404).
+const maxRetainedJobs = 1024
+
+// maxRetainedResults bounds how many finished jobs keep their full
+// result payload. Payloads carry whole optimized netlists, so — unlike
+// the byte-bounded result cache — retaining one per job would let a
+// long-lived daemon pin gigabytes. Older finished jobs keep their
+// metadata (state, error) but drop the payload; resubmitting the same
+// request is served from the cache.
+const maxRetainedResults = 32
+
+// job is one async submission. Mutable state is guarded by the store
+// mutex; done closes when the job reaches a terminal state.
+type job struct {
+	id        string
+	submitted time.Time
+	state     string
+	errMsg    string
+	result    *api.OptimizeResponse
+	done      chan struct{}
+}
+
+// jobStore tracks async jobs in submission order for pruning.
+type jobStore struct {
+	mu    sync.Mutex
+	byID  map[string]*job
+	order []*job
+}
+
+func (js *jobStore) init() { js.byID = map[string]*job{} }
+
+// add registers a new queued job and prunes old finished ones.
+func (js *jobStore) add() *job {
+	buf := make([]byte, 16)
+	rand.Read(buf) // never fails per crypto/rand contract
+	j := &job{
+		id:        hex.EncodeToString(buf),
+		submitted: time.Now(),
+		state:     api.JobQueued,
+		done:      make(chan struct{}),
+	}
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	js.byID[j.id] = j
+	js.order = append(js.order, j)
+	for len(js.order) > maxRetainedJobs {
+		victim := -1
+		for i, old := range js.order {
+			if old.state == api.JobDone || old.state == api.JobFailed {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			break // everything still active; keep over-retaining
+		}
+		delete(js.byID, js.order[victim].id)
+		js.order = append(js.order[:victim], js.order[victim+1:]...)
+	}
+	return j
+}
+
+// get returns the job by id, or nil.
+func (js *jobStore) get(id string) *job {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return js.byID[id]
+}
+
+// setState transitions a job; terminal states close done exactly once
+// and prune payloads of older finished jobs.
+func (js *jobStore) setState(j *job, state, errMsg string, result *api.OptimizeResponse) {
+	js.mu.Lock()
+	j.state = state
+	j.errMsg = errMsg
+	j.result = result
+	terminal := state == api.JobDone || state == api.JobFailed
+	if terminal {
+		js.pruneResultsLocked()
+	}
+	js.mu.Unlock()
+	if terminal {
+		close(j.done)
+	}
+}
+
+// pruneResultsLocked drops the result payload of all but the most
+// recent maxRetainedResults finished jobs. Caller holds mu.
+func (js *jobStore) pruneResultsLocked() {
+	kept := 0
+	for i := len(js.order) - 1; i >= 0; i-- {
+		j := js.order[i]
+		if j.result == nil {
+			continue
+		}
+		if kept++; kept > maxRetainedResults {
+			j.result = nil
+		}
+	}
+}
+
+// snapshot renders a job's current wire form.
+func (js *jobStore) snapshot(j *job) api.Job {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return api.Job{
+		ID:          j.id,
+		State:       j.state,
+		Error:       j.errMsg,
+		Result:      j.result,
+		SubmittedAt: j.submitted,
+	}
+}
+
+// stats counts jobs by state for /healthz.
+func (js *jobStore) stats() api.JobStats {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	var s api.JobStats
+	for _, j := range js.order {
+		switch j.state {
+		case api.JobQueued:
+			s.Queued++
+		case api.JobRunning:
+			s.Running++
+		case api.JobDone:
+			s.Done++
+		case api.JobFailed:
+			s.Failed++
+		}
+	}
+	return s
+}
+
+// submitJob admits an async request and starts it in the background.
+// Admission (and so the 503 queue bound) happens here, before the 202
+// is written, so accepted jobs always hold a queue position.
+func (s *Server) submitJob(pr *request) (api.Job, error) {
+	release, err := s.admit()
+	if err != nil {
+		return api.Job{}, err
+	}
+	j := s.jobs.add()
+	go func() {
+		defer release()
+		// The slot wait and the run are bounded by the server lifetime
+		// only: the submitting client has already disconnected.
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-s.runCtx.Done():
+			s.jobs.setState(j, api.JobFailed, s.runCtx.Err().Error(), nil)
+			return
+		}
+		s.jobs.setState(j, api.JobRunning, "", nil)
+		resp, err := s.serve(pr)
+		if err != nil {
+			s.jobs.setState(j, api.JobFailed, err.Error(), nil)
+			return
+		}
+		s.jobs.setState(j, api.JobDone, "", resp)
+	}()
+	return s.jobs.snapshot(j), nil
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobs.snapshot(j))
+}

@@ -1,0 +1,434 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/cache"
+	"repro/internal/server/api"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Jobs bounds how many optimizations run concurrently (0 =
+	// runtime.GOMAXPROCS(0)).
+	Jobs int
+	// QueueDepth bounds how many requests may be admitted — running
+	// plus waiting for a slot — before new ones are rejected with 503
+	// (0 = 4*Jobs).
+	QueueDepth int
+	// Workers is the default per-request engine worker budget when a
+	// request does not set its own (0 = all cores).
+	Workers int
+	// DefaultFlow runs when a request names neither a flow nor a
+	// script ("" = "full").
+	DefaultFlow string
+	// Cache is the result cache; nil builds a memory-only cache with
+	// the default bound.
+	Cache *cache.Cache
+	// Logf receives one structured line per request; nil discards.
+	Logf func(format string, args ...any)
+	// MaxBodyBytes bounds request bodies (0 = 512 MiB).
+	MaxBodyBytes int64
+}
+
+// Server serves optimization flows over HTTP. Create with New, expose
+// via Handler, stop with Close + Drain.
+type Server struct {
+	cfg   Config
+	cache *cache.Cache
+	mux   *http.ServeMux
+	start time.Time
+
+	// runCtx outlives individual requests: computations shared through
+	// the cache (and async jobs) are canceled by Close, not by the
+	// submitting client going away.
+	runCtx context.Context
+	stop   context.CancelFunc
+
+	sem      chan struct{} // admission: one token per running optimization
+	admitted atomic.Int64  // running + waiting requests
+	wg       sync.WaitGroup
+
+	jobs jobStore
+}
+
+// New builds a Server. The flow registry must be populated (importing
+// the repro facade does this).
+func New(cfg Config) *Server {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Jobs
+	}
+	if cfg.DefaultFlow == "" {
+		cfg.DefaultFlow = "full"
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 512 << 20
+	}
+	c := cfg.Cache
+	if c == nil {
+		c, _ = cache.New(0, "") // memory-only New cannot fail
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		cache:  c,
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+		runCtx: ctx,
+		stop:   stop,
+		sem:    make(chan struct{}, cfg.Jobs),
+	}
+	s.jobs.init()
+	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/flows", s.handleFlows)
+	s.mux.HandleFunc("GET /v1/passes", s.handlePasses)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the result cache (for stats and tests).
+func (s *Server) Cache() *cache.Cache { return s.cache }
+
+// Close cancels the run context: running and queued optimizations
+// return context errors. Use Drain first for a graceful stop.
+func (s *Server) Close() { s.stop() }
+
+// Drain blocks until all admitted work (sync requests and async jobs)
+// has finished, or ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// writeJSON writes one JSON response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// writeError writes the error body shared by every non-2xx response.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, api.Error{Error: fmt.Sprintf(format, args...)})
+}
+
+// request is one validated optimization request: everything derived
+// from the body before any queueing happens, so bad requests fail fast
+// with 400 and async jobs cannot fail on input errors after the 202.
+type request struct {
+	req    api.OptimizeRequest
+	design *smartly.Design
+	flow   *smartly.Flow
+	key    cache.Key
+}
+
+// parseRequest decodes and validates an optimize request body.
+func (s *Server) parseRequest(r *http.Request) (*request, error) {
+	var req api.OptimizeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("decoding request body: %w", err)
+	}
+	if len(req.Design) == 0 || string(req.Design) == "null" {
+		return nil, fmt.Errorf("request has no design")
+	}
+	if req.Flow != "" && req.Script != "" {
+		return nil, fmt.Errorf("request sets both flow (%q) and script; choose one", req.Flow)
+	}
+	var flow *smartly.Flow
+	var err error
+	switch {
+	case req.Script != "":
+		flow, err = smartly.ParseFlow(req.Script)
+	case req.Flow != "":
+		flow, err = smartly.NamedFlow(req.Flow)
+	default:
+		flow, err = smartly.NamedFlow(s.cfg.DefaultFlow)
+	}
+	if err != nil {
+		return nil, err
+	}
+	design, err := decodeDesign(req.Design)
+	if err != nil {
+		return nil, err
+	}
+	if len(design.Modules()) == 0 {
+		return nil, fmt.Errorf("design has no modules")
+	}
+	for _, m := range design.Modules() {
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("invalid design: module %s: %w", m.Name, err)
+		}
+	}
+	return &request{
+		req:    req,
+		design: design,
+		flow:   flow,
+		key: cache.Key{
+			Netlist: smartly.HashDesign(design),
+			Flow:    flow.Canonical(),
+			Options: optionsKey(req),
+		},
+	}, nil
+}
+
+// decodeDesign parses a request netlist, converting rtlil's
+// programming-error panics (zero-width wires, width-mismatched
+// connections, ...) into plain errors: on this path the JSON is remote
+// input, not programmer-constructed structure, so a malformed body must
+// become a 400, never a killed connection.
+func decodeDesign(raw []byte) (d *smartly.Design, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("invalid design: %v", r)
+		}
+	}()
+	return smartly.ReadJSON(bytes.NewReader(raw))
+}
+
+// optionsKey encodes the request options that change the cached payload.
+// Workers is deliberately absent: results are bit-identical for every
+// worker budget.
+func optionsKey(req api.OptimizeRequest) string {
+	if req.Timings {
+		return "timings=true"
+	}
+	return ""
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	pr, err := s.parseRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if pr.req.Async {
+		job, err := s.submitJob(pr)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		w.Header().Set("Location", "/v1/jobs/"+job.ID)
+		writeJSON(w, http.StatusAccepted, job)
+		return
+	}
+	resp, err := s.execute(r.Context(), pr)
+	if err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// errServerBusy rejects admissions beyond the queue depth; it maps to
+// HTTP 503.
+type errServerBusy struct{ depth int }
+
+func (e errServerBusy) Error() string {
+	return fmt.Sprintf("server busy: job queue full (depth %d); retry later", e.depth)
+}
+
+func errStatus(err error) int {
+	var busy errServerBusy
+	if errors.As(err, &busy) {
+		return http.StatusServiceUnavailable
+	}
+	// RunDesign wraps cancellation as "module x: context canceled", so
+	// match the chain, not the sentinel value.
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// admit reserves a queue position, failing fast when the queue is full.
+// The returned release function gives it back.
+func (s *Server) admit() (func(), error) {
+	if n := s.admitted.Add(1); n > int64(s.cfg.QueueDepth) {
+		s.admitted.Add(-1)
+		return nil, errServerBusy{depth: s.cfg.QueueDepth}
+	}
+	s.wg.Add(1)
+	return func() {
+		s.admitted.Add(-1)
+		s.wg.Done()
+	}, nil
+}
+
+// execute runs one synchronous request end to end: admission, run-slot
+// wait, then serve. waitCtx aborts waiting in the queue (client gone);
+// the computation itself runs under the server's run context so that a
+// result shared via the cache does not die with one impatient client.
+func (s *Server) execute(waitCtx context.Context, pr *request) (*api.OptimizeResponse, error) {
+	release, err := s.admit()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-waitCtx.Done():
+		return nil, waitCtx.Err()
+	case <-s.runCtx.Done():
+		return nil, s.runCtx.Err()
+	}
+	return s.serve(pr)
+}
+
+// serve produces the response for a request that holds a run slot:
+// from the cache, a coalesced in-flight computation, or its own run.
+func (s *Server) serve(pr *request) (*api.OptimizeResponse, error) {
+	var err error
+	start := time.Now()
+	status := "miss"
+	var raw []byte
+	if pr.req.NoCache {
+		status = "bypass"
+		raw, err = s.compute(pr)
+	} else {
+		var hit bool
+		raw, hit, err = s.cache.Do(pr.key.ID(), func() ([]byte, error) {
+			return s.compute(pr)
+		})
+		if hit {
+			status = "hit"
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp := &api.OptimizeResponse{
+		Key:       pr.key.ID(),
+		Cache:     status,
+		Flow:      pr.key.Flow,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	var p payload
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return nil, fmt.Errorf("corrupt cached payload for %s: %w", resp.Key, err)
+	}
+	resp.Design = p.Design
+	resp.Reports = p.Reports
+	s.logf("optimize flow=%q key=%s cache=%s elapsed=%s",
+		pr.key.Flow, pr.key.ID()[:12], status, time.Since(start).Round(time.Microsecond))
+	return resp, nil
+}
+
+// compute runs the flow and serializes the cacheable payload (optimized
+// design + per-module reports). Engine panics on pathological netlists
+// become errors: the request fails with 500 instead of a dropped
+// connection, nothing is cached, and coalesced waiters are released.
+func (s *Server) compute(pr *request) (raw []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("optimization panicked: %v", r)
+		}
+	}()
+	return s.runFlow(pr)
+}
+
+func (s *Server) runFlow(pr *request) ([]byte, error) {
+	workers := pr.req.Workers
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+	opts := []smartly.RunOption{
+		smartly.WithContext(s.runCtx),
+		smartly.WithWorkers(workers),
+	}
+	if pr.req.Timings {
+		opts = append(opts, smartly.WithTimings())
+	}
+	// The design was decoded from this request's body, so it is private
+	// to this computation and can be optimized in place.
+	reports, err := pr.flow.RunDesign(pr.design, opts...)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := smartly.WriteJSON(&buf, pr.design); err != nil {
+		return nil, err
+	}
+	p := payload{Design: buf.Bytes(), Reports: map[string]api.Report{}}
+	for name, rep := range reports {
+		p.Reports[name] = api.FromRunReport(rep)
+	}
+	return json.Marshal(p)
+}
+
+// payload is the cacheable core of an OptimizeResponse.
+type payload struct {
+	Design  json.RawMessage       `json:"design"`
+	Reports map[string]api.Report `json:"reports"`
+}
+
+func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
+	var out []api.FlowInfo
+	for _, name := range smartly.FlowNames() {
+		f, err := smartly.NamedFlow(name)
+		if err != nil {
+			continue // unparsable registration; nothing to reflect
+		}
+		out = append(out, api.FlowInfo{Name: name, Script: f.String(), Canonical: f.Canonical()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handlePasses(w http.ResponseWriter, r *http.Request) {
+	var out []api.PassInfo
+	for _, spec := range smartly.Passes() {
+		info := api.PassInfo{Name: spec.Name, Summary: spec.Summary}
+		for _, o := range spec.Options {
+			info.Options = append(info.Options, api.OptionInfo{
+				Key:      o.Key,
+				Kind:     o.Kind.String(),
+				Default:  o.Default,
+				Positive: o.Positive,
+				Help:     o.Help,
+			})
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.Health{
+		Status:   "ok",
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		Jobs:     s.jobs.stats(),
+		Cache:    s.cache.Stats(),
+	})
+}

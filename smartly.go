@@ -1,32 +1,3 @@
-// Package smartly is a Go reproduction of "SmaRTLy: RTL Optimization
-// with Logic Inferencing and Structural Rebuilding" (DAC 2025): an RTL
-// logic-optimization library that replaces Yosys' opt_muxtree pass with
-// two stronger multiplexer-tree optimizations — SAT-based redundancy
-// elimination and ADD-driven muxtree restructuring.
-//
-// The package is a facade over the implementation packages:
-//
-//	rtlil    — word-level netlist IR (Yosys RTLIL model)
-//	verilog  — synthesizable-subset Verilog frontend
-//	opt      — pass framework + baseline passes (opt_expr/muxtree/clean)
-//	core     — the paper's passes (satmux, rebuild)
-//	aig      — AIG mapping and the paper's area metric
-//	cec      — combinational equivalence checking
-//	genbench — benchmark generators reproducing the paper's evaluation
-//
-// Quick start:
-//
-//	design, _ := smartly.ParseVerilog(src)
-//	m := design.Top()
-//	before, _ := smartly.Area(m)
-//	flow, _ := smartly.ParseFlow("fixpoint { opt_expr; smartly; opt_clean }")
-//	report, _ := flow.Run(m)
-//	after, _ := smartly.Area(m)
-//
-// Flows compose the registered passes (see Passes) with typed options;
-// NamedFlow("yosys"|"sat"|"rebuild"|"full") returns the paper's four
-// pipelines. The legacy Pipeline enum and Optimize remain as thin shims
-// over the named flows.
 package smartly
 
 import (
@@ -195,6 +166,19 @@ func OptimizeDesign(ctx context.Context, d *Design, p Pipeline, o OptimizeOption
 	}
 	return out, err
 }
+
+// Hash returns the canonical content hash of the module (hex SHA-256).
+// The hash identifies the logical netlist, not one serialization of it:
+// modules that differ only in wire/cell insertion order, JSON key order
+// or connection statement order hash identically, while any semantic
+// change (names, widths, ports, cell types, parameters, connectivity)
+// changes the hash. The serving layer keys its result cache by this
+// hash; see internal/cache.
+func Hash(m *Module) string { return rtlil.CanonicalHash(m) }
+
+// HashDesign returns the canonical content hash of the whole design
+// (module hashes combined in sorted name order).
+func HashDesign(d *Design) string { return rtlil.CanonicalHashDesign(d) }
 
 // Area maps the module to an And-Inverter Graph and returns the number
 // of AND nodes reachable from its outputs — the paper's area metric
