@@ -198,3 +198,11 @@ func WithTimings() RequestOption {
 func WithoutCache() RequestOption {
 	return func(r *api.OptimizeRequest) { r.NoCache = true }
 }
+
+// WithMode selects the daemon's cache granularity: api.ModeWhole (one
+// entry per design) or api.ModeDesign (per-module entries, so a
+// resubmission with one edited module re-optimizes only that module).
+// "" uses the daemon's default.
+func WithMode(mode string) RequestOption {
+	return func(r *api.OptimizeRequest) { r.Mode = mode }
+}

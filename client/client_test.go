@@ -82,6 +82,33 @@ func TestOptimizeDesignRoundTrip(t *testing.T) {
 	}
 }
 
+func TestOptimizeDesignWithMode(t *testing.T) {
+	c := startDaemon(t)
+	ctx := context.Background()
+
+	_, resp, err := c.OptimizeDesign(ctx, parseDesign(t), "yosys", "", WithMode(api.ModeDesign))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Mode != api.ModeDesign || resp.ModuleCache == nil {
+		t.Errorf("mode=%q stats=%+v, want design-mode response", resp.Mode, resp.ModuleCache)
+	}
+	if resp.ModuleCache.Misses != 1 {
+		t.Errorf("cold design-mode stats %+v, want 1 miss", resp.ModuleCache)
+	}
+	_, resp, err = c.OptimizeDesign(ctx, parseDesign(t), "yosys", "", WithMode(api.ModeDesign))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cache != "hit" || resp.ModuleCache.Hits != 1 {
+		t.Errorf("warm design-mode cache=%q stats=%+v, want module hit", resp.Cache, resp.ModuleCache)
+	}
+	// Unknown modes surface as API errors.
+	if _, _, err := c.OptimizeDesign(ctx, parseDesign(t), "yosys", "", WithMode("bogus")); err == nil {
+		t.Error("bogus mode accepted")
+	}
+}
+
 func TestRegistryAndHealth(t *testing.T) {
 	c := startDaemon(t)
 	ctx := context.Background()

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	smartly-bench [-scale 1.0] [-table 2|3|all] [-industrial n] [-j n] [-check] [-v]
-//	              [-json] [-flow name|name=script]...
+//	              [-json] [-server] [-design n] [-flow name|name=script]...
 //
 // Scale 1.0 runs the calibrated case sizes (minutes); smaller scales
 // reproduce the table shape faster. The paper's absolute circuit sizes
@@ -54,6 +54,7 @@ type benchConfig struct {
 	verbose    bool
 	jsonOut    bool
 	server     bool
+	design     int
 	flows      []string
 }
 
@@ -67,6 +68,7 @@ func main() {
 	flag.BoolVar(&cfg.verbose, "v", false, "log per-flow progress")
 	flag.BoolVar(&cfg.jsonOut, "json", false, "emit one machine-readable JSON report instead of tables")
 	flag.BoolVar(&cfg.server, "server", false, "also measure serving-layer cold vs warm cache latency (in-process smartlyd)")
+	flag.IntVar(&cfg.design, "design", 0, "also measure design-mode sharding cold/warm/incremental latency on an n-module design (0 = off)")
 	var flows flowList
 	flag.Var(&flows, "flow", "flow to measure: a named flow or name=script (repeatable; default: the paper's four pipelines)")
 	flag.Parse()
@@ -128,10 +130,19 @@ func runBench(cfg benchConfig, out io.Writer) error {
 		}
 		serverBench = &sb
 	}
+	var designBench *harness.DesignBench
+	if cfg.design > 0 {
+		db, err := harness.RunDesignBench(cfg.design, serverBenchFlow(cfg.flows), cfg.scale, 2)
+		if err != nil {
+			return err
+		}
+		designBench = &db
+	}
 
 	if cfg.jsonOut {
 		rep := harness.NewBenchReport(cfg.scale, opts.Flows, results, points, time.Since(start))
 		rep.Server = serverBench
+		rep.Design = designBench
 		return rep.WriteJSON(out)
 	}
 	if results != nil {
@@ -152,6 +163,9 @@ func runBench(cfg benchConfig, out io.Writer) error {
 	}
 	if serverBench != nil {
 		fmt.Fprintln(out, serverBench.String())
+	}
+	if designBench != nil {
+		fmt.Fprintln(out, designBench.String())
 	}
 	return nil
 }

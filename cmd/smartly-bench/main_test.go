@@ -111,6 +111,38 @@ func TestBenchServerMode(t *testing.T) {
 	}
 }
 
+func TestBenchDesignMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins a server and optimizes a multi-module design repeatedly")
+	}
+	var buf bytes.Buffer
+	if err := runBench(benchConfig{scale: 0.02, table: "", design: 3, flows: []string{"yosys"}, jsonOut: true}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep harness.BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if rep.Design == nil {
+		t.Fatal("report has no design section")
+	}
+	if rep.Design.Modules != 3 || rep.Design.Flow != "yosys" {
+		t.Errorf("design bench %+v", rep.Design)
+	}
+	if rep.Design.ColdMS <= 0 || rep.Design.WarmMS <= 0 || rep.Design.IncrementalMS <= 0 {
+		t.Errorf("latencies not measured: %+v", rep.Design)
+	}
+
+	// The table mode prints the human-readable line.
+	buf.Reset()
+	if err := runBench(benchConfig{scale: 0.02, table: "", design: 3, flows: []string{"yosys"}}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Design-mode sharding latency") {
+		t.Errorf("table output:\n%s", buf.String())
+	}
+}
+
 func TestBenchBadFlowSpec(t *testing.T) {
 	var buf bytes.Buffer
 	if err := runBench(benchConfig{scale: 0.02, table: "2", flows: []string{"bad=no_such_pass"}}, &buf); err == nil {

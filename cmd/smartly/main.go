@@ -10,7 +10,8 @@
 // Usage:
 //
 //	smartly [-flow yosys|sat|rebuild|full] [-script "opt_expr; satmux(conflicts=64); opt_clean"]
-//	        [-remote http://host:8080] [-j n] [-timings] [-o out.json] [-check] design.v
+//	        [-remote http://host:8080] [-mode whole|design] [-j n] [-module-jobs n]
+//	        [-timings] [-o out.json] [-check] design.v
 //
 // -script and -flow are mutually exclusive. With -remote the design is
 // shipped to a smartlyd daemon (cmd/smartlyd) instead of being
@@ -35,14 +36,16 @@ import (
 
 // options collects the CLI flags of one invocation.
 type options struct {
-	flowName string
-	script   string
-	remote   string
-	outPath  string
-	check    bool
-	quiet    bool
-	timings  bool
-	jobs     int
+	flowName   string
+	script     string
+	remote     string
+	mode       string
+	outPath    string
+	check      bool
+	quiet      bool
+	timings    bool
+	jobs       int
+	moduleJobs int
 }
 
 func main() {
@@ -56,7 +59,9 @@ func main() {
 	flag.BoolVar(&o.check, "check", false, "equivalence-check the optimized netlist against the input")
 	flag.BoolVar(&o.quiet, "q", false, "print only the final area line")
 	flag.BoolVar(&o.timings, "timings", false, "include per-pass wall times in the run report")
-	flag.IntVar(&o.jobs, "j", 0, "worker budget: modules optimized concurrently and parallel SAT-mux queries (0 = all cores, 1 = sequential)")
+	flag.IntVar(&o.jobs, "j", 0, "worker budget, split between concurrently optimized modules and parallel SAT-mux queries (0 = all cores, 1 = sequential)")
+	flag.IntVar(&o.moduleJobs, "module-jobs", 0, "modules optimized concurrently, local runs only (0 = derive from -j; capped by -j; results identical for every value)")
+	flag.StringVar(&o.mode, "mode", "", "with -remote: daemon cache granularity, whole (one entry per design) or design (per-module entries, incremental resubmits); empty = daemon default")
 	flag.Parse()
 	if *listPasses {
 		printPasses()
@@ -75,6 +80,14 @@ func main() {
 	})
 	if err := checkFlowFlags(flowSet, o.script); err != nil {
 		fmt.Fprintln(os.Stderr, "smartly:", err)
+		os.Exit(2)
+	}
+	if o.mode != "" && o.remote == "" {
+		fmt.Fprintln(os.Stderr, "smartly: -mode selects the daemon's cache granularity and needs -remote")
+		os.Exit(2)
+	}
+	if o.moduleJobs != 0 && o.remote != "" {
+		fmt.Fprintln(os.Stderr, "smartly: -module-jobs tunes the local shard scheduler; the daemon manages its own split (drop it, or tune -j)")
 		os.Exit(2)
 	}
 	if *pipeline != "" {
@@ -179,7 +192,7 @@ func run(path string, o options) error {
 	if err != nil {
 		return err
 	}
-	opts := []smartly.RunOption{smartly.WithWorkers(o.jobs)}
+	opts := []smartly.RunOption{smartly.WithWorkers(o.jobs), smartly.WithModuleJobs(o.moduleJobs)}
 	if o.timings {
 		opts = append(opts, smartly.WithTimings())
 	}
@@ -246,12 +259,19 @@ func runRemote(path string, design *smartly.Design, o options) error {
 	if o.timings {
 		copts = append(copts, client.WithTimings())
 	}
+	if o.mode != "" {
+		copts = append(copts, client.WithMode(o.mode))
+	}
 	c := client.New(o.remote)
 	out, resp, err := c.OptimizeDesign(context.Background(), design, flowName, o.script, copts...)
 	if err != nil {
 		return err
 	}
 	suffix := fmt.Sprintf("flow=%s, remote cache=%s", resp.Flow, resp.Cache)
+	if resp.ModuleCache != nil {
+		suffix += fmt.Sprintf(", module hits %d/%d",
+			resp.ModuleCache.Hits, resp.ModuleCache.Hits+resp.ModuleCache.Misses)
+	}
 	for _, m := range out.Modules() {
 		info, ok := infos[m.Name]
 		if !ok {

@@ -166,3 +166,50 @@ func TestRunRemote(t *testing.T) {
 		t.Errorf("remote bogus flow: %v", err)
 	}
 }
+
+// TestRunRemoteDesignMode ships a multi-module design with -mode design
+// and checks the sharded response round-trips (and survives -check).
+func TestRunRemoteDesignMode(t *testing.T) {
+	s := server.New(server.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+	// Build a two-module design input file.
+	d := smartly.NewDesign()
+	for _, src := range []string{
+		"module a(input x, input y, input s, output o);\n  assign o = s ? (s ? x : y) : y;\nendmodule\n",
+		"module b(input x, input y, output o);\n  assign o = x & y;\nendmodule\n",
+	} {
+		pd, err := smartly.ParseVerilog(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.AddModule(pd.Modules()[0])
+	}
+	in := filepath.Join(t.TempDir(), "design.json")
+	f, err := os.Create(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := smartly.WriteJSON(f, d); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	o := options{flowName: "full", remote: ts.URL, mode: "design", check: true, quiet: true}
+	if err := run(in, o); err != nil {
+		t.Fatalf("remote design mode: %v", err)
+	}
+	// A second run must be served from the module tier (asserted by the
+	// daemon-side counters; here it must simply still verify).
+	if err := run(in, o); err != nil {
+		t.Fatalf("remote design mode warm: %v", err)
+	}
+	// An invalid mode surfaces the daemon's 400.
+	err = run(in, options{flowName: "full", remote: ts.URL, mode: "bogus", quiet: true})
+	if err == nil || !strings.Contains(err.Error(), "mode") {
+		t.Errorf("remote bogus mode: %v", err)
+	}
+}

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	smartlyd [-addr :8080] [-jobs n] [-queue n] [-workers n]
-//	         [-cache-dir dir] [-cache-size mib] [-flow full] [-q]
+//	         [-cache-dir dir] [-cache-size mib] [-flow full]
+//	         [-mode whole|design] [-q]
 //
 // Endpoints (see docs/api.md):
 //
@@ -36,6 +37,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/server"
+	"repro/internal/server/api"
 )
 
 // options collects the daemon flags.
@@ -47,6 +49,7 @@ type options struct {
 	cacheDir string
 	cacheMiB int64
 	flow     string
+	mode     string
 	drain    time.Duration
 	quiet    bool
 }
@@ -60,6 +63,7 @@ func main() {
 	flag.StringVar(&o.cacheDir, "cache-dir", "", "result cache disk tier directory (empty = memory only)")
 	flag.Int64Var(&o.cacheMiB, "cache-size", 0, "memory cache bound in MiB (0 = default, 256)")
 	flag.StringVar(&o.flow, "flow", "full", "flow run when a request names none")
+	flag.StringVar(&o.mode, "mode", api.ModeWhole, "cache granularity for requests that set none: whole (one entry per design) or design (per-module entries, incremental resubmits)")
 	flag.DurationVar(&o.drain, "drain", 30*time.Second, "graceful shutdown budget")
 	flag.BoolVar(&o.quiet, "q", false, "log only startup and shutdown")
 	flag.Parse()
@@ -72,6 +76,9 @@ func main() {
 
 // newServer assembles the serving stack from the daemon options.
 func newServer(o options) (*server.Server, error) {
+	if o.mode != "" && o.mode != api.ModeWhole && o.mode != api.ModeDesign {
+		return nil, fmt.Errorf("unknown -mode %q (want %q or %q)", o.mode, api.ModeWhole, api.ModeDesign)
+	}
 	c, err := cache.New(o.cacheMiB<<20, o.cacheDir)
 	if err != nil {
 		return nil, err
@@ -85,6 +92,7 @@ func newServer(o options) (*server.Server, error) {
 		QueueDepth:  o.queue,
 		Workers:     o.workers,
 		DefaultFlow: o.flow,
+		DefaultMode: o.mode,
 		Cache:       c,
 		Logf:        logf,
 	}), nil

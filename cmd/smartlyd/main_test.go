@@ -9,6 +9,8 @@ import (
 
 	"repro"
 	"repro/client"
+	"repro/internal/genbench"
+	"repro/internal/server/api"
 )
 
 func TestNewServerServesRequests(t *testing.T) {
@@ -51,6 +53,81 @@ func TestNewServerServesRequests(t *testing.T) {
 	want, _ := smartly.NamedFlow("yosys")
 	if resp.Flow != want.Canonical() {
 		t.Errorf("default flow %q, want canonical yosys %q", resp.Flow, want.Canonical())
+	}
+}
+
+// TestDesignModeIncrementalThroughDaemon is the end-to-end acceptance
+// check of the incremental-resubmit contract through the daemon
+// assembly: an 8-module design is submitted in design mode, resubmitted
+// warm (8 hits), then resubmitted with exactly one module mutated — the
+// daemon must report cache hits for the other 7 modules and a
+// canonically identical netlist for the unchanged ones.
+func TestDesignModeIncrementalThroughDaemon(t *testing.T) {
+	s, err := newServer(options{
+		jobs:  2,
+		flow:  "yosys",
+		mode:  api.ModeDesign,
+		quiet: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+
+	const modules = 8
+	recipe := genbench.DesignRecipe{Modules: modules, Seed: 77}
+	d := genbench.GenerateDesign(recipe, 0.02)
+
+	// Cold submission: the daemon's -mode design default applies, every
+	// module misses.
+	_, cold, err := c.OptimizeDesign(context.Background(), d, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Mode != api.ModeDesign || cold.ModuleCache == nil || cold.ModuleCache.Misses != modules {
+		t.Fatalf("cold: mode=%q stats=%+v, want design mode with %d misses", cold.Mode, cold.ModuleCache, modules)
+	}
+
+	// Warm resubmission of the identical design: every module hits.
+	coldOut, warm, err := c.OptimizeDesign(context.Background(), d, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cache != "hit" || warm.ModuleCache.Hits != modules {
+		t.Fatalf("warm: cache=%q stats=%+v, want %d hits", warm.Cache, warm.ModuleCache, modules)
+	}
+
+	// Mutate exactly one module and resubmit: 7 hits, 1 miss, and the
+	// unchanged modules' optimized netlists are identical to the warm run.
+	mutated := genbench.MutateModule(d, recipe, 0.02, 3, 1)
+	incrOut, incr, err := c.OptimizeDesign(context.Background(), d, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if incr.ModuleCache.Hits != modules-1 || incr.ModuleCache.Misses != 1 {
+		t.Fatalf("incremental: stats=%+v, want %d hits 1 miss", incr.ModuleCache, modules-1)
+	}
+	if got := incr.CacheByModule[mutated.Name]; got != "miss" {
+		t.Errorf("mutated module %s served as %q, want miss", mutated.Name, got)
+	}
+	for _, m := range incrOut.Modules() {
+		prev := coldOut.Module(m.Name)
+		if prev == nil {
+			t.Fatalf("module %s missing from warm output", m.Name)
+		}
+		same := smartly.Hash(m) == smartly.Hash(prev)
+		if m.Name == mutated.Name {
+			if same {
+				t.Errorf("mutated module %s served unchanged netlist", m.Name)
+			}
+			continue
+		}
+		if !same {
+			t.Errorf("unchanged module %s: optimized netlist drifted between resubmissions", m.Name)
+		}
 	}
 }
 

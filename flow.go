@@ -4,8 +4,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -112,10 +110,11 @@ func (f *Flow) Canonical() string {
 
 // runConfig collects the functional options of Run/RunDesign.
 type runConfig struct {
-	ctx     context.Context
-	workers int
-	logf    func(format string, args ...any)
-	timings bool
+	ctx        context.Context
+	workers    int
+	moduleJobs int
+	logf       func(format string, args ...any)
+	timings    bool
 }
 
 // RunOption tunes a flow run.
@@ -129,12 +128,25 @@ func WithContext(ctx context.Context) RunOption {
 	return func(c *runConfig) { c.ctx = ctx }
 }
 
-// WithWorkers bounds the goroutines of parallel stages (SAT-mux query
-// batches and, for RunDesign, concurrently optimized modules). 0 means
-// all cores; 1 forces fully sequential execution. Results are
-// bit-identical for every value.
+// WithWorkers bounds the total goroutines of parallel stages. For Run
+// this is the intra-pass budget (SAT-mux query batches); for RunDesign
+// the budget is split between concurrently optimized modules and each
+// module's intra-pass stages (see WithModuleJobs). 0 means all cores; 1
+// forces fully sequential execution. Results are bit-identical for
+// every value.
 func WithWorkers(n int) RunOption {
 	return func(c *runConfig) { c.workers = n }
+}
+
+// WithModuleJobs overrides how many modules RunDesign optimizes
+// concurrently. 0 (the default) derives the fan-out from the worker
+// budget (as many module jobs as modules, capped by the budget, with
+// the rest of the budget shared among them); 1 forces module-serial
+// execution. Explicit values are still capped by the WithWorkers
+// budget. Results are bit-identical for every value. Run ignores the
+// option.
+func WithModuleJobs(n int) RunOption {
+	return func(c *runConfig) { c.moduleJobs = n }
 }
 
 // WithLogf attaches a sink for structured progress lines (per-pass
@@ -189,51 +201,34 @@ func (f *Flow) run(cfg runConfig, m *Module) (RunReport, opt.Result, error) {
 	return rep, res, err
 }
 
-// RunDesign executes the flow over every module of the design,
-// optimizing up to WithWorkers modules concurrently (modules are
-// disjoint netlists, so per-module results are independent of the
-// schedule). It returns the per-module reports keyed by module name and
-// the first error encountered.
+// RunDesign executes the flow over every module of the design through
+// the engine's design shard scheduler: modules fan out to a bounded
+// worker pool, with the WithWorkers budget split between module-level
+// and intra-pass parallelism (override the fan-out with
+// WithModuleJobs). Modules are disjoint netlists and reports merge in
+// design order, so the optimized design and the per-module reports are
+// bit-identical to a serial run for any budget or split. It returns the
+// per-module reports keyed by module name and the first error
+// encountered.
 func (f *Flow) RunDesign(d *Design, opts ...RunOption) (map[string]RunReport, error) {
 	cfg := newRunConfig(opts)
 	if f == nil || f.flow == nil {
 		return nil, fmt.Errorf("smartly: nil flow")
 	}
-	mods := d.Modules() // insertion order: deterministic, left untouched
-	reports := make([]RunReport, len(mods))
-	errs := make([]error, len(mods))
-	workers := cfg.workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if cfg.logf != nil {
-		// Each module runs under its own Ctx (for a per-module report),
-		// so the per-Ctx log mutex no longer spans modules — serialize
-		// the shared sink here instead.
-		var mu sync.Mutex
-		inner := cfg.logf
-		cfg.logf = func(format string, args ...any) {
-			mu.Lock()
-			defer mu.Unlock()
-			inner(format, args...)
+	ec := opt.NewCtx(cfg.ctx, opt.Config{Workers: cfg.workers, Logf: cfg.logf})
+	runs, err := f.flow.RunDesign(ec, d, opt.DesignConfig{ModuleJobs: cfg.moduleJobs})
+	out := make(map[string]RunReport, len(runs))
+	for i := range runs {
+		if runs[i].Module == nil {
+			continue // module skipped by a canceled run; err carries the cause
 		}
-	}
-	opt.ForEach(cfg.ctx, workers, len(mods), func(i int) {
-		// One Ctx per module: each module gets its own report.
-		reports[i], _, errs[i] = f.run(cfg, mods[i])
-	})
-	out := make(map[string]RunReport, len(mods))
-	var firstErr error
-	for i, m := range mods {
-		out[m.Name] = reports[i]
-		if firstErr == nil && errs[i] != nil {
-			firstErr = fmt.Errorf("module %s: %w", m.Name, errs[i])
+		rep := runs[i].Report
+		if !cfg.timings {
+			rep.StripTimings()
 		}
+		out[runs[i].Module.Name] = rep
 	}
-	if firstErr == nil {
-		firstErr = cfg.ctx.Err()
-	}
-	return out, firstErr
+	return out, err
 }
 
 // Design IO on the facade, so tools need not reach into internal/rtlil.

@@ -33,6 +33,35 @@ func (k Key) ID() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// ModuleKey identifies one per-module optimization result in the
+// module-granular tier used by design-mode sharding: where Key
+// addresses a whole-design payload, ModuleKey addresses the payload of
+// a single module, so a resubmitted design with one edited module
+// re-optimizes only that module and refills the rest from cache. Fields
+// must be canonical, exactly like Key's.
+type ModuleKey struct {
+	// Module is the canonical content hash of the one module
+	// (rtlil.CanonicalHash).
+	Module string
+	// Flow is the normalized flow script (opt.Flow.Canonical).
+	Flow string
+	// Options encodes the request-level options that change the cached
+	// payload; the worker budget and the module-jobs split must stay
+	// out (results are bit-identical for every value).
+	Options string
+}
+
+// ID collapses the module key into the cache's address. The hash is
+// domain-separated from Key.ID by a fixed leading field, so a module
+// entry and a design entry can never collide even for crafted inputs.
+func (k ModuleKey) ID() string {
+	h := sha256.New()
+	for _, f := range []string{"module", k.Module, k.Flow, k.Options} {
+		fmt.Fprintf(h, "%d:%s", len(f), f)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // Stats is a snapshot of the cache counters.
 type Stats struct {
 	// Entries and Bytes describe the current memory tier.
@@ -45,6 +74,9 @@ type Stats struct {
 	Hits     uint64 `json:"hits"`
 	DiskHits uint64 `json:"disk_hits"`
 	Misses   uint64 `json:"misses"`
+	// DiskBad counts disk-tier entries dropped because they were
+	// corrupt or truncated (each such read is served as a miss).
+	DiskBad uint64 `json:"disk_bad"`
 	// Coalesced counts Do callers that waited on an identical in-flight
 	// computation instead of running their own.
 	Coalesced uint64 `json:"coalesced"`
@@ -139,6 +171,21 @@ func (c *Cache) Put(id string, val []byte) {
 	c.insert(id, val)
 	c.mu.Unlock()
 	c.writeDisk(id, val)
+}
+
+// Delete removes the entry from both tiers. Callers use it to evict an
+// entry whose payload turned out to be undecodable, so the next lookup
+// recomputes instead of serving the same corrupt bytes again.
+func (c *Cache) Delete(id string) {
+	c.mu.Lock()
+	if el, ok := c.byID[id]; ok {
+		e := el.Value.(*entry)
+		c.lru.Remove(el)
+		delete(c.byID, id)
+		c.bytes -= int64(len(e.val))
+	}
+	c.mu.Unlock()
+	c.removeDisk(id)
 }
 
 // insert adds or refreshes a memory-tier entry and evicts LRU entries

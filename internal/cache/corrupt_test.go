@@ -1,0 +1,259 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testID(s string) string {
+	h := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(h[:])
+}
+
+// entryPath locates the disk file of an id the same way the tier does.
+func entryPath(dir, id string) string {
+	return filepath.Join(dir, id[:2], id)
+}
+
+// newDiskCache builds a cache with a disk tier and stores one entry,
+// returning the cache, the id and the entry's path.
+func newDiskCache(t *testing.T, val []byte) (*Cache, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	c, err := New(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := testID("corrupt-test")
+	c.Put(id, val)
+	return c, id, entryPath(dir, id)
+}
+
+// freshOver reopens a cache over the same directory, so reads must come
+// from disk.
+func freshOver(t *testing.T, path string) *Cache {
+	t.Helper()
+	dir := filepath.Dir(filepath.Dir(path))
+	c, err := New(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDiskCorruptEntries(t *testing.T) {
+	val := []byte("payload bytes")
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+	}{
+		{"truncated", func(t *testing.T, path string) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"flipped_payload_byte", func(t *testing.T, path string) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[len(raw)-1] ^= 0xff
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"flipped_checksum_byte", func(t *testing.T, path string) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[len(diskMagic)] ^= 0xff
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bad_magic", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, []byte("JUNKxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"empty", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"header_only", func(t *testing.T, path string) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, raw[:diskHeaderLen-2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, id, path := newDiskCache(t, val)
+			tc.corrupt(t, path)
+
+			// A fresh cache over the damaged directory must miss, not
+			// error or serve wrong bytes — and must drop the bad file.
+			c := freshOver(t, path)
+			if v, ok := c.Get(id); ok {
+				t.Fatalf("corrupt entry served: %q", v)
+			}
+			st := c.Stats()
+			if st.Misses != 1 || st.DiskHits != 0 {
+				t.Errorf("stats after corrupt read: %+v, want 1 miss", st)
+			}
+			if st.DiskBad != 1 && tc.name != "empty" && tc.name != "header_only" && tc.name != "bad_magic" {
+				// All shapes count as bad; spot-check at least the
+				// checksum failures.
+				t.Errorf("DiskBad = %d, want 1", st.DiskBad)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Errorf("corrupt file kept on disk (err=%v)", err)
+			}
+
+			// Do must recompute and heal the entry.
+			healed := []byte("recomputed")
+			got, hit, err := c.Do(id, func() ([]byte, error) { return healed, nil })
+			if err != nil || hit || string(got) != "recomputed" {
+				t.Fatalf("Do after corruption: %q hit=%v err=%v", got, hit, err)
+			}
+			c2 := freshOver(t, path)
+			if v, ok := c2.Get(id); !ok || string(v) != "recomputed" {
+				t.Errorf("healed entry not served from disk: %q %v", v, ok)
+			}
+		})
+	}
+}
+
+func TestDeleteRemovesBothTiers(t *testing.T) {
+	c, id, path := newDiskCache(t, []byte("v"))
+	if _, ok := c.Get(id); !ok {
+		t.Fatal("entry not stored")
+	}
+	c.Delete(id)
+	if _, ok := c.Get(id); ok {
+		t.Error("deleted entry still served from memory/disk")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("deleted entry file still on disk (err=%v)", err)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("stats after delete: %+v, want empty", st)
+	}
+	// Deleting a missing id is a no-op.
+	c.Delete(id)
+}
+
+func TestModuleKeyID(t *testing.T) {
+	k := ModuleKey{Module: "mhash", Flow: "opt_expr", Options: ""}
+	if k.ID() != (ModuleKey{Module: "mhash", Flow: "opt_expr"}).ID() {
+		t.Error("equal module keys produced different ids")
+	}
+	distinct := []ModuleKey{
+		k,
+		{Module: "mhash2", Flow: "opt_expr"},
+		{Module: "mhash", Flow: "opt_clean"},
+		{Module: "mhash", Flow: "opt_expr", Options: "timings=true"},
+	}
+	seen := map[string]int{}
+	for i, mk := range distinct {
+		if j, dup := seen[mk.ID()]; dup {
+			t.Errorf("module keys %d and %d collide", i, j)
+		}
+		seen[mk.ID()] = i
+	}
+	// Domain separation: a module key never collides with a design key,
+	// even when a crafted design key spells out the module prefix.
+	mk := ModuleKey{Module: "a", Flow: "b", Options: "c"}
+	for _, dk := range []Key{
+		{Netlist: "a", Flow: "b", Options: "c"},
+		{Netlist: "module", Flow: "a", Options: "b"},
+		{Netlist: "6:module1:a", Flow: "b", Options: "c"},
+	} {
+		if dk.ID() == mk.ID() {
+			t.Errorf("design key %+v collides with module key", dk)
+		}
+	}
+	// Concatenation attacks must not fold fields together.
+	if (ModuleKey{Module: "ab", Flow: ""}).ID() == (ModuleKey{Module: "a", Flow: "b"}).ID() {
+		t.Error("field boundary forgeable")
+	}
+}
+
+func TestDiskFormatFramed(t *testing.T) {
+	// The on-disk file is framed: magic + checksum + payload.
+	_, _, path := newDiskCache(t, []byte("hello"))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != diskHeaderLen+5 {
+		t.Fatalf("disk entry %d bytes, want header(%d)+5", len(raw), diskHeaderLen)
+	}
+	if string(raw[:len(diskMagic)]) != diskMagic {
+		t.Errorf("disk entry starts with %q, want %q", raw[:len(diskMagic)], diskMagic)
+	}
+	want := sha256.Sum256([]byte("hello"))
+	if got := raw[len(diskMagic):diskHeaderLen]; !eqBytes(got, want[:]) {
+		t.Error("disk entry checksum mismatch")
+	}
+	if string(raw[diskHeaderLen:]) != "hello" {
+		t.Errorf("disk entry payload %q", raw[diskHeaderLen:])
+	}
+}
+
+func eqBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestConcurrentCorruptReads(t *testing.T) {
+	// Concurrent Gets against a corrupt disk entry must all miss cleanly
+	// (run under -race in CI); the removal is idempotent.
+	val := []byte("payload")
+	_, id, path := newDiskCache(t, val)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 1
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := freshOver(t, path)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			if v, ok := c.Get(id); ok {
+				done <- fmt.Errorf("corrupt entry served: %q", v)
+				return
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+}

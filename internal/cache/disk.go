@@ -1,6 +1,8 @@
 package cache
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,8 +13,18 @@ import (
 // into 256 subdirectories by the first id byte so directories stay
 // small. Writes go through a temp file + rename, so readers (and other
 // smartlyd processes sharing the directory) never observe a partial
-// value. Disk I/O failures degrade the cache, never the request: a
-// failed write is dropped, a failed read is a miss.
+// value. Each file is framed with a magic header and a content
+// checksum, so entries damaged at rest — truncated by a full disk,
+// corrupted by a crash, or hand-edited — are detected on read and
+// served as a miss, never as wrong bytes or an error. Disk I/O failures
+// degrade the cache the same way: a failed write is dropped, a failed
+// read is a miss.
+
+// diskMagic marks a framed disk entry; diskHeaderLen is the framing
+// overhead (magic + SHA-256 of the payload) preceding the payload.
+const diskMagic = "SMC1"
+
+const diskHeaderLen = len(diskMagic) + sha256.Size
 
 // initDisk validates and creates the disk-tier directory.
 func (c *Cache) initDisk() error {
@@ -35,14 +47,39 @@ func (c *Cache) diskPath(id string) string {
 	return filepath.Join(c.dir, shard, id)
 }
 
-// readDisk fetches a value from the disk tier; a missing tier or any
-// read failure is a miss.
+// readDisk fetches a value from the disk tier; a missing tier, any read
+// failure and any framing/checksum mismatch is a miss. Corrupt entries
+// are deleted so the slot is rewritten by the recompute's Put instead
+// of failing every future lookup.
 func (c *Cache) readDisk(id string) ([]byte, bool) {
 	if c.dir == "" {
 		return nil, false
 	}
-	val, err := os.ReadFile(c.diskPath(id))
+	raw, err := os.ReadFile(c.diskPath(id))
 	if err != nil {
+		return nil, false
+	}
+	val, ok := unframe(raw)
+	if !ok {
+		os.Remove(c.diskPath(id))
+		c.mu.Lock()
+		c.stats.DiskBad++
+		c.mu.Unlock()
+		return nil, false
+	}
+	return val, true
+}
+
+// unframe validates a disk entry's magic and checksum and returns the
+// payload.
+func unframe(raw []byte) ([]byte, bool) {
+	if len(raw) < diskHeaderLen || string(raw[:len(diskMagic)]) != diskMagic {
+		return nil, false
+	}
+	sum := raw[len(diskMagic):diskHeaderLen]
+	val := raw[diskHeaderLen:]
+	got := sha256.Sum256(val)
+	if !bytes.Equal(sum, got[:]) {
 		return nil, false
 	}
 	return val, true
@@ -61,7 +98,15 @@ func (c *Cache) writeDisk(id string, val []byte) {
 	if err != nil {
 		return
 	}
-	if _, err := tmp.Write(val); err != nil {
+	sum := sha256.Sum256(val)
+	_, err = tmp.Write([]byte(diskMagic))
+	if err == nil {
+		_, err = tmp.Write(sum[:])
+	}
+	if err == nil {
+		_, err = tmp.Write(val)
+	}
+	if err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return
@@ -73,4 +118,12 @@ func (c *Cache) writeDisk(id string, val []byte) {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 	}
+}
+
+// removeDisk drops a disk-tier entry, best effort.
+func (c *Cache) removeDisk(id string) {
+	if c.dir == "" {
+		return
+	}
+	os.Remove(c.diskPath(id))
 }

@@ -1,0 +1,66 @@
+package genbench
+
+import (
+	"fmt"
+
+	"repro/internal/rtlil"
+)
+
+// Multi-module design generation for the design-level shard scheduler
+// and the serving layer's module-granular cache: a DesignRecipe stamps
+// out n modules, each a seeded variant of one public benchmark recipe,
+// so design-scale benches and tests get deterministic designs whose
+// modules differ in content (and so in canonical hash). MutateModule
+// regenerates exactly one module with a bumped generation, which is how
+// the incremental-resubmit benches model "the user edited one module".
+
+// DesignRecipe parameterizes one generated multi-module design.
+type DesignRecipe struct {
+	// Name names the design (it only labels benches; module names are
+	// derived per index).
+	Name string
+	// Modules is the number of generated modules (min 1).
+	Modules int
+	// Seed drives every module's generator; two designs with equal
+	// recipes are identical.
+	Seed int64
+}
+
+// ModuleRecipe returns the recipe of module index i at the given
+// mutation generation (0 = the original design). The base case cycles
+// through the public benchmark recipes; the seed folds in index and
+// generation with distinct odd multipliers so every (i, gen) pair draws
+// a different netlist, and the module name is stable across
+// generations — a mutation changes a module's content, never its
+// identity.
+func (r DesignRecipe) ModuleRecipe(i, gen int) Recipe {
+	bases := Recipes()
+	rec := bases[i%len(bases)]
+	rec.Name = fmt.Sprintf("m%02d_%s", i, rec.Name)
+	rec.Seed = r.Seed + int64(i)*7919 + int64(gen)*104729
+	return rec
+}
+
+// GenerateDesign builds the design at the given scale factor (the same
+// per-module scale Generate takes).
+func GenerateDesign(r DesignRecipe, scale float64) *rtlil.Design {
+	n := r.Modules
+	if n < 1 {
+		n = 1
+	}
+	d := rtlil.NewDesign()
+	for i := 0; i < n; i++ {
+		d.AddModule(Generate(r.ModuleRecipe(i, 0), scale))
+	}
+	return d
+}
+
+// MutateModule regenerates module index i of a GenerateDesign output at
+// mutation generation gen (>= 1), replacing it in the design in place
+// and returning the new module. The module keeps its name and position;
+// its content — and so its canonical hash — changes.
+func MutateModule(d *rtlil.Design, r DesignRecipe, scale float64, i, gen int) *rtlil.Module {
+	m := Generate(r.ModuleRecipe(i, gen), scale)
+	d.ReplaceModule(m)
+	return m
+}

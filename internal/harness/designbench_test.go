@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDesignBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("design bench spins a serving stack; skipped under -short")
+	}
+	b, err := RunDesignBench(3, "yosys", 0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Modules != 3 || b.Rounds != 1 || b.Flow != "yosys" {
+		t.Errorf("bench shape: %+v", b)
+	}
+	if b.ColdMS <= 0 || b.WarmMS <= 0 || b.IncrementalMS <= 0 {
+		t.Errorf("latencies not measured: %+v", b)
+	}
+	if b.WarmSpeedup <= 0 || b.IncrementalSpeedup <= 0 {
+		t.Errorf("speedups not computed: %+v", b)
+	}
+	s := b.String()
+	for _, want := range []string{"3 modules", "cold", "warm", "incremental"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestRunDesignBenchDefaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("design bench spins a serving stack; skipped under -short")
+	}
+	// Degenerate arguments clamp instead of failing.
+	b, err := RunDesignBench(1, "yosys", 0.02, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rounds != 1 || b.Modules != 1 {
+		t.Errorf("clamped shape: %+v", b)
+	}
+}

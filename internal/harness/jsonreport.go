@@ -23,6 +23,10 @@ type BenchReport struct {
 	// Server holds the serving-layer warm-vs-cold cache latency smoke
 	// (smartly-bench -server); absent when the mode did not run.
 	Server *ServerBench `json:"server,omitempty"`
+	// Design holds the design-mode sharding cold/warm/incremental
+	// latency smoke (smartly-bench -design); absent when the mode did
+	// not run.
+	Design *DesignBench `json:"design,omitempty"`
 }
 
 // BenchCase is one benchmark case of a BenchReport.

@@ -30,6 +30,16 @@
 // renders the normalized form (options sorted by key, canonical value
 // spellings) used by the serving layer's cache keys.
 //
+// # Design shard scheduler
+//
+// Flow.RunDesign runs a flow over every module of a design through a
+// bounded worker pool, splitting the Ctx worker budget between
+// module-level fan-out and each module's intra-pass parallelism
+// (SplitWorkers, DesignConfig.ModuleJobs). Each module runs under its
+// own child Ctx, so reports stay per-module while timings aggregate
+// into the parent; results merge in design order and are bit-identical
+// to a serial run for any budget or split.
+//
 // # Run reports
 //
 // Ctx collects per-pass counters, call counts, optional wall times and

@@ -351,6 +351,24 @@ func (d *Design) AddModule(m *Module) {
 // Module returns the named module, or nil.
 func (d *Design) Module(name string) *Module { return d.modules[name] }
 
+// ReplaceModule swaps the module of the same name for m, keeping its
+// position in the design order (so per-module cache refills do not
+// reorder the design). It panics when no module of that name exists:
+// replacing is meaningful only for a module the design already holds.
+func (d *Design) ReplaceModule(m *Module) {
+	old, ok := d.modules[m.Name]
+	if !ok {
+		panic(fmt.Sprintf("rtlil: replacing unknown module %s", m.Name))
+	}
+	d.modules[m.Name] = m
+	for i, cur := range d.order {
+		if cur == old {
+			d.order[i] = m
+			return
+		}
+	}
+}
+
 // Modules returns the modules in insertion order.
 func (d *Design) Modules() []*Module { return d.order }
 

@@ -27,6 +27,12 @@ type jsonModule struct {
 type jsonPort struct {
 	Direction string `json:"direction"`
 	Bits      []any  `json:"bits"`
+	// PortID persists the 1-based port position. JSON objects carry no
+	// key order, so without it a read-back would renumber ports in
+	// name order and change the module's canonical hash; the serving
+	// layer's module-granular cache needs hash-stable round trips.
+	// Absent (Yosys-written JSON), the reader falls back to name order.
+	PortID int `json:"port_id,omitempty"`
 }
 
 type jsonWire struct {
@@ -88,7 +94,7 @@ func moduleToJSON(m *Module) (*jsonModule, error) {
 			if w.PortOutput {
 				dir = "output"
 			}
-			jm.Ports[w.Name] = &jsonPort{Direction: dir, Bits: sig(w.Bits())}
+			jm.Ports[w.Name] = &jsonPort{Direction: dir, Bits: sig(w.Bits()), PortID: w.PortID}
 		}
 	}
 	for _, c := range m.Cells() {
@@ -143,6 +149,7 @@ func moduleFromJSON(name string, jm *jsonModule) (*Module, error) {
 		wireNames = append(wireNames, wn)
 	}
 	sort.Strings(wireNames)
+	var portWires []*Wire
 	for _, wn := range wireNames {
 		jw := jm.Wires[wn]
 		w := m.AddWire(wn, len(jw.Bits))
@@ -155,7 +162,8 @@ func moduleFromJSON(name string, jm *jsonModule) (*Module, error) {
 			default:
 				return nil, fmt.Errorf("rtlil: port %s has bad direction %q", wn, p.Direction)
 			}
-			w.PortID = m.nextPortID()
+			w.PortID = p.PortID
+			portWires = append(portWires, w)
 		}
 		for i, t := range jw.Bits {
 			if id, ok := tokenID(t); ok {
@@ -163,6 +171,26 @@ func moduleFromJSON(name string, jm *jsonModule) (*Module, error) {
 					bitOwner[id] = SigBit{Wire: w, Offset: i}
 				}
 			}
+		}
+	}
+	// Our own writer persists port positions as port_id; JSON written by
+	// Yosys does not. Keep the persisted positions only when they form a
+	// consistent assignment, else renumber in (sorted) name order.
+	seen := map[int]bool{}
+	consistent := true
+	for _, w := range portWires {
+		if w.PortID <= 0 || seen[w.PortID] {
+			consistent = false
+			break
+		}
+		seen[w.PortID] = true
+	}
+	if !consistent {
+		for _, w := range portWires {
+			w.PortID = 0
+		}
+		for _, w := range portWires {
+			w.PortID = m.nextPortID()
 		}
 	}
 

@@ -22,10 +22,17 @@ type OptimizeRequest struct {
 	// Script is a flow script ("opt_expr; satmux(conflicts=64); ...").
 	Script string `json:"script,omitempty"`
 	// Workers bounds the per-request worker budget of parallel engine
-	// stages (0 = server default). The optimized netlist is
-	// bit-identical for every value, which is why Workers is not part
-	// of the cache key.
+	// stages (0 = server default). In design mode the budget is split
+	// between concurrently optimized modules and each module's
+	// intra-pass stages. The optimized netlist is bit-identical for
+	// every value, which is why Workers is not part of the cache key.
 	Workers int `json:"workers,omitempty"`
+	// Mode selects the caching granularity: ModeWhole caches the whole
+	// optimized design under one key, ModeDesign shards the design into
+	// per-module cache entries so a resubmission with one edited module
+	// re-optimizes only that module. "" uses the server's default mode.
+	// Both modes produce bit-identical designs and reports.
+	Mode string `json:"mode,omitempty"`
 	// Timings includes wall-clock durations in the run reports. Timed
 	// responses are cached separately (the recorded timings are those
 	// of the run that populated the entry).
@@ -38,6 +45,25 @@ type OptimizeRequest struct {
 	Async bool `json:"async,omitempty"`
 }
 
+// Request/response cache-granularity modes.
+const (
+	// ModeWhole caches one payload per (design, flow, options) triple.
+	ModeWhole = "whole"
+	// ModeDesign shards the design: one cache entry per (module, flow,
+	// options) triple, merged deterministically into the response.
+	ModeDesign = "design"
+)
+
+// ModuleCacheStats aggregates the per-module cache outcomes of one
+// design-mode request.
+type ModuleCacheStats struct {
+	// Hits counts modules served from the module tier (including
+	// coalesced in-flight computations), Misses modules this request
+	// optimized itself.
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+}
+
 // OptimizeResponse is the body of a successful synchronous optimization
 // (and the Result of a finished async Job).
 type OptimizeResponse struct {
@@ -47,8 +73,18 @@ type OptimizeResponse struct {
 	// Cache reports how the response was produced: "hit" (served from
 	// cache, including requests coalesced onto an identical in-flight
 	// computation), "miss" (computed and stored) or "bypass"
-	// (no_cache).
+	// (no_cache). Design-mode responses aggregate their modules: "hit"
+	// when every module hit, "miss" when none did and "partial"
+	// otherwise.
 	Cache string `json:"cache"`
+	// Mode is the cache granularity that served the request (ModeWhole
+	// or ModeDesign).
+	Mode string `json:"mode,omitempty"`
+	// CacheByModule maps module names to their per-module cache
+	// outcome ("hit", "miss" or "bypass"); design mode only.
+	CacheByModule map[string]string `json:"cache_by_module,omitempty"`
+	// ModuleCache aggregates CacheByModule; design mode only.
+	ModuleCache *ModuleCacheStats `json:"module_cache,omitempty"`
 	// Flow is the normalized flow script that ran.
 	Flow string `json:"flow"`
 	// ElapsedMS is the server-side wall time of this request.

@@ -22,6 +22,14 @@
 // flow script + option set, with identical in-flight requests coalesced
 // into one computation.
 //
+// Design mode ({"mode": "design"}, or a Config.DefaultMode of
+// api.ModeDesign) shards a request per module: modules fan out to a
+// bounded pool (the worker budget split by opt.SplitWorkers) and each
+// module is cached under its own content-addressed key
+// (cache.ModuleKey), so a resubmitted design with one edited module
+// re-optimizes only that module. Responses carry per-module cache
+// outcomes; see docs/api.md for the incremental-resubmit contract.
+//
 // Shutdown is graceful: Close cancels the run context, Drain waits for
 // admitted work. cmd/smartlyd wires both behind SIGINT/SIGTERM.
 package server

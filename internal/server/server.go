@@ -32,6 +32,10 @@ type Config struct {
 	// DefaultFlow runs when a request names neither a flow nor a
 	// script ("" = "full").
 	DefaultFlow string
+	// DefaultMode is the cache granularity of requests that do not set
+	// their own: api.ModeWhole (one entry per design, the default) or
+	// api.ModeDesign (module-sharded entries, incremental resubmits).
+	DefaultMode string
 	// Cache is the result cache; nil builds a memory-only cache with
 	// the default bound.
 	Cache *cache.Cache
@@ -73,6 +77,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.DefaultFlow == "" {
 		cfg.DefaultFlow = "full"
+	}
+	if cfg.DefaultMode == "" {
+		cfg.DefaultMode = api.ModeWhole
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 512 << 20
@@ -150,6 +157,9 @@ type request struct {
 	design *smartly.Design
 	flow   *smartly.Flow
 	key    cache.Key
+	// mode is the resolved cache granularity (api.ModeWhole or
+	// api.ModeDesign; the request's own, or the server default).
+	mode string
 }
 
 // parseRequest decodes and validates an optimize request body.
@@ -178,6 +188,13 @@ func (s *Server) parseRequest(r *http.Request) (*request, error) {
 	if err != nil {
 		return nil, err
 	}
+	mode := req.Mode
+	if mode == "" {
+		mode = s.cfg.DefaultMode
+	}
+	if mode != api.ModeWhole && mode != api.ModeDesign {
+		return nil, fmt.Errorf("unknown mode %q (want %q or %q)", req.Mode, api.ModeWhole, api.ModeDesign)
+	}
 	design, err := decodeDesign(req.Design)
 	if err != nil {
 		return nil, err
@@ -199,6 +216,7 @@ func (s *Server) parseRequest(r *http.Request) (*request, error) {
 			Flow:    flow.Canonical(),
 			Options: optionsKey(req),
 		},
+		mode: mode,
 	}, nil
 }
 
@@ -310,34 +328,29 @@ func (s *Server) execute(waitCtx context.Context, pr *request) (*api.OptimizeRes
 // serve produces the response for a request that holds a run slot:
 // from the cache, a coalesced in-flight computation, or its own run.
 func (s *Server) serve(pr *request) (*api.OptimizeResponse, error) {
-	var err error
-	start := time.Now()
-	status := "miss"
-	var raw []byte
-	if pr.req.NoCache {
-		status = "bypass"
-		raw, err = s.compute(pr)
-	} else {
-		var hit bool
-		raw, hit, err = s.cache.Do(pr.key.ID(), func() ([]byte, error) {
-			return s.compute(pr)
-		})
-		if hit {
-			status = "hit"
-		}
+	if pr.mode == api.ModeDesign {
+		return s.serveDesign(pr)
 	}
+	start := time.Now()
+	var p payload
+	// Decode into a fresh payload each attempt: a mid-stream failure
+	// leaves partial state behind, and Unmarshal merges into (rather
+	// than replaces) non-nil maps.
+	decode := func(raw []byte) error {
+		p = payload{}
+		return json.Unmarshal(raw, &p)
+	}
+	status, err := s.serveCached(pr.req.NoCache, pr.key.ID(),
+		func() ([]byte, error) { return s.compute(pr) }, decode)
 	if err != nil {
 		return nil, err
 	}
 	resp := &api.OptimizeResponse{
 		Key:       pr.key.ID(),
 		Cache:     status,
+		Mode:      api.ModeWhole,
 		Flow:      pr.key.Flow,
 		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
-	}
-	var p payload
-	if err := json.Unmarshal(raw, &p); err != nil {
-		return nil, fmt.Errorf("corrupt cached payload for %s: %w", resp.Key, err)
 	}
 	resp.Design = p.Design
 	resp.Reports = p.Reports
@@ -346,24 +359,71 @@ func (s *Server) serve(pr *request) (*api.OptimizeResponse, error) {
 	return resp, nil
 }
 
+// serveCached resolves one cacheable unit (a whole design, or one
+// module shard): straight computation under noCache, else through
+// cache.Do with coalescing. The decoded result lands via decode; a
+// cached payload that no longer decodes (disk-tier damage the framing
+// did not catch, or a format change across versions) is evicted and
+// recomputed once — a slow miss, never a failed request. The returned
+// status is "bypass", "hit" or "miss".
+func (s *Server) serveCached(noCache bool, id string, compute func() ([]byte, error), decode func([]byte) error) (string, error) {
+	if noCache {
+		raw, err := compute()
+		if err == nil {
+			err = decode(raw)
+		}
+		return "bypass", err
+	}
+	for attempt := 0; ; attempt++ {
+		raw, hit, err := s.cache.Do(id, compute)
+		if err != nil {
+			return "", err
+		}
+		if err := decode(raw); err != nil {
+			if !hit || attempt > 0 {
+				return "", fmt.Errorf("corrupt payload for %s: %w", id, err)
+			}
+			s.logf("evicting corrupt cached payload key=%s", id[:12])
+			s.cache.Delete(id)
+			continue
+		}
+		if hit {
+			return "hit", nil
+		}
+		return "miss", nil
+	}
+}
+
 // compute runs the flow and serializes the cacheable payload (optimized
 // design + per-module reports). Engine panics on pathological netlists
 // become errors: the request fails with 500 instead of a dropped
 // connection, nothing is cached, and coalesced waiters are released.
-func (s *Server) compute(pr *request) (raw []byte, err error) {
+func (s *Server) compute(pr *request) ([]byte, error) {
+	return s.computeGuarded(func() ([]byte, error) { return s.runFlow(pr) })
+}
+
+// computeGuarded converts engine panics into errors for any compute
+// function (shared by the whole-design and module-shard paths).
+func (s *Server) computeGuarded(fn func() ([]byte, error)) (raw []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("optimization panicked: %v", r)
 		}
 	}()
-	return s.runFlow(pr)
+	return fn()
+}
+
+// requestWorkers resolves a request's effective worker budget
+// (0 = all cores, resolved downstream).
+func (s *Server) requestWorkers(pr *request) int {
+	if pr.req.Workers > 0 {
+		return pr.req.Workers
+	}
+	return s.cfg.Workers
 }
 
 func (s *Server) runFlow(pr *request) ([]byte, error) {
-	workers := pr.req.Workers
-	if workers <= 0 {
-		workers = s.cfg.Workers
-	}
+	workers := s.requestWorkers(pr)
 	opts := []smartly.RunOption{
 		smartly.WithContext(s.runCtx),
 		smartly.WithWorkers(workers),
