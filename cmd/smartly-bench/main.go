@@ -5,7 +5,7 @@
 // Usage:
 //
 //	smartly-bench [-scale 1.0] [-table 2|3|all] [-industrial n] [-j n] [-check] [-v]
-//	              [-json] [-server] [-design n] [-flow name|name=script]...
+//	              [-json] [-server] [-design n] [-sat] [-flow name|name=script]...
 //
 // Scale 1.0 runs the calibrated case sizes (minutes); smaller scales
 // reproduce the table shape faster. The paper's absolute circuit sizes
@@ -55,6 +55,7 @@ type benchConfig struct {
 	jsonOut    bool
 	server     bool
 	design     int
+	sat        bool
 	flows      []string
 }
 
@@ -69,6 +70,7 @@ func main() {
 	flag.BoolVar(&cfg.jsonOut, "json", false, "emit one machine-readable JSON report instead of tables")
 	flag.BoolVar(&cfg.server, "server", false, "also measure serving-layer cold vs warm cache latency (in-process smartlyd)")
 	flag.IntVar(&cfg.design, "design", 0, "also measure design-mode sharding cold/warm/incremental latency on an n-module design (0 = off)")
+	flag.BoolVar(&cfg.sat, "sat", false, "also measure the incremental SAT oracle (counters + wall-clock vs the per-query-solver oracle) on the sat and full flows")
 	var flows flowList
 	flag.Var(&flows, "flow", "flow to measure: a named flow or name=script (repeatable; default: the paper's four pipelines)")
 	flag.Parse()
@@ -138,11 +140,20 @@ func runBench(cfg benchConfig, out io.Writer) error {
 		}
 		designBench = &db
 	}
+	var satBench *harness.SatBench
+	if cfg.sat {
+		sb, err := harness.RunSatBench([]string{harness.FlowSAT, harness.FlowFull}, cfg.scale)
+		if err != nil {
+			return err
+		}
+		satBench = &sb
+	}
 
 	if cfg.jsonOut {
 		rep := harness.NewBenchReport(cfg.scale, opts.Flows, results, points, time.Since(start))
 		rep.Server = serverBench
 		rep.Design = designBench
+		rep.Sat = satBench
 		return rep.WriteJSON(out)
 	}
 	if results != nil {
@@ -166,6 +177,9 @@ func runBench(cfg benchConfig, out io.Writer) error {
 	}
 	if designBench != nil {
 		fmt.Fprintln(out, designBench.String())
+	}
+	if satBench != nil {
+		fmt.Fprintln(out, satBench.String())
 	}
 	return nil
 }

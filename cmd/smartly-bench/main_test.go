@@ -143,6 +143,43 @@ func TestBenchDesignMode(t *testing.T) {
 	}
 }
 
+// TestBenchSatMode: -sat attaches the incremental-SAT-oracle section to
+// the JSON report, with counters populated and both wall-clocks
+// measured.
+func TestBenchSatMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the SAT-exercising flows twice over the benchmark set")
+	}
+	var buf bytes.Buffer
+	if err := runBench(benchConfig{scale: 0.05, table: "", sat: true, jsonOut: true}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep harness.BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if rep.Sat == nil {
+		t.Fatal("report has no sat section")
+	}
+	if len(rep.Sat.Flows) != 2 || rep.Sat.Flows[0].Flow != harness.FlowSAT || rep.Sat.Flows[1].Flow != harness.FlowFull {
+		t.Fatalf("sat section flows: %+v", rep.Sat.Flows)
+	}
+	for _, f := range rep.Sat.Flows {
+		if f.Queries == 0 {
+			t.Errorf("flow %s: no oracle queries recorded", f.Flow)
+		}
+	}
+
+	// The table mode prints the human-readable section.
+	buf.Reset()
+	if err := runBench(benchConfig{scale: 0.05, table: "", sat: true, flows: []string{"yosys"}}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Incremental SAT oracle") {
+		t.Errorf("table output:\n%s", buf.String())
+	}
+}
+
 func TestBenchBadFlowSpec(t *testing.T) {
 	var buf bytes.Buffer
 	if err := runBench(benchConfig{scale: 0.02, table: "2", flows: []string{"bad=no_such_pass"}}, &buf); err == nil {

@@ -1,0 +1,109 @@
+package smartly_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	smartly "repro"
+)
+
+// updateGoldens regenerates testdata/goldens.json instead of comparing:
+//
+//	go test . -run TestGoldenNetlists -update
+var updateGoldens = flag.Bool("update", false, "rewrite testdata/goldens.json with the current optimizer output")
+
+const goldensPath = "testdata/goldens.json"
+
+// goldenKey identifies one golden: "file.v/module/flow".
+func goldenKey(file, module, flow string) string {
+	return file + "/" + module + "/" + flow
+}
+
+// computeGoldens optimizes every module of every testdata/*.v case with
+// every named flow and returns the canonical netlist hashes.
+func computeGoldens(t *testing.T) map[string]string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.v"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no testdata cases: %v", err)
+	}
+	sort.Strings(paths)
+	out := map[string]string{}
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := smartly.ParseVerilog(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for _, flowName := range smartly.FlowNames() {
+			flow, err := smartly.NamedFlow(flowName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range d.Modules() {
+				work := m.Clone()
+				if _, err := flow.Run(work); err != nil {
+					t.Fatalf("%s %s/%s: %v", path, m.Name, flowName, err)
+				}
+				out[goldenKey(filepath.Base(path), m.Name, flowName)] = smartly.Hash(work)
+			}
+		}
+	}
+	return out
+}
+
+// TestGoldenNetlists pins the optimizer's output on every committed
+// testdata case for every named flow, by canonical netlist hash. Any
+// semantic drift — an oracle answering differently, a rewrite firing or
+// not firing — shows up as a hash change. After an *intended* change,
+// regenerate with `go test . -run TestGoldenNetlists -update` and commit
+// the diff of testdata/goldens.json alongside the change that caused it.
+func TestGoldenNetlists(t *testing.T) {
+	got := computeGoldens(t)
+	if *updateGoldens {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldensPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d goldens to %s", len(got), goldensPath)
+		return
+	}
+	data, err := os.ReadFile(goldensPath)
+	if err != nil {
+		t.Fatalf("missing goldens (generate with -update): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt %s: %v", goldensPath, err)
+	}
+	var keys []string
+	for k := range got {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w, ok := want[k]
+		if !ok {
+			t.Errorf("%s: no golden committed (regenerate with -update)", k)
+			continue
+		}
+		if got[k] != w {
+			t.Errorf("%s: netlist hash drifted\n  got  %s\n  want %s\n(run `go test . -run TestGoldenNetlists -update` if the change is intended)", k, got[k], w)
+		}
+	}
+	for k := range want {
+		if _, ok := got[k]; !ok {
+			t.Errorf("%s: stale golden for a removed case/flow (regenerate with -update)", k)
+		}
+	}
+}

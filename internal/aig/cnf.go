@@ -95,3 +95,9 @@ func (c *CNF) SatLit(l Lit) sat.Lit {
 	}
 	return sat.MkLit(c.varOf[l.Node()], l.Compl())
 }
+
+// EncodedNodes reports how many AIG nodes have solver variables — i.e.
+// how much of the graph the lazy Tseitin encoding has materialized so
+// far. Long-lived CNF contexts (the SAT-mux cone cache) grow this
+// monotonically as queries reference new logic.
+func (c *CNF) EncodedNodes() int { return len(c.varOf) }

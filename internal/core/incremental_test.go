@@ -1,0 +1,328 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/genbench"
+	"repro/internal/opt"
+	"repro/internal/rtlil"
+	"repro/internal/verilog"
+)
+
+// loadTestdataModules elaborates every module of every testdata/*.v case,
+// keyed "file/module".
+func loadTestdataModules(t *testing.T) map[string]*rtlil.Module {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.v"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no testdata cases: %v", err)
+	}
+	out := map[string]*rtlil.Module{}
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := verilog.Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		d, err := verilog.Elaborate(f)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for _, m := range d.Modules() {
+			out[filepath.Base(path)+"/"+m.Name] = m
+		}
+	}
+	return out
+}
+
+// nonIncremental derives the flow variant in which every SAT-capable
+// pass runs the pre-incremental oracle (one solver per query).
+func nonIncremental(t *testing.T, f *opt.Flow) *opt.Flow {
+	t.Helper()
+	f, err := f.WithArg("satmux", "incremental", "false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err = f.WithArg("smartly", "incremental", "false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// decidedCounters strips the counters that may legitimately differ
+// between the incremental and per-query-solver oracles (encoding and
+// solver-lifetime bookkeeping), keeping every decided-bit outcome.
+func decidedCounters(c map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range c {
+		switch k {
+		case "sat_encodings", "sat_encode_reuse", "sat_solver_reuse", "sat_learnt", "sat_evictions":
+			continue
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// TestIncrementalMatchesBaselineOnTestdata is the PR's acceptance bar:
+// on every testdata case, every named flow must produce a bit-identical
+// netlist and identical decided-bit counters whether the oracle reuses
+// cone encodings and solvers or builds them per query.
+func TestIncrementalMatchesBaselineOnTestdata(t *testing.T) {
+	mods := loadTestdataModules(t)
+	for _, name := range opt.FlowNames() {
+		named, err := opt.NamedFlow(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline := nonIncremental(t, named)
+		for key, m := range mods {
+			t.Run(name+"/"+key, func(t *testing.T) {
+				mi, mb := m.Clone(), m.Clone()
+				ci := opt.Background()
+				if _, err := named.Run(ci, mi); err != nil {
+					t.Fatal(err)
+				}
+				cb := opt.Background()
+				if _, err := baseline.Run(cb, mb); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(netlistJSON(t, mi), netlistJSON(t, mb)) {
+					t.Errorf("netlists differ between incremental and per-query-solver oracles")
+				}
+				ri, rb := ci.Report(), cb.Report()
+				pi, pb := (&ri).Pass("smartly_satmux"), (&rb).Pass("smartly_satmux")
+				if (pi == nil) != (pb == nil) {
+					t.Fatalf("satmux report presence differs: %v vs %v", pi, pb)
+				}
+				if pi == nil {
+					return // flow has no SAT pass; netlist equality was the check
+				}
+				di, db := decidedCounters(pi.Counters), decidedCounters(pb.Counters)
+				if !reflect.DeepEqual(di, db) {
+					t.Errorf("decided-bit counters differ:\nincremental: %v\nbaseline:    %v", di, db)
+				}
+			})
+		}
+	}
+}
+
+// TestOracleCounterDeterminism asserts the full oracle counter set —
+// including the new cache/solver-reuse counters — is bit-identical for
+// -j 1/2/8 on the committed testdata cases, and that the decided-bit
+// outcomes equal the pre-incremental oracle's.
+func TestOracleCounterDeterminism(t *testing.T) {
+	mods := loadTestdataModules(t)
+	flow, err := opt.NamedFlow("sat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := nonIncremental(t, flow)
+	for key, m := range mods {
+		run := func(f *opt.Flow, workers int) (map[string]int, []byte) {
+			work := m.Clone()
+			ec := opt.NewCtx(context.Background(), opt.Config{Workers: workers})
+			if _, err := f.Run(ec, work); err != nil {
+				t.Fatalf("%s workers=%d: %v", key, workers, err)
+			}
+			rep := ec.Report()
+			p := rep.Pass("smartly_satmux")
+			if p == nil {
+				t.Fatalf("%s: no satmux report", key)
+			}
+			return p.Counters, netlistJSON(t, work)
+		}
+		seqCounters, seqJSON := run(flow, 1)
+		for _, workers := range []int{2, 8} {
+			c, j := run(flow, workers)
+			if !reflect.DeepEqual(seqCounters, c) {
+				t.Errorf("%s: counters differ between -j 1 and -j %d:\n%v\n%v", key, workers, seqCounters, c)
+			}
+			if !bytes.Equal(seqJSON, j) {
+				t.Errorf("%s: netlist differs between -j 1 and -j %d", key, workers)
+			}
+		}
+		baseCounters, _ := run(baseline, 1)
+		if !reflect.DeepEqual(decidedCounters(seqCounters), decidedCounters(baseCounters)) {
+			t.Errorf("%s: decided-bit counters differ from the pre-incremental oracle:\nincremental: %v\nbaseline:    %v",
+				key, decidedCounters(seqCounters), decidedCounters(baseCounters))
+		}
+	}
+}
+
+// satRecipe generates enough wide-input selection logic that queries
+// reach the SAT stage (sub-graphs above the exhaustive-simulation input
+// limit).
+var satRecipe = genbench.Recipe{
+	Name: "satheavy", Seed: 17,
+	DepBlocks: 10, CaseBlocks: 5, RedundantBlocks: 4,
+	CaseSelBits: [2]int{3, 4}, DataWidth: 8, PmuxFraction: 0.7,
+}
+
+// TestConeCacheReuse: on a SAT-heavy workload the incremental oracle
+// must actually reuse encodings and solvers, and the reuse must never
+// change the outcome: the netlist equals the per-query-solver baseline's.
+func TestConeCacheReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SAT-heavy; skipped under -short")
+	}
+	m := genbench.Generate(satRecipe, 0.5)
+	mi, mb := m.Clone(), m.Clone()
+
+	// SimInputLimit -1 sends every undecided query to SAT (the
+	// ablation_test "sat_only" pattern): the committed workloads mostly
+	// fit exhaustive simulation, and this test is about the SAT stage.
+	inc := &SatMuxPass{Opts: SatMuxOptions{SimInputLimit: -1}}
+	if _, err := opt.RunScript(nil, mi, opt.ExprPass{}, inc, opt.CleanPass{}); err != nil {
+		t.Fatal(err)
+	}
+	if inc.LastStats.SATCalls == 0 {
+		t.Fatalf("workload never reached the SAT stage: %s", inc.LastStats)
+	}
+	if inc.LastStats.Encodings == 0 {
+		t.Errorf("no cone encodings recorded: %s", inc.LastStats)
+	}
+	if inc.LastStats.EncodeReuse == 0 || inc.LastStats.SolverReuse == 0 {
+		t.Errorf("incremental oracle never reused an encoding or solver: %s", inc.LastStats)
+	}
+
+	base := &SatMuxPass{Opts: SatMuxOptions{SimInputLimit: -1, DisableIncremental: true}}
+	if _, err := opt.RunScript(nil, mb, opt.ExprPass{}, base, opt.CleanPass{}); err != nil {
+		t.Fatal(err)
+	}
+	if base.LastStats.EncodeReuse != 0 || base.LastStats.SolverReuse != 0 {
+		t.Errorf("per-query-solver oracle reported reuse: %s", base.LastStats)
+	}
+	if !bytes.Equal(netlistJSON(t, mi), netlistJSON(t, mb)) {
+		t.Error("incremental and per-query-solver netlists differ")
+	}
+	checkEquiv(t, m, mi)
+}
+
+// TestConeCacheCapacity: a capacity-1 cone cache must evict (the
+// counter moves) and still produce the identical netlist — the cache is
+// a pure performance structure.
+func TestConeCacheCapacity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SAT-heavy; skipped under -short")
+	}
+	m := genbench.Generate(satRecipe, 0.5)
+	mDefault, mTiny := m.Clone(), m.Clone()
+
+	def := &SatMuxPass{Opts: SatMuxOptions{SimInputLimit: -1}}
+	if _, err := opt.RunScript(nil, mDefault, opt.ExprPass{}, def, opt.CleanPass{}); err != nil {
+		t.Fatal(err)
+	}
+	tiny := &SatMuxPass{Opts: SatMuxOptions{SimInputLimit: -1, ConeCacheSize: 1}}
+	if _, err := opt.RunScript(nil, mTiny, opt.ExprPass{}, tiny, opt.CleanPass{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(netlistJSON(t, mDefault), netlistJSON(t, mTiny)) {
+		t.Error("cone-cache capacity changed the netlist")
+	}
+	if def.LastStats.Encodings > 1 && tiny.LastStats.Evictions == 0 {
+		t.Errorf("capacity-1 cache never evicted: %s", tiny.LastStats)
+	}
+}
+
+// TestConeCacheLRUBound is the unit-level capacity contract: update
+// never leaves more than cap entries and evicts the least recently
+// used one.
+func TestConeCacheLRUBound(t *testing.T) {
+	cc := newConeCache(2)
+	a, b, c := &coneEntry{}, &coneEntry{}, &coneEntry{}
+	cc.update("a", a)
+	cc.update("b", b)
+	cc.update("a", a) // refresh a; b is now the oldest
+	if n := cc.update("c", c); n != 1 {
+		t.Fatalf("update evicted %d entries, want 1", n)
+	}
+	if cc.get("b") != nil {
+		t.Error("LRU kept the least recently used entry")
+	}
+	if cc.get("a") != a || cc.get("c") != c {
+		t.Error("LRU evicted a recently used entry")
+	}
+	if cc.update("c", nil); cc.get("c") != nil {
+		t.Error("nil publish did not evict")
+	}
+}
+
+// unmappableModule builds selection logic whose control cone contains a
+// $div cell — recognized by the cell library and the simulator, but
+// deliberately not AIG-mappable — wide enough that the query must go to
+// SAT rather than exhaustive simulation.
+func unmappableModule(t *testing.T) *rtlil.Module {
+	t.Helper()
+	m := rtlil.NewModule("unmappable")
+	a := m.AddInput("a", 8).Bits()
+	b := m.AddInput("b", 8).Bits()
+	q := m.NewWireHint("q", 8)
+	m.AddBinary(rtlil.CellDiv, "div0", a, b, q.Bits())
+	// Control: |q & (a != b) — the cone includes the divider and 16 free
+	// input bits, above the default SimInputLimit of 11.
+	anyQ := m.ReduceOr(q.Bits())
+	ne := m.Ne(a, b)
+	ctrl := m.And(anyQ, ne)
+	// A muxtree the walker will query: the inner mux shares the control,
+	// so the path fact makes the inner control's value decidable — if the
+	// cone were mappable.
+	d0 := m.AddInput("d0", 4).Bits()
+	d1 := m.AddInput("d1", 4).Bits()
+	inner := m.NewWireHint("inner", 4)
+	m.AddMux("m_in", d0, d1, ctrl, inner.Bits())
+	y := m.AddOutput("y", 4)
+	m.AddMux("m_out", d1, inner.Bits(), ctrl, y.Bits())
+	if err := m.Validate(); err != nil {
+		t.Fatalf("module invalid: %v", err)
+	}
+	return m
+}
+
+// TestMapFailuresCounted: a cone containing an unmappable cell must be
+// counted (once per abandoned SAT query), must not crash or decide the
+// queried bit, and must behave identically with the incremental oracle
+// on and off. (cec cannot miter $div either, so the soundness assertion
+// here is structural: the undecidable root mux survives.)
+func TestMapFailuresCounted(t *testing.T) {
+	var stats []SatMuxStats
+	for _, disable := range []bool{false, true} {
+		m := unmappableModule(t)
+		pass := &SatMuxPass{Opts: SatMuxOptions{DisableIncremental: disable}}
+		if _, err := opt.RunScript(nil, m, pass); err != nil {
+			t.Fatal(err)
+		}
+		st := pass.LastStats
+		stats = append(stats, st)
+		if st.MapFailures == 0 {
+			t.Errorf("incremental=%v: unmappable cone not counted: %s", !disable, st)
+		}
+		if st.SATHits != 0 {
+			t.Errorf("incremental=%v: SAT decided a bit through an unmappable cone: %s", !disable, st)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("incremental=%v: module invalid after pass: %v", !disable, err)
+		}
+		root := false
+		for _, c := range m.Cells() {
+			if c.Name == "m_out" {
+				root = true
+			}
+		}
+		if !root {
+			t.Errorf("incremental=%v: root mux with undecidable control was removed", !disable)
+		}
+	}
+	if stats[0] != stats[1] {
+		t.Errorf("map-failure accounting differs between oracles:\nincremental: %s\nbaseline:    %s", stats[0], stats[1])
+	}
+}

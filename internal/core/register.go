@@ -17,9 +17,11 @@ var satMuxOptionSpecs = []opt.OptionSpec{
 	{Key: "sim_inputs", Kind: opt.KindInt, Positive: true, Default: "11", Help: "exhaustive simulation up to this many inputs"},
 	{Key: "sat_inputs", Kind: opt.KindInt, Positive: true, Default: "200", Help: "skip SAT above this many inputs"},
 	{Key: "conflicts", Kind: opt.KindInt64, Positive: true, Default: "2000", Help: "CDCL conflict budget per query"},
+	{Key: "cone_cache", Kind: opt.KindInt, Positive: true, Default: "256", Help: "cone encodings (and live solvers) retained by the incremental oracle"},
 	{Key: "inference", Kind: opt.KindBool, Default: "true", Help: "enable the Table I inference rules"},
 	{Key: "sat", Kind: opt.KindBool, Default: "true", Help: "enable simulation/SAT queries"},
 	{Key: "subgraph_filter", Kind: opt.KindBool, Default: "true", Help: "enable the Theorem II.1 pruning"},
+	{Key: "incremental", Kind: opt.KindBool, Default: "true", Help: "reuse cone encodings and solvers across SAT queries (off: one solver per query)"},
 }
 
 var rebuildOptionSpecs = []opt.OptionSpec{
@@ -37,9 +39,11 @@ func satMuxOptionsFromArgs(a opt.Args) SatMuxOptions {
 		SimInputLimit:         a.Int("sim_inputs", 0),
 		SATInputLimit:         a.Int("sat_inputs", 0),
 		MaxConflicts:          a.Int64("conflicts", 0),
+		ConeCacheSize:         a.Int("cone_cache", 0),
 		DisableInference:      !a.Bool("inference", true),
 		DisableSAT:            !a.Bool("sat", true),
 		DisableSubgraphFilter: !a.Bool("subgraph_filter", true),
+		DisableIncremental:    !a.Bool("incremental", true),
 	}
 }
 

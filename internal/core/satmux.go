@@ -30,6 +30,9 @@ type SatMuxOptions struct {
 	SATInputLimit int
 	// MaxConflicts bounds each SAT call (default 2000).
 	MaxConflicts int64
+	// ConeCacheSize caps how many cone encodings (AIG mapping + CNF +
+	// live solver) the incremental oracle retains (default 256).
+	ConeCacheSize int
 	// DisableInference turns the rule engine off (ablation).
 	DisableInference bool
 	// DisableSAT turns simulation/SAT off, leaving inference only
@@ -38,6 +41,10 @@ type SatMuxOptions struct {
 	// DisableSubgraphFilter turns the Theorem II.1 pruning off
 	// (ablation).
 	DisableSubgraphFilter bool
+	// DisableIncremental makes every SAT query build a private
+	// mapping, CNF encoding and solver, as the pre-incremental oracle
+	// did (ablation and differential testing).
+	DisableIncremental bool
 }
 
 func (o SatMuxOptions) withDefaults() SatMuxOptions {
@@ -56,6 +63,9 @@ func (o SatMuxOptions) withDefaults() SatMuxOptions {
 	if o.MaxConflicts == 0 {
 		o.MaxConflicts = 2000
 	}
+	if o.ConeCacheSize == 0 {
+		o.ConeCacheSize = 256
+	}
 	return o
 }
 
@@ -71,24 +81,73 @@ type SatMuxStats struct {
 	Unknown         int
 	SubgraphCells   int // total kept cells across queries
 	CandidateCells  int // total pre-filter cells across queries
+
+	// Incremental-oracle counters (cone cache and solver lifetime).
+	Encodings     int // fresh cone encodings built (AIG map + CNF + solver)
+	EncodeReuse   int // SAT queries that reused a cached cone encoding
+	SolverReuse   int // Solve calls issued to a solver kept alive from an earlier query
+	LearntClauses int // learnt clauses produced across all SAT calls
+	MapFailures   int // SAT queries abandoned because a cone cell is not AIG-mappable
+	Evictions     int // learnt-state resets after conflict-budget trips, plus cache-capacity evictions
 }
 
 // String renders the counters.
 func (s SatMuxStats) String() string {
-	return fmt.Sprintf("queries=%d facts=%d unreachable=%d inference=%d sim=%d sat=%d/%d unknown=%d subgraph=%d/%d",
+	return fmt.Sprintf("queries=%d facts=%d unreachable=%d inference=%d sim=%d sat=%d/%d unknown=%d subgraph=%d/%d encode=%d reuse=%d/%d learnt=%d mapfail=%d evict=%d",
 		s.Queries, s.FactHits, s.UnreachablePath, s.InferenceHits, s.SimHits,
-		s.SATHits, s.SATCalls, s.Unknown, s.SubgraphCells, s.CandidateCells)
+		s.SATHits, s.SATCalls, s.Unknown, s.SubgraphCells, s.CandidateCells,
+		s.Encodings, s.EncodeReuse, s.SolverReuse, s.LearntClauses, s.MapFailures, s.Evictions)
+}
+
+// Details renders the oracle counters as report-sink counter entries,
+// the form the opt.Ctx run report (and through it the bench JSON)
+// consumes. Only deterministic counters appear here: every value is
+// bit-identical for any worker count.
+func (s SatMuxStats) Details() map[string]int {
+	all := map[string]int{
+		"oracle_queries":        s.Queries,
+		"oracle_fact_hits":      s.FactHits,
+		"oracle_unreachable":    s.UnreachablePath,
+		"oracle_inference_hits": s.InferenceHits,
+		"oracle_sim_hits":       s.SimHits,
+		"oracle_sat_hits":       s.SATHits,
+		"oracle_unknown":        s.Unknown,
+		"sat_calls":             s.SATCalls,
+		"sat_encodings":         s.Encodings,
+		"sat_encode_reuse":      s.EncodeReuse,
+		"sat_solver_reuse":      s.SolverReuse,
+		"sat_learnt":            s.LearntClauses,
+		"sat_map_failures":      s.MapFailures,
+		"sat_evictions":         s.Evictions,
+	}
+	for k, v := range all {
+		if v == 0 {
+			delete(all, k)
+		}
+	}
+	return all
 }
 
 // SmartOracle is the smaRTLy control-value oracle: path facts first, then
 // sub-graph inference, then exhaustive simulation or SAT.
 //
+// The SAT stage is incremental: the AIG mapping, CNF encoding and CDCL
+// solver of each cone are cached by the cone's structural fingerprint
+// (subgraph.Canonicalize) and kept alive across queries, which re-solve
+// under fresh assumption sets and retain the learnt clauses of earlier
+// calls. Structurally identical cones reached from different selects —
+// or from later pass iterations over unchanged logic — share one
+// encoding.
+//
 // The oracle is not safe for concurrent use from the outside, but
 // ValueBatch fans independent queries out to Ctx.Workers() goroutines
-// internally: each query builds its own inference engine, simulator state
-// and CDCL solver over the shared read-only Index, and the results are
-// merged in submission order so cache contents and counters are
-// bit-identical to the sequential path.
+// internally: the extraction/inference/simulation stages of each query
+// run on worker-private state over the shared read-only Index, SAT
+// queries are grouped by cone fingerprint (same-cone queries run in
+// submission order on their shared solver; distinct cones run
+// concurrently), and results, cache writes and counters are merged in
+// submission order — bit-identical to the sequential path for every
+// worker count.
 type SmartOracle struct {
 	Stats SatMuxStats
 
@@ -100,6 +159,7 @@ type SmartOracle struct {
 	facts *opt.FactOracle
 	o     SatMuxOptions
 	cache map[string]cacheEntry
+	cones *coneCache
 }
 
 type cacheEntry struct {
@@ -109,12 +169,77 @@ type cacheEntry struct {
 
 // NewSmartOracle builds an oracle over the module index.
 func NewSmartOracle(ix *rtlil.Index, o SatMuxOptions) *SmartOracle {
+	od := o.withDefaults()
 	return &SmartOracle{
 		ix:    ix,
 		facts: opt.NewFactOracle(),
-		o:     o.withDefaults(),
+		o:     od,
 		cache: map[string]cacheEntry{},
+		cones: newConeCache(od.ConeCacheSize),
 	}
+}
+
+// coneEntry is one cached cone encoding: the Tseitin CNF of the cone's
+// AIG inside a live solver, plus the AIG literal of every canonical bit
+// slot, so any instance of the cone can translate its bits into solver
+// literals. A bad entry records that the cone contains an unmappable
+// cell (negative caching).
+type coneEntry struct {
+	solver  *sat.Solver
+	cnf     *aig.CNF
+	aigLits []aig.Lit
+	mapped  []bool
+	bad     bool
+	solved  bool // at least one query has issued Solve calls
+	lastUse int  // deterministic LRU tick, assigned in submission order
+}
+
+// coneCache maps cone fingerprints to entries with a deterministic LRU
+// bound. All access happens on the oracle's sequential path (or the
+// sequential merge phase of a batch), never from worker goroutines.
+type coneCache struct {
+	entries map[string]*coneEntry
+	cap     int
+	tick    int
+}
+
+func newConeCache(capacity int) *coneCache {
+	if capacity < 1 {
+		// Negative "disable"-style values would make the eviction loop
+		// spin (len > cap forever); a one-entry cache is the smallest
+		// honest interpretation. Disabling reuse is incremental=false.
+		capacity = 1
+	}
+	return &coneCache{entries: map[string]*coneEntry{}, cap: capacity}
+}
+
+func (cc *coneCache) get(fp string) *coneEntry { return cc.entries[fp] }
+
+// update publishes the post-query state of a cone: a nil entry evicts
+// (conflict-budget trip), otherwise the entry is stored and its LRU tick
+// bumped. Returns how many entries the capacity bound evicted.
+func (cc *coneCache) update(fp string, e *coneEntry) int {
+	if e == nil {
+		delete(cc.entries, fp)
+		return 0
+	}
+	cc.tick++
+	e.lastUse = cc.tick
+	cc.entries[fp] = e
+	evicted := 0
+	for len(cc.entries) > cc.cap {
+		oldestFP := ""
+		oldest := -1
+		for k, v := range cc.entries {
+			if oldest == -1 || v.lastUse < oldest {
+				oldest = v.lastUse
+				oldestFP = k
+			}
+		}
+		delete(cc.entries, oldestFP)
+		evicted++
+	}
+	return evicted
 }
 
 // Push implements opt.Oracle.
@@ -148,20 +273,30 @@ func (s *SmartOracle) Value(bit rtlil.SigBit) (rtlil.State, bool) {
 }
 
 // ValueBatch implements opt.BatchOracle: the independent control-value
-// queries of one pmux select scan are deduplicated by cache key,
-// dispatched to a bounded worker pool (one solver instance per query —
-// the CDCL solver is not shareable) and merged back in slice order.
-// Results, cache contents and counters are identical to calling Value
-// sequentially, for every worker count.
+// queries of one pmux select scan are deduplicated by cache key and
+// resolved in two parallel stages. Extraction, inference and simulation
+// run per-query on a bounded worker pool; queries that fall through to
+// SAT are then grouped by cone fingerprint — each group re-solves its
+// shared cached solver in submission order (the learnt-clause state a
+// query sees must not depend on scheduling), while distinct cones run
+// concurrently. Results, cache contents and counters are bit-identical
+// for every worker count, and match calling Value sequentially —
+// including the cone cache's LRU tick stream, published per query in
+// submission order — except that a batch resolves each cone's entry
+// once up front, so a capacity eviction that a strict per-query
+// sequence would interleave *inside* the batch cannot force a re-encode
+// mid-batch (a cache-pressure performance difference only).
 func (s *SmartOracle) ValueBatch(bits []rtlil.SigBit) []opt.BatchValue {
 	out := make([]opt.BatchValue, len(bits))
 	type job struct {
-		bit   rtlil.SigBit
-		key   string
-		idxs  []int
-		v     rtlil.State
-		known bool
-		st    SatMuxStats
+		bit       rtlil.SigBit
+		key       string
+		idxs      []int
+		v         rtlil.State
+		known     bool
+		st        SatMuxStats
+		pend      *pendingSAT
+		coneAfter *coneEntry // cone state after this query
 	}
 	var jobs []*job
 	byKey := map[string]*job{}
@@ -190,16 +325,61 @@ func (s *SmartOracle) ValueBatch(bits []rtlil.SigBit) []opt.BatchValue {
 	if len(jobs) == 0 {
 		return out
 	}
+	// Stage 1: worker-private extraction, inference and simulation.
 	opt.ForEach(s.Ctx.Context(), s.Ctx.Workers(), len(jobs), func(i int) {
 		j := jobs[i]
-		j.v, j.known = s.solve(j.bit, &j.st)
+		j.v, j.known, j.pend = s.solvePrep(j.bit, &j.st)
 	})
-	// Deterministic merge: stats and cache writes in submission order.
+	// Stage 2: group the pending SAT queries by cone fingerprint, in
+	// submission order. With incremental solving disabled every query
+	// keys itself, degenerating to the old one-solver-per-query fan-out.
+	type group struct {
+		fp    string
+		jobs  []*job
+		entry *coneEntry
+	}
+	var groups []*group
+	byFP := map[string]*group{}
+	for i, j := range jobs {
+		if j.pend == nil {
+			continue
+		}
+		fp := j.pend.canon.Fingerprint
+		if s.o.DisableIncremental {
+			fp = fmt.Sprintf("#%d", i)
+		}
+		g := byFP[fp]
+		if g == nil {
+			g = &group{fp: fp}
+			if !s.o.DisableIncremental {
+				g.entry = s.cones.get(fp)
+			}
+			byFP[fp] = g
+			groups = append(groups, g)
+		}
+		g.jobs = append(g.jobs, j)
+	}
+	if len(groups) > 0 {
+		opt.ForEach(s.Ctx.Context(), s.Ctx.Workers(), len(groups), func(gi int) {
+			g := groups[gi]
+			e := g.entry
+			for _, j := range g.jobs {
+				e, j.v, j.known = s.satRun(e, j.pend, &j.st)
+				j.coneAfter = e
+			}
+		})
+	}
+	// Deterministic merge: stats, query-cache and cone-cache writes in
+	// submission order — one cone publish (and LRU tick) per query,
+	// exactly the sequence the per-query Value path produces.
 	for _, j := range jobs {
 		accumulate(&s.Stats, j.st)
 		s.cache[j.key] = cacheEntry{j.v, j.known}
 		for _, i := range j.idxs {
 			out[i] = opt.BatchValue{V: j.v, Known: j.known}
+		}
+		if j.pend != nil && !s.o.DisableIncremental {
+			s.Stats.Evictions += s.cones.update(j.pend.canon.Fingerprint, j.coneAfter)
 		}
 	}
 	return out
@@ -215,14 +395,45 @@ func (s *SmartOracle) cacheKey(bit rtlil.SigBit) string {
 	return bit.String() + "|" + strings.Join(keys, ",")
 }
 
-// solve runs the sub-graph machinery for one query, writing counters to
-// st (a worker-local sink during parallel batches, merged in order
-// afterwards). It never touches the oracle's shared mutable state.
+// pendingSAT is a query that fell through the inference and simulation
+// stages and needs the (incremental) SAT machinery: the extracted cone,
+// its canonical form and the fact snapshot the assumptions come from.
+type pendingSAT struct {
+	sg     *subgraph.Result
+	canon  *subgraph.Canon
+	facts  map[rtlil.SigBit]rtlil.State
+	knowns []rtlil.SigBit
+}
+
+// solve runs the full sub-graph machinery for one query on the
+// sequential path, including the cone-cache interaction of the SAT
+// stage.
 func (s *SmartOracle) solve(bit rtlil.SigBit, st *SatMuxStats) (rtlil.State, bool) {
+	v, known, pend := s.solvePrep(bit, st)
+	if pend == nil {
+		return v, known
+	}
+	var entry *coneEntry
+	if !s.o.DisableIncremental {
+		entry = s.cones.get(pend.canon.Fingerprint)
+	}
+	entry, v, known = s.satRun(entry, pend, st)
+	if !s.o.DisableIncremental {
+		st.Evictions += s.cones.update(pend.canon.Fingerprint, entry)
+	}
+	return v, known
+}
+
+// solvePrep runs the stages of one query that need no shared mutable
+// state — sub-graph extraction, inference and exhaustive simulation —
+// writing counters to st (a worker-local sink during parallel batches,
+// merged in order afterwards). A query the SAT stage must decide is
+// returned as a pendingSAT instead of a result.
+func (s *SmartOracle) solvePrep(bit rtlil.SigBit, st *SatMuxStats) (rtlil.State, bool, *pendingSAT) {
 	if s.Ctx.Err() != nil {
 		// Canceled: report unknown; the pass surfaces the context error.
 		st.Unknown++
-		return rtlil.Sx, false
+		return rtlil.Sx, false, nil
 	}
 	facts := s.facts.Facts()
 	// Deterministic fact order: it seeds the sub-graph BFS and the SAT
@@ -247,37 +458,46 @@ func (s *SmartOracle) solve(bit rtlil.SigBit, st *SatMuxStats) (rtlil.State, boo
 			// The path condition is unreachable: the mux output is
 			// never observed, so either branch is sound.
 			st.UnreachablePath++
-			return rtlil.S0, true
+			return rtlil.S0, true, nil
 		}
 		if v, ok := e.Value(bit); ok {
 			st.InferenceHits++
-			return v, true
+			return v, true, nil
 		}
 	}
 	if s.o.DisableSAT {
 		st.Unknown++
-		return rtlil.Sx, false
+		return rtlil.Sx, false, nil
 	}
 
 	// Stage 2: exhaustive simulation for few inputs, SAT otherwise.
 	if len(sg.Inputs) <= s.o.SimInputLimit {
 		if v, ok := s.simulate(sg, facts, bit, st); ok {
 			st.SimHits++
-			return v, true
+			return v, true, nil
 		}
 		st.Unknown++
-		return rtlil.Sx, false
+		return rtlil.Sx, false, nil
 	}
 	if len(sg.Inputs) > s.o.SATInputLimit {
 		st.Unknown++
-		return rtlil.Sx, false
+		return rtlil.Sx, false, nil
 	}
-	if v, ok := s.satQuery(sg, facts, knowns, bit, st); ok {
-		st.SATHits++
-		return v, true
+	var canon *subgraph.Canon
+	if s.o.DisableIncremental {
+		// The per-query-solver oracle never consults the cone cache, so
+		// the fingerprint would be discarded — compute only the slot
+		// translation the encoder needs.
+		canon = subgraph.Slots(s.ix, sg, bit)
+	} else {
+		canon = subgraph.Canonicalize(s.ix, sg, bit)
 	}
-	st.Unknown++
-	return rtlil.Sx, false
+	return rtlil.Sx, false, &pendingSAT{
+		sg:     sg,
+		canon:  canon,
+		facts:  facts,
+		knowns: knowns,
+	}
 }
 
 // sortedBits returns the fact keys in a deterministic order.
@@ -302,47 +522,12 @@ func sortedBits(facts map[rtlil.SigBit]rtlil.State) []rtlil.SigBit {
 	return out
 }
 
-// topoCells orders the sub-graph cells so drivers precede readers. Ports
-// are visited in the cell library's fixed order (not the Conn map's) so
-// the ordering — and hence SAT variable numbering — is deterministic.
-func (s *SmartOracle) topoCells(cells []*rtlil.Cell) []*rtlil.Cell {
-	inSet := make(map[*rtlil.Cell]bool, len(cells))
-	for _, c := range cells {
-		inSet[c] = true
-	}
-	var order []*rtlil.Cell
-	state := map[*rtlil.Cell]int8{}
-	var visit func(c *rtlil.Cell)
-	visit = func(c *rtlil.Cell) {
-		if state[c] != 0 {
-			return
-		}
-		state[c] = 1
-		for _, port := range rtlil.InputPorts(c.Type) {
-			for _, b := range s.ix.Map(c.Port(port)) {
-				if b.IsConst() {
-					continue
-				}
-				if d := s.ix.DriverCell(b); d != nil && inSet[d] {
-					visit(d)
-				}
-			}
-		}
-		state[c] = 2
-		order = append(order, c)
-	}
-	for _, c := range cells {
-		visit(c)
-	}
-	return order
-}
-
 // simulate enumerates all assignments of the sub-graph inputs, discarding
 // ones inconsistent with the path facts, and observes the target bit. A
 // single observed value proves the bit constant; no consistent
 // assignment means the path is unreachable.
 func (s *SmartOracle) simulate(sg *subgraph.Result, facts map[rtlil.SigBit]rtlil.State, target rtlil.SigBit, st *SatMuxStats) (rtlil.State, bool) {
-	order := s.topoCells(sg.Cells)
+	order := subgraph.TopoCells(s.ix, sg.Cells)
 	n := len(sg.Inputs)
 	target = s.ix.MapBit(target)
 
@@ -460,67 +645,144 @@ func (s *SmartOracle) evalCells(order []*rtlil.Cell, vals map[rtlil.SigBit]rtlil
 	return true
 }
 
-// satQuery encodes the sub-graph into CNF and checks SAT(target=0) and
-// SAT(target=1) under the path facts, following the paper's
-// "SAT(S=0)=false or SAT(S=1)=false" criterion.
-func (s *SmartOracle) satQuery(sg *subgraph.Result, facts map[rtlil.SigBit]rtlil.State, knowns []rtlil.SigBit, target rtlil.SigBit, st *SatMuxStats) (rtlil.State, bool) {
-	order := s.topoCells(sg.Cells)
+// buildConeEntry encodes one cone: the AIG mapping of the cells in
+// canonical topological order, a fresh budgeted solver, and the AIG
+// literal of every canonical bit slot. A cone containing an unmappable
+// cell yields a bad entry (negative caching).
+func (s *SmartOracle) buildConeEntry(p *pendingSAT) *coneEntry {
 	mp := aig.NewPartialMapping(s.ix)
-	for _, b := range sg.Inputs {
+	for _, b := range p.sg.Inputs {
 		mp.AddInputBit(b)
 	}
-	for _, c := range order {
+	for _, c := range p.canon.Cells {
 		if err := mp.MapCell(c); err != nil {
-			return rtlil.Sx, false
+			return &coneEntry{bad: true}
 		}
 	}
-	if !mp.HasBit(target) {
-		return rtlil.Sx, false
+	e := &coneEntry{
+		aigLits: make([]aig.Lit, len(p.canon.Bits)),
+		mapped:  make([]bool, len(p.canon.Bits)),
+		solver:  sat.NewSolver(),
 	}
+	e.solver.MaxConflicts = s.o.MaxConflicts
+	e.cnf = aig.NewCNF(mp.G, e.solver)
+	for id, b := range p.canon.Bits {
+		if mp.HasBit(b) {
+			e.aigLits[id] = mp.LitOf(b)
+			e.mapped[id] = true
+		}
+	}
+	return e
+}
 
-	solver := sat.NewSolver()
-	solver.MaxConflicts = s.o.MaxConflicts
-	cnf := aig.NewCNF(mp.G, solver)
+// satRun answers one pending SAT query against a cone entry (nil means
+// encode fresh), checking SAT(target=0) and SAT(target=1) under the path
+// facts — the paper's "SAT(S=0)=false or SAT(S=1)=false" criterion —
+// as two assumption-based Solve calls on the cone's long-lived solver.
+// It returns the entry to keep for the next query on this cone; after a
+// conflict-budget trip the solver's learnt state is Reset (an abandoned
+// search must not tax later queries) while the encoding is retained.
+// Counters go to the worker-local sink st; the shared cone cache is
+// never touched.
+func (s *SmartOracle) satRun(e *coneEntry, p *pendingSAT, st *SatMuxStats) (*coneEntry, rtlil.State, bool) {
+	fresh := e == nil
+	if fresh {
+		e = s.buildConeEntry(p)
+		if !e.bad {
+			st.Encodings++
+		}
+	} else if !e.bad {
+		st.EncodeReuse++
+	}
+	if e.bad {
+		// The cone contains a cell the AIG mapper cannot encode; the
+		// partial mapping is discarded and the query stays undecided.
+		st.MapFailures++
+		st.Unknown++
+		return e, rtlil.Sx, false
+	}
+	tid := p.canon.TargetID
+	if tid < 0 || !e.mapped[tid] {
+		st.Unknown++
+		return e, rtlil.Sx, false
+	}
 
 	// Assumptions in sorted fact order: under a conflict budget the
 	// solver outcome may depend on assumption order, which must not vary
-	// between runs or worker counts.
+	// between runs or worker counts. SatLit lazily Tseitin-encodes any
+	// cone not yet in the solver, so reused entries only pay for newly
+	// referenced logic.
 	var assumptions []sat.Lit
-	for _, b := range knowns {
-		if !mp.HasBit(b) {
+	for _, b := range p.knowns {
+		id, ok := p.canon.BitID(b)
+		if !ok || !e.mapped[id] {
 			continue
 		}
-		l := cnf.SatLit(mp.LitOf(b))
-		if facts[b] == rtlil.S0 {
+		l := e.cnf.SatLit(e.aigLits[id])
+		if p.facts[b] == rtlil.S0 {
 			l = l.Not()
 		}
 		assumptions = append(assumptions, l)
 	}
-	tl := cnf.SatLit(mp.LitOf(target))
+	tl := e.cnf.SatLit(e.aigLits[tid])
 
+	if e.solved {
+		// Both calls below re-enter a solver kept alive from an earlier
+		// query, reusing its learnt clauses.
+		st.SolverReuse += 2
+	}
+	e.solved = true
+	learntBefore := e.solver.Stats.Learnt
 	st.SATCalls++
-	r0 := solver.Solve(append(append([]sat.Lit(nil), assumptions...), tl.Not())...)
+	r0 := e.solver.Solve(append(append([]sat.Lit(nil), assumptions...), tl.Not())...)
 	st.SATCalls++
-	r1 := solver.Solve(append(append([]sat.Lit(nil), assumptions...), tl)...)
+	r1 := e.solver.Solve(append(append([]sat.Lit(nil), assumptions...), tl)...)
+	st.LearntClauses += int(e.solver.Stats.Learnt - learntBefore)
+	if r0 == sat.Unknown || r1 == sat.Unknown {
+		// Conflict budget tripped: the learnt database reflects an
+		// abandoned search, so drop it — but keep the problem clauses
+		// and the encoding, which a full eviction would make the next
+		// query on this cone rebuild from scratch.
+		st.Evictions++
+		if !s.o.DisableIncremental {
+			e.solver.Reset()
+		}
+	}
 	switch {
 	case r0 == sat.Unsat && r1 == sat.Unsat:
+		// Unreachable path; counted as a SAT-decided query like every
+		// other outcome of this stage.
+		st.SATHits++
 		st.UnreachablePath++
-		return rtlil.S0, true // unreachable path
-	case r0 == sat.Unsat && r1 == sat.Sat:
-		return rtlil.S1, true
-	case r1 == sat.Unsat && r0 == sat.Sat:
-		return rtlil.S0, true
+		return e, rtlil.S0, true
+	case r0 == sat.Unsat:
+		// target=0 impossible (even if the other call hit its budget,
+		// an Unsat verdict transfers through the abstraction).
+		st.SATHits++
+		return e, rtlil.S1, true
+	case r1 == sat.Unsat:
+		st.SATHits++
+		return e, rtlil.S0, true
 	}
-	return rtlil.Sx, false
+	st.Unknown++
+	return e, rtlil.Sx, false
 }
 
 // SatMuxPass is smaRTLy's SAT-based redundancy elimination: the muxtree
 // walker driven by the SmartOracle, run to a fixpoint. It subsumes the
 // baseline opt_muxtree (path facts are consulted first).
+//
+// The pass instance owns the incremental oracle's cone cache: encodings
+// and live solvers persist across the internal fixpoint iterations and
+// across repeated Run calls on one instance (outer fixpoint wrappers),
+// where unchanged cones keep their structural fingerprints even though
+// every iteration rebuilds the module index.
 type SatMuxPass struct {
 	Opts SatMuxOptions
 	// LastStats holds the oracle counters of the most recent Run.
 	LastStats SatMuxStats
+
+	cones *coneCache
 }
 
 // Name implements opt.Pass.
@@ -532,6 +794,9 @@ func (p *SatMuxPass) Name() string { return "smartly_satmux" }
 func (p *SatMuxPass) Run(c *opt.Ctx, m *rtlil.Module) (opt.Result, error) {
 	var total opt.Result
 	p.LastStats = SatMuxStats{}
+	if p.cones == nil {
+		p.cones = newConeCache(p.Opts.withDefaults().ConeCacheSize)
+	}
 	for iter := 0; iter < 20; iter++ {
 		if err := c.Err(); err != nil {
 			return total, err
@@ -539,6 +804,7 @@ func (p *SatMuxPass) Run(c *opt.Ctx, m *rtlil.Module) (opt.Result, error) {
 		ix := rtlil.NewIndex(m)
 		oracle := NewSmartOracle(ix, p.Opts)
 		oracle.Ctx = c
+		oracle.cones = p.cones
 		walk := &opt.MuxtreeWalk{Oracle: oracle}
 		r, err := walk.Run(c, m)
 		if err != nil {
@@ -554,6 +820,14 @@ func (p *SatMuxPass) Run(c *opt.Ctx, m *rtlil.Module) (opt.Result, error) {
 			break
 		}
 	}
+	// Thread the oracle counters into the run report alongside the
+	// walker's rewrite counters.
+	if total.Details == nil {
+		total.Details = map[string]int{}
+	}
+	for k, v := range p.LastStats.Details() {
+		total.Details[k] += v
+	}
 	return total, nil
 }
 
@@ -568,6 +842,12 @@ func accumulate(dst *SatMuxStats, s SatMuxStats) {
 	dst.Unknown += s.Unknown
 	dst.SubgraphCells += s.SubgraphCells
 	dst.CandidateCells += s.CandidateCells
+	dst.Encodings += s.Encodings
+	dst.EncodeReuse += s.EncodeReuse
+	dst.SolverReuse += s.SolverReuse
+	dst.LearntClauses += s.LearntClauses
+	dst.MapFailures += s.MapFailures
+	dst.Evictions += s.Evictions
 }
 
 func mergeResults(dst *opt.Result, r opt.Result) {

@@ -26,10 +26,13 @@ func (p *SmartlyPass) Name() string { return "smartly" }
 // wrapper must not be double-counted in the run report.
 func (p *SmartlyPass) Composite() {}
 
-// Run implements opt.Pass.
+// Run implements opt.Pass. The child pass instances persist across Run
+// calls (their Run methods reset their own counters): the satmux child's
+// cone cache then carries SAT encodings and live solvers across the
+// outer fixpoint iterations of the full pipeline.
 func (p *SmartlyPass) Run(c *opt.Ctx, m *rtlil.Module) (opt.Result, error) {
-	p.satmux = SatMuxPass{Opts: p.SatOpts}
-	p.rebuild = RebuildPass{Opts: p.RebuildOpts}
+	p.satmux.Opts = p.SatOpts
+	p.rebuild.Opts = p.RebuildOpts
 	return opt.RunScript(c, m, &p.satmux, &p.rebuild)
 }
 

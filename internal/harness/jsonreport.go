@@ -27,6 +27,10 @@ type BenchReport struct {
 	// latency smoke (smartly-bench -design); absent when the mode did
 	// not run.
 	Design *DesignBench `json:"design,omitempty"`
+	// Sat holds the incremental SAT oracle's counters and
+	// incremental-vs-per-query-solver wall-clock (smartly-bench -sat);
+	// absent when the mode did not run.
+	Sat *SatBench `json:"sat,omitempty"`
 }
 
 // BenchCase is one benchmark case of a BenchReport.

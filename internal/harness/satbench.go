@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/genbench"
+	"repro/internal/opt"
+	"repro/internal/rtlil"
+)
+
+// SatBench is the incremental-SAT-oracle section of the bench report:
+// for each SAT-exercising flow, the oracle counters (queries, fresh
+// encodings, encoding and solver reuse) and the wall-clock of the whole
+// public benchmark set, measured once with the incremental oracle and
+// once with the pre-incremental one-solver-per-query oracle. The netlist
+// hashes of the two runs are compared case by case: with no
+// budget-tripped queries on either side the hashes must match (hard
+// error otherwise — the section doubles as an equivalence assertion),
+// while runs that tripped a conflict budget may legitimately diverge
+// (a budgeted verdict depends on the learnt clauses a solver has
+// accumulated) and only flip NetlistsEqual.
+type SatBench struct {
+	Scale float64        `json:"scale"`
+	Flows []SatFlowBench `json:"flows"`
+}
+
+// SatFlowBench is one flow's incremental-vs-baseline measurement.
+type SatFlowBench struct {
+	Flow          string `json:"flow"`
+	Queries       int    `json:"queries"`
+	SATCalls      int    `json:"sat_calls"`
+	Encodings     int    `json:"encodings"`
+	EncodeReuse   int    `json:"encode_reuse"`
+	SolverReuse   int    `json:"solver_reuse"`
+	LearntClauses int    `json:"learnt_clauses"`
+	// Evictions sums the conflict-budget trips (learnt-state resets and
+	// capacity evictions) of the incremental and baseline runs; when it
+	// is zero no SAT verdict was budget-dependent, so the two oracles'
+	// netlists are provably identical and NetlistsEqual must be true.
+	Evictions     int  `json:"evictions"`
+	NetlistsEqual bool `json:"netlists_equal"`
+	// ElapsedMS is the incremental oracle's wall-clock over the public
+	// benchmark cases; BaselineElapsedMS is the per-query-solver
+	// oracle's on the same cases.
+	ElapsedMS         int64 `json:"elapsed_ms"`
+	BaselineElapsedMS int64 `json:"baseline_elapsed_ms"`
+}
+
+// nonIncrementalFlow derives the ablation variant of a flow: the same
+// steps with every SAT-capable pass forced to the pre-incremental
+// one-solver-per-query oracle.
+func nonIncrementalFlow(f *opt.Flow) (*opt.Flow, error) {
+	f, err := f.WithArg("satmux", "incremental", "false")
+	if err != nil {
+		return nil, err
+	}
+	return f.WithArg("smartly", "incremental", "false")
+}
+
+// RunSatBench measures the named SAT-exercising flows (typically "sat"
+// and "full") over the public benchmark set at the given scale.
+func RunSatBench(flowNames []string, scale float64) (SatBench, error) {
+	bench := SatBench{Scale: scale}
+	for _, name := range flowNames {
+		flow, err := opt.NamedFlow(name)
+		if err != nil {
+			return bench, fmt.Errorf("harness: sat bench flow %q: %w", name, err)
+		}
+		baseline, err := nonIncrementalFlow(flow)
+		if err != nil {
+			return bench, fmt.Errorf("harness: sat bench baseline for %q: %w", name, err)
+		}
+		fb := SatFlowBench{Flow: name, NetlistsEqual: true}
+		for _, recipe := range genbench.Recipes() {
+			m := genbench.Generate(recipe, scale)
+
+			inc := m.Clone()
+			ec := opt.NewCtx(nil, opt.Config{})
+			start := time.Now()
+			if _, err := flow.Run(ec, inc); err != nil {
+				return bench, fmt.Errorf("harness: sat bench %s/%s: %w", name, recipe.Name, err)
+			}
+			fb.ElapsedMS += time.Since(start).Milliseconds()
+			rep := ec.Report()
+			const pass = "smartly_satmux"
+			fb.Queries += rep.Counter(pass, "oracle_queries")
+			fb.SATCalls += rep.Counter(pass, "sat_calls")
+			fb.Encodings += rep.Counter(pass, "sat_encodings")
+			fb.EncodeReuse += rep.Counter(pass, "sat_encode_reuse")
+			fb.SolverReuse += rep.Counter(pass, "sat_solver_reuse")
+			fb.LearntClauses += rep.Counter(pass, "sat_learnt")
+			evictions := rep.Counter(pass, "sat_evictions")
+
+			base := m.Clone()
+			bc := opt.NewCtx(nil, opt.Config{})
+			start = time.Now()
+			if _, err := baseline.Run(bc, base); err != nil {
+				return bench, fmt.Errorf("harness: sat bench baseline %s/%s: %w", name, recipe.Name, err)
+			}
+			fb.BaselineElapsedMS += time.Since(start).Milliseconds()
+			baseRep := bc.Report()
+			evictions += baseRep.Counter(pass, "sat_evictions")
+			fb.Evictions += evictions
+
+			if rtlil.CanonicalHash(inc) != rtlil.CanonicalHash(base) {
+				// With no budget trips every SAT verdict was a proof,
+				// both oracles decided the same constants and the
+				// rewrites are forced: divergence is a bug. After a trip
+				// it is a legitimate learnt-clause effect, recorded
+				// rather than fatal.
+				if evictions == 0 {
+					return bench, fmt.Errorf("harness: sat bench %s/%s: incremental and per-query-solver netlists differ with no budget-tripped queries",
+						name, recipe.Name)
+				}
+				fb.NetlistsEqual = false
+			}
+		}
+		bench.Flows = append(bench.Flows, fb)
+	}
+	return bench, nil
+}
+
+// String renders the section for the human-readable bench output.
+func (b SatBench) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Incremental SAT oracle (scale %g, public benchmark set)\n", b.Scale)
+	fmt.Fprintf(&sb, "%-8s %9s %9s %10s %12s %12s %10s %12s\n",
+		"Flow", "Queries", "SATCalls", "Encodings", "EncodeReuse", "SolverReuse", "Elapsed", "Baseline")
+	for _, f := range b.Flows {
+		fmt.Fprintf(&sb, "%-8s %9d %9d %10d %12d %12d %9dms %10dms\n",
+			f.Flow, f.Queries, f.SATCalls, f.Encodings, f.EncodeReuse, f.SolverReuse,
+			f.ElapsedMS, f.BaselineElapsedMS)
+	}
+	return sb.String()
+}

@@ -217,6 +217,41 @@ func (s Step) canonical() string {
 	return sb.String()
 }
 
+// WithArg returns a flow in which every step invoking the named pass —
+// including steps inside fixpoint bodies — carries key=value, replacing
+// any existing spelling of that option. Steps of other passes are
+// untouched; a flow that never invokes the pass comes back equal. The
+// result is validated, so an unknown option (or ill-typed value) for
+// that pass errors. This is how the bench harness derives ablation
+// variants ("the same flow, with satmux(incremental=false)") without
+// fragile script-string rewriting.
+func (f *Flow) WithArg(pass, key, value string) (*Flow, error) {
+	if f == nil {
+		return nil, fmt.Errorf("opt: nil flow")
+	}
+	return NewFlow(withArgSteps(f.steps, pass, key, value)...)
+}
+
+func withArgSteps(steps []Step, pass, key, value string) []Step {
+	out := make([]Step, len(steps))
+	for i, s := range steps {
+		if s.Body != nil {
+			s.Body = &Flow{steps: withArgSteps(s.Body.steps, pass, key, value)}
+		}
+		if s.Name == pass {
+			args := make([]Arg, 0, len(s.Args)+1)
+			for _, a := range s.Args {
+				if a.Key != key {
+					args = append(args, a)
+				}
+			}
+			s.Args = append(args, Arg{Key: key, Value: value})
+		}
+		out[i] = s
+	}
+	return out
+}
+
 // Compile builds fresh pass instances for every step. Passes carry
 // per-run state (counters, caches), so each run must compile its own
 // instances; the Flow itself stays immutable and shareable.

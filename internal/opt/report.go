@@ -70,6 +70,17 @@ func (r *RunReport) Pass(name string) *PassReport {
 	return nil
 }
 
+// Counter returns one counter of one pass (0 when the pass did not run
+// or never bumped the key). Value receiver, so it composes directly
+// with Ctx.Report().
+func (r RunReport) Counter(pass, key string) int {
+	p := r.Pass(pass)
+	if p == nil {
+		return 0
+	}
+	return p.Counters[key]
+}
+
 // StripTimings zeroes every wall-clock field, leaving only the
 // deterministic counters and iteration counts.
 func (r *RunReport) StripTimings() {

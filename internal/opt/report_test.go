@@ -1,0 +1,21 @@
+package opt
+
+import "testing"
+
+// TestRunReportCounter covers the value-receiver counter accessor used
+// by the bench harness: missing passes and missing keys read as 0.
+func TestRunReportCounter(t *testing.T) {
+	r := RunReport{Passes: []PassReport{{
+		Name:     "smartly_satmux",
+		Counters: map[string]int{"sat_calls": 7},
+	}}}
+	if got := r.Counter("smartly_satmux", "sat_calls"); got != 7 {
+		t.Errorf("Counter = %d, want 7", got)
+	}
+	if got := r.Counter("smartly_satmux", "absent"); got != 0 {
+		t.Errorf("missing key = %d, want 0", got)
+	}
+	if got := r.Counter("nonesuch", "sat_calls"); got != 0 {
+		t.Errorf("missing pass = %d, want 0", got)
+	}
+}

@@ -1,0 +1,55 @@
+package opt
+
+import "testing"
+
+// The baseline passes this package registers take no options, so the
+// override test registers its own optioned probe pass.
+func init() {
+	Register(PassSpec{
+		Name:    "witharg_probe",
+		Summary: "test-only pass with one option",
+		Options: []OptionSpec{
+			{Key: "mode", Kind: KindBool, Default: "true", Help: "probe switch"},
+		},
+		Build: func(Args) (Pass, error) { return CleanPass{}, nil },
+	})
+}
+
+// TestFlowWithArg covers the option-override used to derive ablation
+// flow variants: the target pass gains (or replaces) the option, fixpoint
+// bodies are rewritten recursively, other passes and the source flow are
+// untouched, and invalid options are rejected by validation.
+func TestFlowWithArg(t *testing.T) {
+	const src = "opt_expr; fixpoint { witharg_probe; opt_clean }; witharg_probe(mode=true)"
+	f, err := ParseFlow(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.WithArg("witharg_probe", "mode", "false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "opt_expr; fixpoint { witharg_probe(mode=false); opt_clean }; witharg_probe(mode=false)"
+	if got.String() != want {
+		t.Errorf("WithArg:\n got %s\nwant %s", got.String(), want)
+	}
+	// The source flow is unchanged (flows are immutable).
+	if f.String() != src {
+		t.Errorf("source flow mutated: %s", f.String())
+	}
+	// A flow without the pass comes back equal.
+	same, err := got.WithArg("opt_reduce", "mode", "false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.String() != got.String() {
+		t.Errorf("unrelated pass rewritten: %s", same.String())
+	}
+	// Unknown options for the pass fail validation.
+	if _, err := f.WithArg("witharg_probe", "no_such_option", "1"); err == nil {
+		t.Error("unknown option accepted")
+	}
+	if _, err := (*Flow)(nil).WithArg("witharg_probe", "mode", "false"); err == nil {
+		t.Error("nil flow accepted")
+	}
+}

@@ -34,6 +34,11 @@ const (
 	CellLogicOr  CellType = "$logic_or"  // (|A) || (|B), 1-bit Y
 	CellShl      CellType = "$shl"       // A << B (logical)
 	CellShr      CellType = "$shr"       // A >> B (logical)
+	// CellDiv is unsigned integer division (A / B, B=0 yields all-x).
+	// It is recognized and simulated but deliberately has no AIG
+	// bit-blasting: SAT queries over cones containing it are abandoned
+	// and counted as map failures.
+	CellDiv CellType = "$div"
 
 	// CellMux is a word-level 2:1 multiplexer: Y = S ? B : A.
 	// Note the Yosys convention: S=0 selects A, S=1 selects B.
@@ -81,6 +86,7 @@ var cellSpecs = map[CellType]cellSpec{
 	CellLogicOr:   {[]string{"A", "B"}, []string{"Y"}},
 	CellShl:       {[]string{"A", "B"}, []string{"Y"}},
 	CellShr:       {[]string{"A", "B"}, []string{"Y"}},
+	CellDiv:       {[]string{"A", "B"}, []string{"Y"}},
 	CellMux:       {[]string{"A", "B", "S"}, []string{"Y"}},
 	CellPmux:      {[]string{"A", "B", "S"}, []string{"Y"}},
 	CellDff:       {[]string{"CLK", "D"}, []string{"Q"}},
@@ -132,7 +138,7 @@ func IsUnary(t CellType) bool {
 func IsBinary(t CellType) bool {
 	switch t {
 	case CellAnd, CellOr, CellXor, CellXnor, CellAdd, CellSub, CellMul,
-		CellEq, CellNe, CellLt, CellLe, CellGt, CellGe,
+		CellDiv, CellEq, CellNe, CellLt, CellLe, CellGt, CellGe,
 		CellLogicAnd, CellLogicOr, CellShl, CellShr:
 		return true
 	}

@@ -66,6 +66,31 @@ func (s *Solver) NumVars() int { return len(s.assigns) }
 // NumClauses returns the number of problem (non-learnt) clauses.
 func (s *Solver) NumClauses() int { return len(s.clauses) }
 
+// NumLearnts returns the number of learnt clauses currently retained.
+// Learnt clauses survive between Solve calls (they are implied by the
+// problem clauses, so reusing them across assumption sets is sound) and
+// are trimmed by the activity-based reduction.
+func (s *Solver) NumLearnts() int { return len(s.learnts) }
+
+// Reset drops every learnt clause, keeping the problem clauses and the
+// level-0 facts already derived from them. It is the eviction path for
+// long-lived solvers: after a string of budget-exceeded Solve calls the
+// learnt database carries conflict analysis of abandoned searches, and
+// callers may prefer to restart clause learning from a clean slate
+// without re-encoding the problem. Statistics are kept (cumulative).
+func (s *Solver) Reset() {
+	s.backtrackTo(0)
+	// Level-0 assignments may cite learnt clauses as reasons; the facts
+	// themselves are formula-implied, so forget the derivations.
+	for _, l := range s.trail {
+		s.reason[l.Var()] = nil
+	}
+	for _, c := range s.learnts {
+		s.detach(c)
+	}
+	s.learnts = s.learnts[:0]
+}
+
 // NewVar creates a fresh variable.
 func (s *Solver) NewVar() Var {
 	v := Var(len(s.assigns))
@@ -433,6 +458,12 @@ func (s *Solver) Solve(assumptions ...Lit) Result {
 	budget := s.MaxConflicts
 	var restartNum int64
 	learntLimit := len(s.clauses)/3 + 100
+	if len(s.learnts) > learntLimit {
+		// Learnt clauses retained from earlier Solve calls: bound the
+		// database before searching so repeated incremental queries on
+		// one solver cannot grow it without limit.
+		s.reduceDB()
+	}
 
 	for {
 		restartNum++

@@ -337,6 +337,14 @@ func EvalCell(c *rtlil.Cell, in map[string][]rtlil.State) ([]rtlil.State, error)
 			return fromUint(toUint(A)*toUint(B), yw), nil
 		}
 		return allX(yw), nil
+	case rtlil.CellDiv:
+		if defined(A) && defined(B) && len(A) <= 64 && len(B) <= 64 {
+			if toUint(B) == 0 {
+				return allX(yw), nil
+			}
+			return fromUint(toUint(A)/toUint(B), yw), nil
+		}
+		return allX(yw), nil
 
 	case rtlil.CellEq:
 		return []rtlil.State{eq3(A, B)}, nil

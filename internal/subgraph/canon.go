@@ -1,0 +1,194 @@
+package subgraph
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strconv"
+
+	"repro/internal/rtlil"
+)
+
+// Canon is the canonical, instance-independent form of an extracted
+// sub-graph as seen from one target bit. It is the key of the incremental
+// SAT oracle's cone cache: the Fingerprint hashes the complete structure
+// (cell types, parameters, connectivity, constants and the target's
+// position) under a deterministic enumeration, and Bits records which
+// instance bit occupies each canonical slot.
+//
+// Two cones with equal fingerprints are structurally identical under the
+// slot-for-slot correspondence of their Bits slices — the fingerprint is
+// computed from nothing but slot numbers, so equal hash input implies the
+// correspondence preserves every connection. That makes it sound to
+// translate a bit of one instance to the same slot of another and reuse
+// that instance's CNF encoding and solver. (Wire names never enter the
+// description; renamed but otherwise untouched cones re-hit the cache
+// across pass iterations.)
+type Canon struct {
+	// Fingerprint is the hex sha256 of the canonical description.
+	Fingerprint string
+	// Cells is the deterministic topological order (drivers before
+	// readers) the description enumerates; encoders must map cells in
+	// exactly this order for equal fingerprints to imply equal encodings.
+	Cells []*rtlil.Cell
+	// Bits lists the instance bits in canonical-slot order.
+	Bits []rtlil.SigBit
+	// TargetID is the canonical slot of the target bit, or -1 when the
+	// target is not produced or read inside the cone.
+	TargetID int
+
+	ids map[rtlil.SigBit]int
+}
+
+// BitID returns the canonical slot of an instance bit of this cone.
+func (c *Canon) BitID(b rtlil.SigBit) (int, bool) {
+	id, ok := c.ids[b]
+	return id, ok
+}
+
+// TopoCells orders the sub-graph cells so drivers precede readers. Ports
+// are visited in the cell library's fixed order (not the Conn map's) so
+// the ordering — and hence AIG and SAT variable numbering — is
+// deterministic for a given input order.
+func TopoCells(ix *rtlil.Index, cells []*rtlil.Cell) []*rtlil.Cell {
+	inSet := make(map[*rtlil.Cell]bool, len(cells))
+	for _, c := range cells {
+		inSet[c] = true
+	}
+	order := make([]*rtlil.Cell, 0, len(cells))
+	state := map[*rtlil.Cell]int8{}
+	var visit func(c *rtlil.Cell)
+	visit = func(c *rtlil.Cell) {
+		if state[c] != 0 {
+			return
+		}
+		state[c] = 1
+		for _, port := range rtlil.InputPorts(c.Type) {
+			for _, b := range ix.Map(c.Port(port)) {
+				if b.IsConst() {
+					continue
+				}
+				if d := ix.DriverCell(b); d != nil && inSet[d] {
+					visit(d)
+				}
+			}
+		}
+		state[c] = 2
+		order = append(order, c)
+	}
+	for _, c := range cells {
+		visit(c)
+	}
+	return order
+}
+
+// Canonicalize computes the canonical form of an extracted sub-graph
+// around target. The enumeration walks the cells in topological order and
+// assigns slot numbers to non-constant bits on first encounter, so the
+// description depends only on structure reachable through that walk, not
+// on wire identities.
+func Canonicalize(ix *rtlil.Index, sg *Result, target rtlil.SigBit) *Canon {
+	return canonicalize(ix, sg, target, true)
+}
+
+// Slots computes only the slot assignment (Fingerprint left empty), for
+// one-shot encodings that need the bit-to-slot translation but will
+// never share it — the hashing of the cone description is the bulk of
+// Canonicalize's cost.
+func Slots(ix *rtlil.Index, sg *Result, target rtlil.SigBit) *Canon {
+	return canonicalize(ix, sg, target, false)
+}
+
+func canonicalize(ix *rtlil.Index, sg *Result, target rtlil.SigBit, fingerprint bool) *Canon {
+	c := &Canon{
+		Cells:    TopoCells(ix, sg.Cells),
+		TargetID: -1,
+		ids:      make(map[rtlil.SigBit]int),
+	}
+	// The description is appended into one buffer and hashed once at the
+	// end: this runs for every SAT-bound query, so no fmt formatting on
+	// the hot path.
+	var desc []byte
+	slot := func(b rtlil.SigBit) int {
+		if id, ok := c.ids[b]; ok {
+			return id
+		}
+		id := len(c.Bits)
+		c.ids[b] = id
+		c.Bits = append(c.Bits, b)
+		return id
+	}
+	writeBit := func(b rtlil.SigBit) {
+		if b.IsConst() {
+			if fingerprint {
+				desc = append(desc, " k"...)
+				desc = append(desc, b.Const.String()...)
+			}
+			return
+		}
+		id := slot(b)
+		if fingerprint {
+			desc = append(desc, ' ')
+			desc = strconv.AppendInt(desc, int64(id), 10)
+		}
+	}
+	for _, cell := range c.Cells {
+		if fingerprint {
+			desc = append(desc, "cell "...)
+			desc = append(desc, cell.Type...)
+			params := make([]string, 0, len(cell.Params))
+			for k := range cell.Params {
+				params = append(params, k)
+			}
+			sort.Strings(params)
+			for _, k := range params {
+				desc = append(desc, ' ')
+				desc = append(desc, k...)
+				desc = append(desc, '=')
+				desc = strconv.AppendInt(desc, int64(cell.Params[k]), 10)
+			}
+		}
+		for _, port := range rtlil.InputPorts(cell.Type) {
+			if fingerprint {
+				desc = append(desc, ' ')
+				desc = append(desc, port...)
+				desc = append(desc, ':')
+			}
+			for _, b := range ix.Map(cell.Port(port)) {
+				writeBit(b)
+			}
+		}
+		for _, port := range rtlil.OutputPorts(cell.Type) {
+			if fingerprint {
+				desc = append(desc, ' ')
+				desc = append(desc, port...)
+				desc = append(desc, ':')
+			}
+			for _, b := range ix.Map(cell.Port(port)) {
+				writeBit(b)
+			}
+		}
+		if fingerprint {
+			desc = append(desc, '\n')
+		}
+	}
+	// Free inputs in their canonical order: encoders declare these as the
+	// AIG primary inputs, so their enumeration is part of the structure.
+	if fingerprint {
+		desc = append(desc, "inputs:"...)
+	}
+	for _, b := range sg.Inputs {
+		writeBit(b)
+	}
+	if id, ok := c.ids[ix.MapBit(target)]; ok {
+		c.TargetID = id
+	}
+	if fingerprint {
+		desc = append(desc, "\ntarget "...)
+		desc = strconv.AppendInt(desc, int64(c.TargetID), 10)
+		desc = append(desc, '\n')
+		sum := sha256.Sum256(desc)
+		c.Fingerprint = hex.EncodeToString(sum[:])
+	}
+	return c
+}

@@ -1,0 +1,195 @@
+package subgraph
+
+import (
+	"testing"
+
+	"repro/internal/rtlil"
+)
+
+// buildCmpCone builds one module with a small comparator cone
+//
+//	y = (a == k) & (b | c)
+//
+// using the given wire-name prefix and constant, and returns the module
+// with the target bit (the AND output).
+func buildCmpCone(prefix string, k uint64) (*rtlil.Module, rtlil.SigBit) {
+	m := rtlil.NewModule("m_" + prefix)
+	a := m.AddInput(prefix+"a", 4).Bits()
+	b := m.AddInput(prefix+"b", 1).Bits()
+	c := m.AddInput(prefix+"c", 1).Bits()
+	eq := m.Eq(a, rtlil.Const(k, 4))
+	or := m.Or(b, c)
+	tg := m.And(eq, or)
+	y := m.AddOutput(prefix+"y", 1)
+	m.Connect(y.Bits(), tg)
+	return m, tg[0]
+}
+
+func extractAndCanon(t *testing.T, m *rtlil.Module, tg rtlil.SigBit) (*rtlil.Index, *Result, *Canon) {
+	t.Helper()
+	ix := rtlil.NewIndex(m)
+	sg := Extract(ix, tg, nil, Options{Depth: 10})
+	if len(sg.Cells) == 0 {
+		t.Fatal("empty sub-graph")
+	}
+	return ix, sg, Canonicalize(ix, sg, tg)
+}
+
+// TestCanonIsomorphicCones: two cones that differ only in wire names and
+// module identity produce equal fingerprints, with the canonical slots
+// relating corresponding bits.
+func TestCanonIsomorphicCones(t *testing.T) {
+	m1, tg1 := buildCmpCone("first_", 5)
+	m2, tg2 := buildCmpCone("other_", 5)
+	_, sg1, c1 := extractAndCanon(t, m1, tg1)
+	_, sg2, c2 := extractAndCanon(t, m2, tg2)
+
+	if c1.Fingerprint != c2.Fingerprint {
+		t.Fatalf("isomorphic cones differ:\n%s\n%s", c1.Fingerprint, c2.Fingerprint)
+	}
+	if c1.TargetID < 0 || c1.TargetID != c2.TargetID {
+		t.Fatalf("target slots differ: %d vs %d", c1.TargetID, c2.TargetID)
+	}
+	if len(c1.Bits) != len(c2.Bits) {
+		t.Fatalf("slot counts differ: %d vs %d", len(c1.Bits), len(c2.Bits))
+	}
+	// Corresponding inputs occupy the same slots.
+	if len(sg1.Inputs) != len(sg2.Inputs) {
+		t.Fatalf("input counts differ")
+	}
+	for i := range sg1.Inputs {
+		id1, ok1 := c1.BitID(sg1.Inputs[i])
+		id2, ok2 := c2.BitID(sg2.Inputs[i])
+		if !ok1 || !ok2 || id1 != id2 {
+			t.Errorf("input %d: slots %d/%v vs %d/%v", i, id1, ok1, id2, ok2)
+		}
+	}
+}
+
+// TestCanonDistinguishesConstants: same structure, different constant
+// value — the fingerprints must differ (sharing an encoding across them
+// would be unsound).
+func TestCanonDistinguishesConstants(t *testing.T) {
+	m1, tg1 := buildCmpCone("p_", 5)
+	m2, tg2 := buildCmpCone("q_", 6)
+	_, _, c1 := extractAndCanon(t, m1, tg1)
+	_, _, c2 := extractAndCanon(t, m2, tg2)
+	if c1.Fingerprint == c2.Fingerprint {
+		t.Fatal("cones with different constants share a fingerprint")
+	}
+}
+
+// TestCanonDistinguishesTarget: the same cone viewed from a different
+// target bit is a different key.
+func TestCanonDistinguishesTarget(t *testing.T) {
+	m := rtlil.NewModule("m")
+	a := m.AddInput("a", 1).Bits()
+	b := m.AddInput("b", 1).Bits()
+	x := m.And(a, b)
+	z := m.Or(x, a)
+	y := m.AddOutput("y", 2)
+	m.Connect(y.Bits(), rtlil.Concat(x, z))
+
+	ix := rtlil.NewIndex(m)
+	sg := Extract(ix, z[0], nil, Options{Depth: 10})
+	cz := Canonicalize(ix, sg, z[0])
+	cx := Canonicalize(ix, sg, x[0])
+	if cz.Fingerprint == cx.Fingerprint {
+		t.Fatal("different targets share a fingerprint")
+	}
+	if cz.TargetID == cx.TargetID {
+		t.Fatal("different targets share a slot")
+	}
+}
+
+// TestCanonTargetOutsideCone: a target bit that is neither produced nor
+// read inside the cone reports TargetID -1 and a distinct fingerprint.
+func TestCanonTargetOutsideCone(t *testing.T) {
+	m, tg := buildCmpCone("s_", 3)
+	stray := m.AddInput("stray", 1).Bits()
+	ix := rtlil.NewIndex(m)
+	sg := Extract(ix, tg, nil, Options{Depth: 10})
+	in := Canonicalize(ix, sg, tg)
+	out := Canonicalize(ix, sg, stray[0])
+	if out.TargetID != -1 {
+		t.Fatalf("TargetID = %d for a bit outside the cone", out.TargetID)
+	}
+	if out.Fingerprint == in.Fingerprint {
+		t.Fatal("outside-cone view shares the in-cone fingerprint")
+	}
+}
+
+// TestCanonStableAcrossIndexRebuilds: canonicalizing the same module
+// twice through fresh indices (what successive pass iterations do) gives
+// identical fingerprints and slot assignments.
+func TestCanonStableAcrossIndexRebuilds(t *testing.T) {
+	m, tg := buildCmpCone("r_", 9)
+	_, _, c1 := extractAndCanon(t, m, tg)
+	_, _, c2 := extractAndCanon(t, m, tg)
+	if c1.Fingerprint != c2.Fingerprint {
+		t.Fatal("fingerprint not stable across index rebuilds")
+	}
+	for i, b := range c1.Bits {
+		if id, ok := c2.BitID(b); !ok || id != i {
+			t.Fatalf("slot %d not stable: %d/%v", i, id, ok)
+		}
+	}
+}
+
+// TestSlotsMatchesCanonicalize: the fingerprint-free variant assigns
+// the identical slot numbering and target slot, leaving only the
+// fingerprint empty.
+func TestSlotsMatchesCanonicalize(t *testing.T) {
+	m, tg := buildCmpCone("sl_", 11)
+	ix := rtlil.NewIndex(m)
+	sg := Extract(ix, tg, nil, Options{Depth: 10})
+	full := Canonicalize(ix, sg, tg)
+	slots := Slots(ix, sg, tg)
+	if slots.Fingerprint != "" {
+		t.Errorf("Slots computed a fingerprint: %s", slots.Fingerprint)
+	}
+	if full.Fingerprint == "" {
+		t.Error("Canonicalize skipped the fingerprint")
+	}
+	if slots.TargetID != full.TargetID || len(slots.Bits) != len(full.Bits) {
+		t.Fatalf("slot shapes differ: target %d/%d, bits %d/%d",
+			slots.TargetID, full.TargetID, len(slots.Bits), len(full.Bits))
+	}
+	for i, b := range full.Bits {
+		if slots.Bits[i] != b {
+			t.Fatalf("slot %d differs: %v vs %v", i, slots.Bits[i], b)
+		}
+	}
+	if len(slots.Cells) != len(full.Cells) {
+		t.Fatalf("cell orders differ")
+	}
+}
+
+// TestTopoCellsOrder: drivers precede readers for every kept cell.
+func TestTopoCellsOrder(t *testing.T) {
+	m, tg := buildCmpCone("t_", 1)
+	ix := rtlil.NewIndex(m)
+	sg := Extract(ix, tg, nil, Options{Depth: 10})
+	order := TopoCells(ix, sg.Cells)
+	if len(order) != len(sg.Cells) {
+		t.Fatalf("topo dropped cells: %d vs %d", len(order), len(sg.Cells))
+	}
+	pos := map[*rtlil.Cell]int{}
+	for i, c := range order {
+		pos[c] = i
+	}
+	for _, c := range order {
+		for _, port := range rtlil.InputPorts(c.Type) {
+			for _, b := range ix.Map(c.Port(port)) {
+				if b.IsConst() {
+					continue
+				}
+				if d := ix.DriverCell(b); d != nil {
+					if dp, in := pos[d]; in && dp >= pos[c] {
+						t.Fatalf("driver %s ordered after reader %s", d.Name, c.Name)
+					}
+				}
+			}
+		}
+	}
+}
