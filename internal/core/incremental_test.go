@@ -60,12 +60,15 @@ func nonIncremental(t *testing.T, f *opt.Flow) *opt.Flow {
 
 // decidedCounters strips the counters that may legitimately differ
 // between the incremental and per-query-solver oracles (encoding and
-// solver-lifetime bookkeeping), keeping every decided-bit outcome.
+// solver-lifetime bookkeeping, and the portfolio retry count, which
+// depends on the learnt clauses a solver has accumulated), keeping
+// every decided-bit outcome.
 func decidedCounters(c map[string]int) map[string]int {
 	out := map[string]int{}
 	for k, v := range c {
 		switch k {
-		case "sat_encodings", "sat_encode_reuse", "sat_solver_reuse", "sat_learnt", "sat_evictions":
+		case "sat_encodings", "sat_encode_reuse", "sat_solver_reuse", "sat_learnt",
+			"sat_evictions", "sat_portfolio_retries":
 			continue
 		}
 		out[k] = v
@@ -179,9 +182,11 @@ func TestConeCacheReuse(t *testing.T) {
 	mi, mb := m.Clone(), m.Clone()
 
 	// SimInputLimit -1 sends every undecided query to SAT (the
-	// ablation_test "sat_only" pattern): the committed workloads mostly
-	// fit exhaustive simulation, and this test is about the SAT stage.
-	inc := &SatMuxPass{Opts: SatMuxOptions{SimInputLimit: -1}}
+	// ablation_test "sat_only" pattern) and DisableSimFilter keeps the
+	// random-simulation pre-filter from deciding them first: the
+	// committed workloads mostly fit exhaustive simulation, and this
+	// test is about the SAT stage.
+	inc := &SatMuxPass{Opts: SatMuxOptions{SimInputLimit: -1, DisableSimFilter: true}}
 	if _, err := opt.RunScript(nil, mi, opt.ExprPass{}, inc, opt.CleanPass{}); err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +200,7 @@ func TestConeCacheReuse(t *testing.T) {
 		t.Errorf("incremental oracle never reused an encoding or solver: %s", inc.LastStats)
 	}
 
-	base := &SatMuxPass{Opts: SatMuxOptions{SimInputLimit: -1, DisableIncremental: true}}
+	base := &SatMuxPass{Opts: SatMuxOptions{SimInputLimit: -1, DisableSimFilter: true, DisableIncremental: true}}
 	if _, err := opt.RunScript(nil, mb, opt.ExprPass{}, base, opt.CleanPass{}); err != nil {
 		t.Fatal(err)
 	}
@@ -218,11 +223,11 @@ func TestConeCacheCapacity(t *testing.T) {
 	m := genbench.Generate(satRecipe, 0.5)
 	mDefault, mTiny := m.Clone(), m.Clone()
 
-	def := &SatMuxPass{Opts: SatMuxOptions{SimInputLimit: -1}}
+	def := &SatMuxPass{Opts: SatMuxOptions{SimInputLimit: -1, DisableSimFilter: true}}
 	if _, err := opt.RunScript(nil, mDefault, opt.ExprPass{}, def, opt.CleanPass{}); err != nil {
 		t.Fatal(err)
 	}
-	tiny := &SatMuxPass{Opts: SatMuxOptions{SimInputLimit: -1, ConeCacheSize: 1}}
+	tiny := &SatMuxPass{Opts: SatMuxOptions{SimInputLimit: -1, DisableSimFilter: true, ConeCacheSize: 1}}
 	if _, err := opt.RunScript(nil, mTiny, opt.ExprPass{}, tiny, opt.CleanPass{}); err != nil {
 		t.Fatal(err)
 	}

@@ -2,7 +2,10 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
+	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/aig"
@@ -33,8 +36,21 @@ type SatMuxOptions struct {
 	// ConeCacheSize caps how many cone encodings (AIG mapping + CNF +
 	// live solver) the incremental oracle retains (default 256).
 	ConeCacheSize int
+	// SimFilterRounds is how many 64-lane vector rounds the simulation
+	// pre-filter runs per SAT-bound cone before the solver is consulted
+	// (default 4, i.e. 256 input vectors). Negative disables rounds
+	// without disabling the stage's bookkeeping; use DisableSimFilter to
+	// turn the stage off.
+	SimFilterRounds int
 	// DisableInference turns the rule engine off (ablation).
 	DisableInference bool
+	// DisableSimFilter turns the bit-parallel simulation pre-filter in
+	// front of the SAT stage off (ablation).
+	DisableSimFilter bool
+	// DisablePortfolio turns the budgeted probe/retry solver portfolio
+	// off: every SAT call is one Solve under the full conflict budget
+	// (ablation).
+	DisablePortfolio bool
 	// DisableSAT turns simulation/SAT off, leaving inference only
 	// (ablation).
 	DisableSAT bool
@@ -66,6 +82,9 @@ func (o SatMuxOptions) withDefaults() SatMuxOptions {
 	if o.ConeCacheSize == 0 {
 		o.ConeCacheSize = 256
 	}
+	if o.SimFilterRounds == 0 {
+		o.SimFilterRounds = 4
+	}
 	return o
 }
 
@@ -89,14 +108,21 @@ type SatMuxStats struct {
 	LearntClauses int // learnt clauses produced across all SAT calls
 	MapFailures   int // SAT queries abandoned because a cone cell is not AIG-mappable
 	Evictions     int // learnt-state resets after conflict-budget trips, plus cache-capacity evictions
+
+	// Simulation pre-filter and solver-portfolio counters.
+	SimFiltered      int // SAT-bound queries decided unknowable by the pre-filter (no solver call)
+	SimVectors       int // 64-lane simulation words evaluated (pre-filter rounds + exhaustive sweep)
+	HintedSolves     int // logical SAT calls issued with simulation-derived phase hints
+	PortfolioRetries int // probe attempts that fell back to the diversified retry
 }
 
 // String renders the counters.
 func (s SatMuxStats) String() string {
-	return fmt.Sprintf("queries=%d facts=%d unreachable=%d inference=%d sim=%d sat=%d/%d unknown=%d subgraph=%d/%d encode=%d reuse=%d/%d learnt=%d mapfail=%d evict=%d",
+	return fmt.Sprintf("queries=%d facts=%d unreachable=%d inference=%d sim=%d sat=%d/%d unknown=%d subgraph=%d/%d encode=%d reuse=%d/%d learnt=%d mapfail=%d evict=%d simfilter=%d/%d hinted=%d retries=%d",
 		s.Queries, s.FactHits, s.UnreachablePath, s.InferenceHits, s.SimHits,
 		s.SATHits, s.SATCalls, s.Unknown, s.SubgraphCells, s.CandidateCells,
-		s.Encodings, s.EncodeReuse, s.SolverReuse, s.LearntClauses, s.MapFailures, s.Evictions)
+		s.Encodings, s.EncodeReuse, s.SolverReuse, s.LearntClauses, s.MapFailures, s.Evictions,
+		s.SimFiltered, s.SimVectors, s.HintedSolves, s.PortfolioRetries)
 }
 
 // Details renders the oracle counters as report-sink counter entries,
@@ -119,6 +145,10 @@ func (s SatMuxStats) Details() map[string]int {
 		"sat_learnt":            s.LearntClauses,
 		"sat_map_failures":      s.MapFailures,
 		"sat_evictions":         s.Evictions,
+		"oracle_sim_filtered":   s.SimFiltered,
+		"oracle_sim_vectors":    s.SimVectors,
+		"sat_hinted_solves":     s.HintedSolves,
+		"sat_portfolio_retries": s.PortfolioRetries,
 	}
 	for k, v := range all {
 		if v == 0 {
@@ -156,6 +186,7 @@ type SmartOracle struct {
 	Ctx *opt.Ctx
 
 	ix    *rtlil.Index
+	graph *subgraph.Graph
 	facts *opt.FactOracle
 	o     SatMuxOptions
 	cache map[string]cacheEntry
@@ -171,7 +202,11 @@ type cacheEntry struct {
 func NewSmartOracle(ix *rtlil.Index, o SatMuxOptions) *SmartOracle {
 	od := o.withDefaults()
 	return &SmartOracle{
-		ix:    ix,
+		ix: ix,
+		// One adjacency build amortized over every query of the pass:
+		// extraction is the hottest per-query stage once the pre-filter
+		// has culled the SAT calls.
+		graph: subgraph.NewGraph(ix),
 		facts: opt.NewFactOracle(),
 		o:     od,
 		cache: map[string]cacheEntry{},
@@ -397,12 +432,24 @@ func (s *SmartOracle) cacheKey(bit rtlil.SigBit) string {
 
 // pendingSAT is a query that fell through the inference and simulation
 // stages and needs the (incremental) SAT machinery: the extracted cone,
-// its canonical form and the fact snapshot the assumptions come from.
+// its canonical form, the fact snapshot the assumptions come from, and
+// what the simulation pre-filter learned about it.
 type pendingSAT struct {
 	sg     *subgraph.Result
 	canon  *subgraph.Canon
 	facts  map[rtlil.SigBit]rtlil.State
 	knowns []rtlil.SigBit
+
+	// seen0/seen1 record fact-consistent simulation witnesses of the
+	// target value: a witnessed polarity is known Sat, so satRun skips
+	// that Solve call. (Both witnessed never reaches satRun — the query
+	// is decided unknowable in solvePrep.)
+	seen0, seen1 bool
+	// hint is the witness input pattern (aligned with sg.Inputs) of the
+	// polarity that was observed, applied as phase hints for the
+	// remaining proof attempt.
+	hint    []bool
+	hasHint bool
 }
 
 // solve runs the full sub-graph machinery for one query on the
@@ -440,7 +487,7 @@ func (s *SmartOracle) solvePrep(bit rtlil.SigBit, st *SatMuxStats) (rtlil.State,
 	// assumption list, where map iteration order could otherwise change
 	// conflict-bounded solver outcomes between runs.
 	knowns := sortedBits(facts)
-	sg := subgraph.Extract(s.ix, bit, knowns, subgraph.Options{
+	sg := s.graph.Extract(bit, knowns, subgraph.Options{
 		Depth:         s.o.SubgraphDepth,
 		MaxCells:      s.o.MaxSubgraphCells,
 		DisableFilter: s.o.DisableSubgraphFilter,
@@ -484,20 +531,161 @@ func (s *SmartOracle) solvePrep(bit rtlil.SigBit, st *SatMuxStats) (rtlil.State,
 		return rtlil.Sx, false, nil
 	}
 	var canon *subgraph.Canon
-	if s.o.DisableIncremental {
+	if s.o.DisableIncremental && s.o.DisableSimFilter {
 		// The per-query-solver oracle never consults the cone cache, so
 		// the fingerprint would be discarded — compute only the slot
-		// translation the encoder needs.
+		// translation the encoder needs. (The pre-filter seeds its RNG
+		// from the fingerprint, so it forces the full canonicalization.)
 		canon = subgraph.Slots(s.ix, sg, bit)
 	} else {
 		canon = subgraph.Canonicalize(s.ix, sg, bit)
 	}
-	return rtlil.Sx, false, &pendingSAT{
+	p := &pendingSAT{
 		sg:     sg,
 		canon:  canon,
 		facts:  facts,
 		knowns: knowns,
 	}
+	if !s.o.DisableSimFilter && s.simPreFilter(p, st) {
+		// Both target values witnessed under the path facts: the solver
+		// would answer Sat twice, so the query is unknowable — decided
+		// here without touching SAT at all.
+		st.SimFiltered++
+		st.Unknown++
+		return rtlil.Sx, false, nil
+	}
+	return rtlil.Sx, false, p
+}
+
+// simPreFilter runs the bit-parallel simulation pre-filter over one
+// SAT-bound cone: SimFilterRounds words of 64 random input vectors
+// (round 0's lanes 0/1 pinned to the all-zeros/all-ones inputs), each
+// evaluated through the lane cone evaluator with AIG-faithful semantics
+// and masked by the path facts. It records witnessed target values and
+// the witness pattern on p, and reports whether both values were seen.
+//
+// Determinism: the RNG is seeded from the cone's structural fingerprint
+// and the facts are scanned in sorted order, so the lane schedule — and
+// everything derived from it — depends only on the query, never on
+// worker count or scheduling.
+func (s *SmartOracle) simPreFilter(p *pendingSAT, st *SatMuxStats) bool {
+	if p.canon.TargetID < 0 {
+		return false
+	}
+	cone, err := sim.NewCone(s.ix, p.canon.Cells, false)
+	if err != nil {
+		// Unsupported cell (e.g. $div): the AIG mapper will reject the
+		// cone too; leave the accounting to the SAT stage.
+		return false
+	}
+	tslot, ok := cone.Slot(p.canon.Bits[p.canon.TargetID])
+	if !ok {
+		return false
+	}
+	inSlots := make([]int, len(p.sg.Inputs))
+	for i, b := range p.sg.Inputs {
+		id, ok := cone.Slot(b)
+		if !ok {
+			return false
+		}
+		inSlots[i] = id
+	}
+	// Path facts: on an input they pin the lanes, on an internal bit
+	// they mask out inconsistent lanes after evaluation. Facts on bits
+	// outside the cone cannot be checked (precision loss only: the SAT
+	// assumptions drop them the same way).
+	type factCheck struct {
+		slot int
+		want uint64
+	}
+	forced := make([]int8, len(p.sg.Inputs))
+	for i := range forced {
+		forced[i] = -1
+	}
+	inputOf := map[int]int{}
+	for i, slot := range inSlots {
+		inputOf[slot] = i
+	}
+	var checks []factCheck
+	for _, b := range p.knowns {
+		slot, ok := cone.Slot(b)
+		if !ok {
+			continue
+		}
+		if v := p.facts[b]; v != rtlil.S0 && v != rtlil.S1 {
+			// A non-boolean fact has no lane encoding; decline to filter.
+			return false
+		}
+		var want uint64
+		if p.facts[b] == rtlil.S1 {
+			want = ^uint64(0)
+		}
+		if in, isIn := inputOf[slot]; isIn {
+			forced[in] = int8(want & 1)
+			continue
+		}
+		checks = append(checks, factCheck{slot, want})
+	}
+
+	seed, _ := strconv.ParseUint(p.canon.Fingerprint[:16], 16, 64)
+	rng := rand.New(rand.NewSource(int64(seed)))
+	vals := make([]uint64, cone.NumSlots())
+	patterns := make([]uint64, len(inSlots))
+	capture := func(lanes uint64) {
+		lane := uint(bits.TrailingZeros64(lanes))
+		p.hint = make([]bool, len(patterns))
+		for i, w := range patterns {
+			p.hint[i] = (w>>lane)&1 == 1
+		}
+		p.hasHint = true
+	}
+	for round := 0; round < s.o.SimFilterRounds; round++ {
+		if s.Ctx.Err() != nil {
+			// Canceled mid-filter: stop simulating; the pass discards
+			// the run's results when it surfaces the context error.
+			return false
+		}
+		for i, slot := range inSlots {
+			var v uint64
+			switch forced[i] {
+			case 0:
+			case 1:
+				v = ^uint64(0)
+			default:
+				v = rng.Uint64()
+				if round == 0 {
+					// Guided lanes: all-zeros and all-ones inputs, the
+					// classic sweeping probes for stuck-at candidates.
+					v = v&^1 | 2
+				}
+			}
+			vals[slot] = v
+			patterns[i] = v
+		}
+		cone.Eval(vals)
+		st.SimVectors++
+		valid := ^uint64(0)
+		for _, fc := range checks {
+			valid &= ^(vals[fc.slot] ^ fc.want)
+		}
+		tv := vals[tslot]
+		if m := ^tv & valid; m != 0 && !p.seen0 {
+			p.seen0 = true
+			if !p.hasHint {
+				capture(m)
+			}
+		}
+		if m := tv & valid; m != 0 && !p.seen1 {
+			p.seen1 = true
+			if !p.hasHint {
+				capture(m)
+			}
+		}
+		if p.seen0 && p.seen1 {
+			return true
+		}
+	}
+	return p.seen0 && p.seen1
 }
 
 // sortedBits returns the fact keys in a deterministic order.
@@ -526,10 +714,132 @@ func sortedBits(facts map[rtlil.SigBit]rtlil.State) []rtlil.SigBit {
 // ones inconsistent with the path facts, and observes the target bit. A
 // single observed value proves the bit constant; no consistent
 // assignment means the path is unreachable.
+//
+// The enumeration sweeps 64 assignments per lane-evaluator word; cones
+// with a cell the lane evaluator cannot reproduce in scalar-compatible
+// semantics fall back to the per-assignment map-based path, whose
+// decisions the vector path matches exactly.
 func (s *SmartOracle) simulate(sg *subgraph.Result, facts map[rtlil.SigBit]rtlil.State, target rtlil.SigBit, st *SatMuxStats) (rtlil.State, bool) {
 	order := subgraph.TopoCells(s.ix, sg.Cells)
-	n := len(sg.Inputs)
 	target = s.ix.MapBit(target)
+	if cone, err := sim.NewCone(s.ix, order, true); err == nil {
+		return s.simulateVector(cone, sg, facts, target, st)
+	}
+	return s.simulateScalar(order, sg, facts, target, st)
+}
+
+// enumPatterns are the lane vectors of the six low input variables under
+// the standard exhaustive-enumeration numbering: bit i of assignment
+// (word*64+lane) is lane bit i for i < 6 and word bit i-6 above.
+var enumPatterns = [6]uint64{
+	0xAAAAAAAAAAAAAAAA,
+	0xCCCCCCCCCCCCCCCC,
+	0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00,
+	0xFFFF0000FFFF0000,
+	0xFFFFFFFF00000000,
+}
+
+// simulateVector is the 64-wide exhaustive sweep: dense slot-indexed
+// lane buffers instead of a rebuilt map per assignment, with path facts
+// applied as lane masks and an early exit at word granularity (the
+// final seen0/seen1 classification is order-independent, so sweeping a
+// partial word further than the scalar path would is decision-neutral).
+func (s *SmartOracle) simulateVector(cone *sim.Cone, sg *subgraph.Result, facts map[rtlil.SigBit]rtlil.State, target rtlil.SigBit, st *SatMuxStats) (rtlil.State, bool) {
+	tslot, ok := cone.Slot(target)
+	if !ok {
+		// Target not computed inside the sub-graph (mirrors the scalar
+		// path's computed-set check: cone slots are exactly the inputs
+		// plus the cell outputs).
+		return rtlil.Sx, false
+	}
+	n := len(sg.Inputs)
+	inSlots := make([]int, n)
+	for i, b := range sg.Inputs {
+		inSlots[i], _ = cone.Slot(b)
+	}
+	type factCheck struct {
+		slot int
+		want uint64
+	}
+	var checks []factCheck
+	impossible := false
+	for b, v := range facts {
+		slot, ok := cone.Slot(b)
+		if !ok {
+			continue // unobservable fact: precision loss only
+		}
+		switch v {
+		case rtlil.S0:
+			checks = append(checks, factCheck{slot, 0})
+		case rtlil.S1:
+			checks = append(checks, factCheck{slot, ^uint64(0)})
+		default:
+			// The clamped two-valued sweep can never reproduce a
+			// non-boolean fact; no assignment is consistent.
+			impossible = true
+		}
+	}
+
+	words := uint64(1)
+	validBase := ^uint64(0)
+	if n < 6 {
+		validBase = 1<<(1<<uint(n)) - 1
+	} else {
+		words = 1 << uint(n-6)
+	}
+	vals := make([]uint64, cone.NumSlots())
+	seen0, seen1 := false, false
+	for word := uint64(0); word < words; word++ {
+		if s.Ctx.Err() != nil {
+			// Canceled: stop the enumeration; the caller reports unknown
+			// and the pass surfaces the context error.
+			return rtlil.Sx, false
+		}
+		for i, slot := range inSlots {
+			if i < 6 {
+				vals[slot] = enumPatterns[i]
+			} else if (word>>uint(i-6))&1 == 1 {
+				vals[slot] = ^uint64(0)
+			} else {
+				vals[slot] = 0
+			}
+		}
+		cone.Eval(vals)
+		st.SimVectors++
+		valid := validBase
+		if impossible {
+			valid = 0
+		}
+		for _, fc := range checks {
+			valid &= ^(vals[fc.slot] ^ fc.want)
+		}
+		tv := vals[tslot]
+		if ^tv&valid != 0 {
+			seen0 = true
+		}
+		if tv&valid != 0 {
+			seen1 = true
+		}
+		if seen0 && seen1 {
+			return rtlil.Sx, false
+		}
+	}
+	switch {
+	case seen0 && !seen1:
+		return rtlil.S0, true
+	case seen1 && !seen0:
+		return rtlil.S1, true
+	}
+	// No consistent assignment: unreachable path.
+	st.UnreachablePath++
+	return rtlil.S0, true
+}
+
+// simulateScalar is the per-assignment four-state fallback for cones the
+// lane evaluator rejects.
+func (s *SmartOracle) simulateScalar(order []*rtlil.Cell, sg *subgraph.Result, facts map[rtlil.SigBit]rtlil.State, target rtlil.SigBit, st *SatMuxStats) (rtlil.State, bool) {
+	n := len(sg.Inputs)
 
 	// Facts on bits outside the sub-graph cannot be checked; drop them
 	// (this only loses precision, not soundness).
@@ -561,6 +871,9 @@ func (s *SmartOracle) simulate(sg *subgraph.Result, facts map[rtlil.SigBit]rtlil
 	seen0, seen1 := false, false
 	vals := make(map[rtlil.SigBit]rtlil.State, len(computed))
 	for mask := 0; mask < 1<<uint(n); mask++ {
+		if mask%64 == 0 && s.Ctx.Err() != nil {
+			return rtlil.Sx, false
+		}
 		for k := range vals {
 			delete(vals, k)
 		}
@@ -726,17 +1039,35 @@ func (s *SmartOracle) satRun(e *coneEntry, p *pendingSAT, st *SatMuxStats) (*con
 	}
 	tl := e.cnf.SatLit(e.aigLits[tid])
 
-	if e.solved {
-		// Both calls below re-enter a solver kept alive from an earlier
-		// query, reusing its learnt clauses.
-		st.SolverReuse += 2
+	// A polarity the simulation pre-filter witnessed is known Sat: the
+	// witness is a genuine model of the cone CNF under the assumptions
+	// (the lane evaluator mirrors the AIG mapping cell for cell), so the
+	// Solve call is skipped outright.
+	calls := 0
+	if !p.seen0 {
+		calls++
 	}
-	e.solved = true
+	if !p.seen1 {
+		calls++
+	}
+	if e.solved {
+		// The calls below re-enter a solver kept alive from an earlier
+		// query, reusing its learnt clauses.
+		st.SolverReuse += calls
+	}
+	if calls > 0 {
+		e.solved = true
+	}
 	learntBefore := e.solver.Stats.Learnt
-	st.SATCalls++
-	r0 := e.solver.Solve(append(append([]sat.Lit(nil), assumptions...), tl.Not())...)
-	st.SATCalls++
-	r1 := e.solver.Solve(append(append([]sat.Lit(nil), assumptions...), tl)...)
+	r0, r1 := sat.Sat, sat.Sat
+	if !p.seen0 {
+		st.SATCalls++
+		r0 = s.portfolioSolve(e, p, append(append([]sat.Lit(nil), assumptions...), tl.Not()), st)
+	}
+	if !p.seen1 {
+		st.SATCalls++
+		r1 = s.portfolioSolve(e, p, append(append([]sat.Lit(nil), assumptions...), tl), st)
+	}
 	st.LearntClauses += int(e.solver.Stats.Learnt - learntBefore)
 	if r0 == sat.Unknown || r1 == sat.Unknown {
 		// Conflict budget tripped: the learnt database reflects an
@@ -766,6 +1097,66 @@ func (s *SmartOracle) satRun(e *coneEntry, p *pendingSAT, st *SatMuxStats) (*con
 	}
 	st.Unknown++
 	return e, rtlil.Sx, false
+}
+
+// portfolioSolve issues one logical SAT call as a budgeted portfolio:
+// a short probe (a quarter of the conflict budget) with the simulation
+// witness applied as phase hints, then — if the probe ran out — one
+// diversified retry under the remaining budget, with inverted phases
+// and the restart schedule advanced past its short early intervals.
+// The total conflict spend never exceeds MaxConflicts, so a portfolio
+// Unknown implies the single-call oracle's budget would have tripped
+// on some schedule too (the eviction/equality bookkeeping treats both
+// the same way).
+func (s *SmartOracle) portfolioSolve(e *coneEntry, p *pendingSAT, as []sat.Lit, st *SatMuxStats) sat.Result {
+	if p.hasHint {
+		st.HintedSolves++
+		s.applyHint(e, p, false)
+	}
+	budget := s.o.MaxConflicts
+	if s.o.DisablePortfolio || budget <= 0 {
+		return e.solver.Solve(as...)
+	}
+	probe := budget / 4
+	if probe < 1 {
+		probe = 1
+	}
+	confBefore := e.solver.Stats.Conflicts
+	e.solver.MaxConflicts = probe
+	r := e.solver.Solve(as...)
+	if used := e.solver.Stats.Conflicts - confBefore; r == sat.Unknown && budget-used > 0 {
+		st.PortfolioRetries++
+		if p.hasHint {
+			s.applyHint(e, p, true)
+		} else {
+			e.solver.InvertPhases()
+		}
+		e.solver.RestartOffset = 6 // first restart interval: luby(7)*100 = 800 conflicts
+		e.solver.MaxConflicts = budget - used
+		r = e.solver.Solve(as...)
+		e.solver.RestartOffset = 0
+	}
+	e.solver.MaxConflicts = budget
+	return r
+}
+
+// applyHint seeds the solver's saved phases with the pre-filter's
+// witness pattern (or its complement): the witness satisfies the cone
+// and the path facts, so the search starts next to a known model of
+// everything but the target polarity under proof.
+func (s *SmartOracle) applyHint(e *coneEntry, p *pendingSAT, invert bool) {
+	for i, b := range p.sg.Inputs {
+		id, ok := p.canon.BitID(b)
+		if !ok || !e.mapped[id] {
+			continue
+		}
+		l := e.cnf.SatLit(e.aigLits[id])
+		v := p.hint[i] != invert
+		if l.Sign() {
+			v = !v
+		}
+		e.solver.SetPhase(l.Var(), v)
+	}
 }
 
 // SatMuxPass is smaRTLy's SAT-based redundancy elimination: the muxtree
@@ -848,6 +1239,10 @@ func accumulate(dst *SatMuxStats, s SatMuxStats) {
 	dst.LearntClauses += s.LearntClauses
 	dst.MapFailures += s.MapFailures
 	dst.Evictions += s.Evictions
+	dst.SimFiltered += s.SimFiltered
+	dst.SimVectors += s.SimVectors
+	dst.HintedSolves += s.HintedSolves
+	dst.PortfolioRetries += s.PortfolioRetries
 }
 
 func mergeResults(dst *opt.Result, r opt.Result) {

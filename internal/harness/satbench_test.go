@@ -27,6 +27,16 @@ func TestRunSatBench(t *testing.T) {
 		if !f.NetlistsEqual && f.Evictions == 0 {
 			t.Errorf("%s: netlists diverged with no budget-tripped queries", f.Flow)
 		}
+		if f.SimFiltered == 0 {
+			t.Errorf("%s: simulation pre-filter decided no queries", f.Flow)
+		}
+		if f.SimVectors == 0 {
+			t.Errorf("%s: no simulation vectors recorded", f.Flow)
+		}
+		if f.SATCalls >= f.NoFilterSATCalls {
+			t.Errorf("%s: pre-filter did not reduce SAT calls: %d filtered vs %d unfiltered",
+				f.Flow, f.SATCalls, f.NoFilterSATCalls)
+		}
 	}
 	data, err := json.Marshal(b)
 	if err != nil {

@@ -1,0 +1,143 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSetPhaseGuidesModel: phase hints steer decisions on unconstrained
+// variables, so a hinted solve of a satisfiable formula lands on the
+// hinted model.
+func TestSetPhaseGuidesModel(t *testing.T) {
+	s := NewSolver()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(PosLit(a), PosLit(b), PosLit(c))
+	s.SetPhase(a, true)
+	s.SetPhase(b, false)
+	s.SetPhase(c, true)
+	if s.Solve() != Sat {
+		t.Fatal("unsat")
+	}
+	if !s.Value(a) || s.Value(b) || !s.Value(c) {
+		t.Errorf("model (%v,%v,%v) ignored phase hints (want true,false,true)",
+			s.Value(a), s.Value(b), s.Value(c))
+	}
+	// Hints are preferences, not constraints: a hint against the only
+	// model must not break completeness.
+	u := NewSolver()
+	x := u.NewVar()
+	u.AddClause(PosLit(x))
+	u.SetPhase(x, false)
+	if u.Solve() != Sat || !u.Value(x) {
+		t.Error("phase hint against a forced literal changed the verdict")
+	}
+}
+
+// TestInvertPhases: inverting flips the default decisions to the
+// complementary assignment.
+func TestInvertPhases(t *testing.T) {
+	s := NewSolver()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(PosLit(a), PosLit(b), NegLit(a)) // tautology keeps vars live
+	s.SetPhase(a, true)
+	s.SetPhase(b, false)
+	s.InvertPhases()
+	if s.Solve() != Sat {
+		t.Fatal("unsat")
+	}
+	if s.Value(a) || !s.Value(b) {
+		t.Errorf("model (%v,%v) after inversion, want (false,true)", s.Value(a), s.Value(b))
+	}
+}
+
+// TestSetPhaseOutOfRange: hinting a variable the solver does not know is
+// a no-op, not a panic (callers hint from external literal maps).
+func TestSetPhaseOutOfRange(t *testing.T) {
+	s := NewSolver()
+	s.SetPhase(Var(99), true)
+	if s.Solve() != Sat {
+		t.Error("empty formula not sat")
+	}
+}
+
+// TestRestartOffsetSoundness: starting the Luby schedule deeper (and
+// hinting/inverting phases along the way) changes only the search
+// trajectory; verdicts on random instances must match a brute-force
+// reference exactly.
+func TestRestartOffsetSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		n := 5 + rng.Intn(8)
+		nClauses := int(4.2*float64(n)) + rng.Intn(5)
+		var cnf [][]Lit
+		for i := 0; i < nClauses; i++ {
+			cl := make([]Lit, 3)
+			for j := range cl {
+				cl[j] = MkLit(Var(rng.Intn(n)), rng.Intn(2) == 1)
+			}
+			cnf = append(cnf, cl)
+		}
+		s := NewSolver()
+		s.RestartOffset = int64(rng.Intn(10))
+		for i := 0; i < n; i++ {
+			v := s.NewVar()
+			s.SetPhase(v, rng.Intn(2) == 1)
+		}
+		for _, cl := range cnf {
+			s.AddClause(cl...)
+		}
+		if rng.Intn(2) == 1 {
+			s.InvertPhases()
+		}
+		got := s.Solve()
+		want := brute(n, cnf)
+		if (got == Sat) != want {
+			t.Fatalf("trial %d: solver=%v brute=%v (offset=%d)", trial, got, want, s.RestartOffset)
+		}
+	}
+}
+
+// TestRestartOffsetRestartCadence: a deeper schedule start restarts on
+// the longer Luby intervals — the same instance solved with a large
+// offset must not restart more often than with offset zero.
+func TestRestartOffsetRestartCadence(t *testing.T) {
+	build := func(offset int64) *Solver {
+		s := NewSolver()
+		s.RestartOffset = offset
+		n := 6
+		p := make([][]Var, n+1)
+		for i := range p {
+			p[i] = make([]Var, n)
+			for j := range p[i] {
+				p[i][j] = s.NewVar()
+			}
+		}
+		for i := 0; i <= n; i++ {
+			cl := make([]Lit, n)
+			for j := 0; j < n; j++ {
+				cl[j] = PosLit(p[i][j])
+			}
+			s.AddClause(cl...)
+		}
+		for j := 0; j < n; j++ {
+			for i := 0; i <= n; i++ {
+				for k := i + 1; k <= n; k++ {
+					s.AddClause(NegLit(p[i][j]), NegLit(p[k][j]))
+				}
+			}
+		}
+		return s
+	}
+	s0 := build(0)
+	if s0.Solve() != Unsat {
+		t.Fatal("pigeonhole sat?")
+	}
+	s6 := build(20)
+	if s6.Solve() != Unsat {
+		t.Fatal("pigeonhole sat with offset?")
+	}
+	if s6.Stats.Restarts > s0.Stats.Restarts {
+		t.Errorf("offset 20 restarted more often than offset 0: %d > %d",
+			s6.Stats.Restarts, s0.Stats.Restarts)
+	}
+}

@@ -43,6 +43,12 @@ type Solver struct {
 	// unlimited. When the budget is exhausted Solve returns Unknown.
 	MaxConflicts int64
 
+	// RestartOffset starts each Solve call's Luby restart schedule that
+	// many positions into the sequence, so a retry under a remaining
+	// budget begins with a long restart interval instead of replaying
+	// the short early ones. 0 is the standard schedule.
+	RestartOffset int64
+
 	// Statistics, cumulative across Solve calls.
 	Stats struct {
 		Conflicts    int64
@@ -89,6 +95,28 @@ func (s *Solver) Reset() {
 		s.detach(c)
 	}
 	s.learnts = s.learnts[:0]
+}
+
+// SetPhase sets the saved phase of v: the next time the search branches
+// on v it tries value first. Solving overwrites phases as usual (phase
+// saving), so hints steer the early search without constraining it —
+// the classic use is seeding the solver with a near-model counterexample
+// pattern from simulation.
+func (s *Solver) SetPhase(v Var, value bool) {
+	if int(v) < len(s.polarity) {
+		// polarity holds the sign of the decision literal: true decides
+		// the variable false.
+		s.polarity[v] = !value
+	}
+}
+
+// InvertPhases flips every saved phase, sending the next search toward
+// the complementary region of the assignment space — the cheap
+// diversification for a portfolio retry without an external hint.
+func (s *Solver) InvertPhases() {
+	for i := range s.polarity {
+		s.polarity[i] = !s.polarity[i]
+	}
 }
 
 // NewVar creates a fresh variable.
@@ -456,7 +484,7 @@ func (s *Solver) Solve(assumptions ...Lit) Result {
 
 	conflictsAtStart := s.Stats.Conflicts
 	budget := s.MaxConflicts
-	var restartNum int64
+	restartNum := s.RestartOffset
 	learntLimit := len(s.clauses)/3 + 100
 	if len(s.learnts) > learntLimit {
 		// Learnt clauses retained from earlier Solve calls: bound the

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/rtlil"
+)
+
+// Cone is a 64-way bit-parallel evaluator over an extracted sub-graph: a
+// topologically ordered cell slice evaluated into a dense slot-indexed
+// lane buffer instead of a per-assignment map. The SAT-mux oracle uses it
+// two ways — as a random-vector pre-filter in front of the solver and as
+// the sweep engine of the exhaustive-enumeration stage — so it supports
+// two semantics:
+//
+//   - AIG mode (scalarCompat=false) mirrors the AIG mapping exactly
+//     (priority pmux, truncated structural multiply), so a lane that
+//     witnesses a target value is a genuine model of the cone's CNF.
+//   - Scalar-compat mode (scalarCompat=true) mirrors the four-state
+//     EvalCell semantics under defined inputs with x clamped to 0 (the
+//     exhaustive stage's convention): one-hot pmux (multi-hot selects
+//     give 0), value-level multiply/divide zeroed above 64 bits.
+//
+// NewCone rejects cones it cannot evaluate faithfully in the requested
+// mode; callers fall back to their scalar path (or to SAT).
+//
+// Eval runs many rounds per query, so the signal resolution is hoisted
+// into construction: every cell port is compiled to a slot-index plan
+// with a reusable lane buffer (constant bits prefilled), and the
+// per-round work is plain slice traffic — no SigMap lookups, no
+// per-port allocation.
+//
+// A Cone is not safe for concurrent Eval calls (the plan buffers are
+// shared scratch); build one per goroutine.
+type Cone struct {
+	ix     *rtlil.Index
+	slots  map[rtlil.SigBit]int
+	bits   []rtlil.SigBit
+	plans  []conePlan
+	scalar bool
+}
+
+// portPlan compiles one input port: codes[i] is the slot to load lane
+// word i from, or -1 for a constant bit whose lanes are prefilled in buf.
+type portPlan struct {
+	name  string
+	codes []int32
+	buf   []uint64
+}
+
+// conePlan is one cell's compiled evaluation step.
+type conePlan struct {
+	cell *rtlil.Cell
+	in   []portPlan
+	out  []int32 // slot per output bit, -1 for constant bits
+}
+
+// NewCone compiles a lane evaluator for the cells (drivers before
+// readers). It fails on sequential cells and on cells with no faithful
+// lane evaluation in the requested mode ($div outside scalar-compat,
+// shifts with a >64-bit amount in scalar-compat).
+func NewCone(ix *rtlil.Index, order []*rtlil.Cell, scalarCompat bool) (*Cone, error) {
+	c := &Cone{ix: ix, slots: map[rtlil.SigBit]int{}, scalar: scalarCompat}
+	for _, cell := range order {
+		if err := c.checkCell(cell); err != nil {
+			return nil, err
+		}
+		pl := conePlan{cell: cell}
+		for _, port := range rtlil.InputPorts(cell.Type) {
+			sig := c.ix.Map(cell.Port(port))
+			pp := portPlan{
+				name:  port,
+				codes: make([]int32, len(sig)),
+				buf:   make([]uint64, len(sig)),
+			}
+			for i, b := range sig {
+				if b.IsConst() {
+					pp.codes[i] = -1
+					if b.Const == rtlil.S1 {
+						pp.buf[i] = ^uint64(0)
+					}
+					continue
+				}
+				pp.codes[i] = int32(c.slot(b))
+			}
+			pl.in = append(pl.in, pp)
+		}
+		ysig := c.ix.Map(cell.Port(outputPort(cell.Type)))
+		pl.out = make([]int32, len(ysig))
+		for i, b := range ysig {
+			if b.IsConst() {
+				pl.out[i] = -1
+				continue
+			}
+			pl.out[i] = int32(c.slot(b))
+		}
+		c.plans = append(c.plans, pl)
+	}
+	return c, nil
+}
+
+func (c *Cone) slot(b rtlil.SigBit) int {
+	if id, ok := c.slots[b]; ok {
+		return id
+	}
+	id := len(c.bits)
+	c.slots[b] = id
+	c.bits = append(c.bits, b)
+	return id
+}
+
+func (c *Cone) checkCell(cell *rtlil.Cell) error {
+	if rtlil.IsSequential(cell.Type) {
+		return fmt.Errorf("sim: cone contains sequential cell %s", cell.Name)
+	}
+	switch cell.Type {
+	case rtlil.CellNot, rtlil.CellNeg, rtlil.CellReduceAnd, rtlil.CellReduceOr,
+		rtlil.CellReduceXor, rtlil.CellLogicNot, rtlil.CellAnd, rtlil.CellOr,
+		rtlil.CellXor, rtlil.CellXnor, rtlil.CellAdd, rtlil.CellSub,
+		rtlil.CellMul, rtlil.CellEq, rtlil.CellNe, rtlil.CellLt, rtlil.CellLe,
+		rtlil.CellGt, rtlil.CellGe, rtlil.CellLogicAnd, rtlil.CellLogicOr,
+		rtlil.CellMux, rtlil.CellPmux:
+		return nil
+	case rtlil.CellShl, rtlil.CellShr:
+		if c.scalar && len(cell.Port("B")) > 64 {
+			// The scalar evaluator ignores shift-amount bits above 64
+			// (toUint truncation); the barrel decomposition forces zero.
+			return fmt.Errorf("sim: cone cell %s shifts by a >64-bit amount", cell.Name)
+		}
+		return nil
+	case rtlil.CellDiv:
+		if !c.scalar {
+			return fmt.Errorf("sim: cone cell %s ($div) has no AIG-mode lane evaluation", cell.Name)
+		}
+		return nil
+	}
+	return fmt.Errorf("sim: cone cell %s has unsupported type %s", cell.Name, cell.Type)
+}
+
+// NumSlots returns the size of the lane buffer Eval expects.
+func (c *Cone) NumSlots() int { return len(c.bits) }
+
+// Slot returns the buffer index of a bit (canonical or not).
+func (c *Cone) Slot(b rtlil.SigBit) (int, bool) {
+	id, ok := c.slots[c.ix.MapBit(b)]
+	return id, ok
+}
+
+// Bits lists the slotted bits in slot order.
+func (c *Cone) Bits() []rtlil.SigBit { return c.bits }
+
+// Eval evaluates the cone in place: callers fill the slots of the cone's
+// free bits (every slotted bit not driven by a cone cell) with 64-lane
+// input vectors, and Eval overwrites every driven slot. Stale values from
+// an earlier round are dead — each driven slot is written before any
+// cell reads it.
+func (c *Cone) Eval(vals []uint64) {
+	for pi := range c.plans {
+		pl := &c.plans[pi]
+		get := func(name string) []uint64 {
+			for i := range pl.in {
+				pp := &pl.in[i]
+				if pp.name != name {
+					continue
+				}
+				for j, code := range pp.codes {
+					if code >= 0 {
+						pp.buf[j] = vals[code]
+					}
+				}
+				return pp.buf
+			}
+			return nil
+		}
+		var y []uint64
+		if c.scalar {
+			y = evalLanesScalar(pl.cell, get)
+		} else {
+			y = evalLanesPorts(pl.cell, get)
+		}
+		for j, code := range pl.out {
+			if code >= 0 {
+				vals[code] = y[j]
+			}
+		}
+	}
+}
+
+// evalLanesScalar dispatches one cell in scalar-compat semantics: the
+// cells where the structural lane formulas diverge from EvalCell's
+// value-level results (under clamp-x-to-0) are overridden, everything
+// else shares evalLanesPorts.
+func evalLanesScalar(c *rtlil.Cell, port func(string) []uint64) []uint64 {
+	switch c.Type {
+	case rtlil.CellMul, rtlil.CellDiv:
+		yw := len(c.Port("Y"))
+		A := port("A")
+		B := port("B")
+		out := make([]uint64, yw)
+		if len(A) > 64 || len(B) > 64 {
+			return out // EvalCell: all-x above 64 bits, clamped to 0
+		}
+		for lane := uint(0); lane < 64; lane++ {
+			a, b := gatherLane(A, lane), gatherLane(B, lane)
+			var v uint64
+			if c.Type == rtlil.CellMul {
+				v = a * b
+			} else if b != 0 {
+				v = a / b // b==0: all-x, clamped to 0
+			}
+			scatterLane(out, lane, v)
+		}
+		return out
+
+	case rtlil.CellPmux:
+		// One-hot semantics: exactly one select picks its B word, none
+		// passes A through, several is all-x (clamped to 0) — unlike the
+		// ascending-priority lowering of the AIG/parallel path.
+		w := c.Param("WIDTH")
+		sw := c.Param("S_WIDTH")
+		S := port("S")
+		A := resizeLanes(port("A"), w)
+		B := port("B")
+		var any, multi uint64
+		for i := 0; i < sw; i++ {
+			multi |= any & S[i]
+			any |= S[i]
+		}
+		out := make([]uint64, w)
+		for k := 0; k < w; k++ {
+			v := ^any & A[k]
+			for i := 0; i < sw; i++ {
+				v |= S[i] &^ multi & B[i*w+k]
+			}
+			out[k] = v
+		}
+		return out
+	}
+	return evalLanesPorts(c, port)
+}
+
+// gatherLane reassembles the value of one lane from a lane-vector word
+// slice (callers guarantee len(v) <= 64).
+func gatherLane(v []uint64, lane uint) uint64 {
+	var r uint64
+	for i, w := range v {
+		r |= ((w >> lane) & 1) << uint(i)
+	}
+	return r
+}
+
+// scatterLane spreads a value's bits back into one lane of out; bits at
+// or above 64 stay 0, matching fromUint.
+func scatterLane(out []uint64, lane uint, v uint64) {
+	n := len(out)
+	if n > 64 {
+		n = 64
+	}
+	for i := 0; i < n; i++ {
+		out[i] |= ((v >> uint(i)) & 1) << lane
+	}
+}

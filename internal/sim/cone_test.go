@@ -1,0 +1,351 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rtlil"
+)
+
+// buildConeModule extends buildRandomModule's cell mix with the shapes
+// only the cone evaluator handles specially: $div, free-select $pmux
+// (possibly multi-hot), and variable shifts.
+func buildConeModule(rng *rand.Rand, nOps int) *rtlil.Module {
+	m := rtlil.NewModule("cone")
+	var sigs []rtlil.SigSpec
+	for i := 0; i < 4; i++ {
+		sigs = append(sigs, m.AddInput(inName(i), 1+rng.Intn(6)).Bits())
+	}
+	pick := func() rtlil.SigSpec { return sigs[rng.Intn(len(sigs))] }
+	cellN := 0
+	newY := func(w int) rtlil.SigSpec {
+		cellN++
+		return m.NewWire(w).Bits()
+	}
+	for i := 0; i < nOps; i++ {
+		var y rtlil.SigSpec
+		switch rng.Intn(8) {
+		case 0:
+			y = m.Not(pick())
+		case 1:
+			y = m.And(pick(), pick())
+		case 2:
+			y = m.AddOp(pick(), pick())
+		case 3:
+			y = m.MulOp(pick(), pick())
+		case 4:
+			a, b := pick(), pick()
+			y = newY(len(a))
+			m.AddBinary(rtlil.CellDiv, fmt.Sprintf("div%d", cellN), a, b, y)
+		case 5:
+			// Free (possibly multi-hot) selects: four-state gives all-x
+			// on overlap, the clamped convention gives 0.
+			a := pick()
+			b := []rtlil.SigSpec{pick().Resize(len(a), false), pick().Resize(len(a), false)}
+			s := rtlil.Concat(pick().Extract(0, 1), pick().Extract(0, 1))
+			y = m.Pmux(a, b, s)
+		case 6:
+			y = m.Shl(pick(), pick().Resize(3, false))
+		case 7:
+			y = m.Shr(pick(), pick().Resize(3, false))
+		}
+		sigs = append(sigs, y)
+	}
+	out := m.AddOutput("out", len(sigs[len(sigs)-1]))
+	m.Connect(out.Bits(), sigs[len(sigs)-1])
+	return m
+}
+
+// evalClampedScalar is the reference for the cone's scalar-compat mode:
+// cell-at-a-time four-state evaluation with every non-boolean output bit
+// clamped to 0, exactly the SAT-mux exhaustive stage's convention.
+func evalClampedScalar(t *testing.T, ix *rtlil.Index, order []*rtlil.Cell, vals map[rtlil.SigBit]rtlil.State) {
+	t.Helper()
+	get := func(b rtlil.SigBit) rtlil.State {
+		b = ix.MapBit(b)
+		if b.IsConst() {
+			if b.Const == rtlil.S1 {
+				return rtlil.S1
+			}
+			return rtlil.S0
+		}
+		if v, ok := vals[b]; ok {
+			return v
+		}
+		return rtlil.S0
+	}
+	for _, c := range order {
+		in := map[string][]rtlil.State{}
+		for _, p := range rtlil.InputPorts(c.Type) {
+			sig := c.Port(p)
+			v := make([]rtlil.State, len(sig))
+			for i, b := range sig {
+				v[i] = get(b)
+			}
+			in[p] = v
+		}
+		out, err := EvalCell(c, in)
+		if err != nil {
+			t.Fatalf("EvalCell(%s): %v", c.Name, err)
+		}
+		for i, b := range ix.Map(c.Port(rtlil.OutputPorts(c.Type)[0])) {
+			if b.IsConst() {
+				continue
+			}
+			v := out[i]
+			if v != rtlil.S0 && v != rtlil.S1 {
+				v = rtlil.S0
+			}
+			vals[b] = v
+		}
+	}
+}
+
+// coneFreeSlots fills vals with rng lane vectors for every slot not
+// driven by a cone cell and returns the free-bit map for the references.
+func coneFreeSlots(cone *Cone, ix *rtlil.Index, order []*rtlil.Cell, rng *rand.Rand, vals []uint64) map[rtlil.SigBit]uint64 {
+	driven := map[rtlil.SigBit]bool{}
+	for _, c := range order {
+		for _, b := range ix.Map(c.Port(outputPort(c.Type))) {
+			driven[b] = true
+		}
+	}
+	free := map[rtlil.SigBit]uint64{}
+	for slot, b := range cone.Bits() {
+		if driven[b] {
+			continue
+		}
+		v := rng.Uint64()
+		vals[slot] = v
+		free[b] = v
+	}
+	return free
+}
+
+func diffConeScalar(t *testing.T, m *rtlil.Module, rng *rand.Rand) {
+	t.Helper()
+	ix := rtlil.NewIndex(m)
+	order, err := rtlil.TopoSort(m)
+	if err != nil {
+		t.Fatalf("topo: %v", err)
+	}
+	cone, err := NewCone(ix, order, true)
+	if err != nil {
+		t.Skipf("cone rejected: %v", err)
+	}
+	vals := make([]uint64, cone.NumSlots())
+	free := coneFreeSlots(cone, ix, order, rng, vals)
+	cone.Eval(vals)
+
+	for _, lane := range []uint{0, 7, 33, 63} {
+		ref := map[rtlil.SigBit]rtlil.State{}
+		for b, v := range free {
+			ref[b] = rtlil.BoolState((v>>lane)&1 == 1)
+		}
+		evalClampedScalar(t, ix, order, ref)
+		for slot, b := range cone.Bits() {
+			want := ref[b]
+			if _, ok := ref[b]; !ok {
+				want = rtlil.S0
+			}
+			got := rtlil.BoolState((vals[slot]>>lane)&1 == 1)
+			if got != want {
+				t.Fatalf("lane %d slot %d (%v): cone=%s scalar=%s", lane, slot, b, got, want)
+			}
+		}
+	}
+}
+
+// FuzzSimDifferential cross-checks the compiled cone evaluator against
+// the per-cell four-state reference (clamped convention) on random
+// combinational modules covering every supported cell type, and the
+// AIG-mode cone against the Parallel simulator where the module has an
+// AIG-mode evaluation.
+func FuzzSimDifferential(f *testing.F) {
+	f.Add(int64(1), uint8(8))
+	f.Add(int64(42), uint8(14))
+	f.Add(int64(977), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, nOps uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		m := buildConeModule(rng, 2+int(nOps)%16)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("invalid module: %v", err)
+		}
+		diffConeScalar(t, m, rng)
+		diffConeAIG(t, m, rng)
+	})
+}
+
+// diffConeAIG compares the AIG-mode cone against Parallel.Run — an
+// independent signal-resolution path over the same lane formulas, so it
+// pins the slot-plan compilation rather than the cell semantics.
+func diffConeAIG(t *testing.T, m *rtlil.Module, rng *rand.Rand) {
+	t.Helper()
+	ix := rtlil.NewIndex(m)
+	order, err := rtlil.TopoSort(m)
+	if err != nil {
+		t.Fatalf("topo: %v", err)
+	}
+	cone, err := NewCone(ix, order, false)
+	if err != nil {
+		return // $div cones have no AIG-mode evaluation
+	}
+	vals := make([]uint64, cone.NumSlots())
+	free := coneFreeSlots(cone, ix, order, rng, vals)
+	cone.Eval(vals)
+
+	ps, err := NewParallel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres := ps.Run(free)
+	for slot, b := range cone.Bits() {
+		if want, ok := pres[b]; ok && want != vals[slot] {
+			t.Fatalf("slot %d (%v): cone=%x parallel=%x", slot, b, vals[slot], want)
+		}
+	}
+}
+
+func TestConeDifferentialSeeds(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		m := buildConeModule(rng, 2+rng.Intn(14))
+		diffConeScalar(t, m, rng)
+		diffConeAIG(t, m, rng)
+	}
+}
+
+func TestConeRejectsSequential(t *testing.T) {
+	m := rtlil.NewModule("t")
+	clk := m.AddInput("clk", 1).Bits()
+	d := m.AddInput("d", 1).Bits()
+	q := m.NewWire(1)
+	m.AddDff("ff", clk, d, q.Bits())
+	order, err := rtlil.TopoSort(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCone(rtlil.NewIndex(m), order, false); err == nil {
+		t.Fatal("cone accepted a sequential cell")
+	}
+}
+
+func TestConeDivModeGate(t *testing.T) {
+	m := rtlil.NewModule("t")
+	a := m.AddInput("a", 4).Bits()
+	b := m.AddInput("b", 4).Bits()
+	y := m.AddOutput("y", 4)
+	m.AddBinary(rtlil.CellDiv, "div", a, b, y.Bits())
+	order, err := rtlil.TopoSort(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := rtlil.NewIndex(m)
+	if _, err := NewCone(ix, order, false); err == nil {
+		t.Fatal("AIG-mode cone accepted $div")
+	}
+	if _, err := NewCone(ix, order, true); err != nil {
+		t.Fatalf("scalar-compat cone rejected $div: %v", err)
+	}
+}
+
+func TestConeWideShiftAmountGate(t *testing.T) {
+	m := rtlil.NewModule("t")
+	a := m.AddInput("a", 8).Bits()
+	b := m.AddInput("b", 70).Bits()
+	y := m.AddOutput("y", 8)
+	m.AddBinary(rtlil.CellShl, "sh", a, b, y.Bits())
+	order, err := rtlil.TopoSort(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := rtlil.NewIndex(m)
+	if _, err := NewCone(ix, order, true); err == nil {
+		t.Fatal("scalar-compat cone accepted a 70-bit shift amount")
+	}
+	if _, err := NewCone(ix, order, false); err != nil {
+		t.Fatalf("AIG-mode cone rejected wide shift amount: %v", err)
+	}
+}
+
+// TestConeConstLanes: constant port bits are prefilled in the plan
+// buffers, not read from slots.
+func TestConeConstLanes(t *testing.T) {
+	m := rtlil.NewModule("t")
+	a := m.AddInput("a", 1).Bits()
+	y := m.AddOutput("y", 2)
+	one := rtlil.Const(1, 1)
+	m.AddBinary(rtlil.CellAnd, "g", rtlil.Concat(a, one), rtlil.Const(3, 2), y.Bits())
+	order, err := rtlil.TopoSort(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := rtlil.NewIndex(m)
+	cone, err := NewCone(ix, order, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]uint64, cone.NumSlots())
+	aSlot, ok := cone.Slot(a[0])
+	if !ok {
+		t.Fatal("input bit has no slot")
+	}
+	vals[aSlot] = 0xF0F0F0F0F0F0F0F0
+	cone.Eval(vals)
+	y0, _ := cone.Slot(ix.MapBit(y.Bit(0)))
+	y1, _ := cone.Slot(ix.MapBit(y.Bit(1)))
+	if vals[y0] != 0xF0F0F0F0F0F0F0F0 {
+		t.Errorf("y[0] = %x", vals[y0])
+	}
+	if vals[y1] != ^uint64(0) {
+		t.Errorf("y[1] = %x, want all-ones", vals[y1])
+	}
+}
+
+// TestConeEvalReusableAcrossRounds: a second Eval with different inputs
+// must not see stale state from the first (plan buffers are reused).
+func TestConeEvalReusableAcrossRounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := buildConeModule(rng, 10)
+	ix := rtlil.NewIndex(m)
+	order, err := rtlil.TopoSort(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cone, err := NewCone(ix, order, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1 with one input set, round 2 with another, then re-run
+	// round 2's inputs on a fresh cone: results must match.
+	vals := make([]uint64, cone.NumSlots())
+	coneFreeSlots(cone, ix, order, rng, vals)
+	cone.Eval(vals)
+
+	vals2 := make([]uint64, cone.NumSlots())
+	free2 := coneFreeSlots(cone, ix, order, rng, vals2)
+	reused := append([]uint64(nil), vals2...)
+	cone.Eval(reused)
+
+	fresh, err := NewCone(ix, order, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fvals := make([]uint64, fresh.NumSlots())
+	for b, v := range free2 {
+		slot, ok := fresh.Slot(b)
+		if !ok {
+			t.Fatalf("bit %v lost its slot", b)
+		}
+		fvals[slot] = v
+	}
+	fresh.Eval(fvals)
+	for slot := range fvals {
+		b := cone.Bits()[slot]
+		fslot, _ := fresh.Slot(b)
+		if reused[slot] != fvals[fslot] {
+			t.Fatalf("slot %d (%v): reused cone %x, fresh cone %x", slot, b, reused[slot], fvals[fslot])
+		}
+	}
+}

@@ -110,12 +110,21 @@ func resizeLanes(v []uint64, width int) []uint64 {
 }
 
 func evalLanes(c *rtlil.Cell, lanes func(rtlil.SigSpec) []uint64) []uint64 {
+	return evalLanesPorts(c, func(name string) []uint64 {
+		if sig := c.Port(name); sig != nil {
+			return lanes(sig)
+		}
+		return nil
+	})
+}
+
+// evalLanesPorts is the port-name-indexed core of evalLanes: Cone
+// resolves ports through precomputed slot plans instead of SigSpec
+// lookups, so the dispatch must not touch c.Conn on the hot path.
+func evalLanesPorts(c *rtlil.Cell, port func(string) []uint64) []uint64 {
 	yw := len(c.Port("Y"))
-	A := lanes(c.Port("A"))
-	var B []uint64
-	if b := c.Port("B"); b != nil {
-		B = lanes(b)
-	}
+	A := port("A")
+	B := port("B")
 	switch c.Type {
 	case rtlil.CellNot:
 		a := resizeLanes(A, yw)
@@ -275,13 +284,16 @@ func evalLanes(c *rtlil.Cell, lanes func(rtlil.SigSpec) []uint64) []uint64 {
 			}
 			cur = next
 		}
-		for i := range cur {
-			cur[i] &^= overflow
+		// Write a fresh slice: cur may still alias the caller's A
+		// buffer (zero select bits), which must not be mutated.
+		out := make([]uint64, yw)
+		for i := range out {
+			out[i] = cur[i] &^ overflow
 		}
-		return cur
+		return out
 
 	case rtlil.CellMux:
-		s := lanes(c.Port("S"))[0]
+		s := port("S")[0]
 		a, b := resizeLanes(A, yw), resizeLanes(B, yw)
 		out := make([]uint64, yw)
 		for i := range out {
@@ -292,7 +304,7 @@ func evalLanes(c *rtlil.Cell, lanes func(rtlil.SigSpec) []uint64) []uint64 {
 	case rtlil.CellPmux:
 		w := c.Param("WIDTH")
 		sw := c.Param("S_WIDTH")
-		s := lanes(c.Port("S"))
+		s := port("S")
 		cur := resizeLanes(A, w)
 		for i := 0; i < sw; i++ {
 			word := B[i*w : (i+1)*w]

@@ -1,0 +1,210 @@
+package subgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rtlil"
+)
+
+// buildGraphModule grows a random mixed combinational/sequential module:
+// multi-bit arithmetic, muxes, pmuxes, reduction gates and occasional
+// flop barriers, so the adjacency build sees every port shape Extract
+// walks.
+func buildGraphModule(rng *rand.Rand, nOps int) *rtlil.Module {
+	m := rtlil.NewModule("m")
+	clk := m.AddInput("clk", 1).Bits()
+	var sigs []rtlil.SigSpec
+	for i := 0; i < 4; i++ {
+		sigs = append(sigs, m.AddInput(fmt.Sprintf("in%d", i), 1+rng.Intn(4)).Bits())
+	}
+	pick := func() rtlil.SigSpec { return sigs[rng.Intn(len(sigs))] }
+	for i := 0; i < nOps; i++ {
+		a, b := pick(), pick()
+		var y rtlil.SigSpec
+		switch rng.Intn(8) {
+		case 0:
+			y = m.Not(a)
+		case 1:
+			y = m.And(a, b)
+		case 2:
+			y = m.AddOp(a, b)
+		case 3:
+			y = m.Mux(a, b.Resize(len(a), false), pick().Resize(1, false))
+		case 4:
+			n := 1 + rng.Intn(2)
+			var branches []rtlil.SigSpec
+			for j := 0; j < n; j++ {
+				branches = append(branches, pick().Resize(len(a), false))
+			}
+			y = m.Pmux(a, branches, pick().Resize(n, false))
+		case 5:
+			y = m.ReduceOr(a)
+		case 6:
+			y = m.Eq(a, b.Resize(len(a), false))
+		default:
+			q := m.NewWire(len(a))
+			m.AddDff(fmt.Sprintf("ff%d", i), clk, a, q.Bits())
+			y = q.Bits()
+		}
+		sigs = append(sigs, y)
+	}
+	out := m.AddOutput("y", len(sigs[len(sigs)-1]))
+	m.Connect(out.Bits(), sigs[len(sigs)-1])
+	return m
+}
+
+// collectBits gathers every non-const mapped bit in the module, the pool
+// targets and knowns are drawn from.
+func collectBits(ix *rtlil.Index) []rtlil.SigBit {
+	var bits []rtlil.SigBit
+	seen := map[rtlil.SigBit]bool{}
+	for _, c := range ix.Module().Cells() {
+		for _, port := range rtlil.OutputPorts(c.Type) {
+			for _, b := range ix.Map(c.Port(port)) {
+				if !b.IsConst() && !seen[b] {
+					seen[b] = true
+					bits = append(bits, b)
+				}
+			}
+		}
+	}
+	return bits
+}
+
+func diffResults(t *testing.T, trial int, want, got *Result) {
+	t.Helper()
+	if want.CandidateCells != got.CandidateCells {
+		t.Fatalf("trial %d: candidates %d != %d", trial, got.CandidateCells, want.CandidateCells)
+	}
+	if len(want.Cells) != len(got.Cells) {
+		t.Fatalf("trial %d: kept %d cells, want %d", trial, len(got.Cells), len(want.Cells))
+	}
+	for i := range want.Cells {
+		if want.Cells[i] != got.Cells[i] {
+			t.Fatalf("trial %d: cell %d is %s, want %s", trial, i, got.Cells[i].Name, want.Cells[i].Name)
+		}
+	}
+	if len(want.Inputs) != len(got.Inputs) {
+		t.Fatalf("trial %d: %d inputs, want %d (%v vs %v)", trial, len(got.Inputs), len(want.Inputs), got.Inputs, want.Inputs)
+	}
+	for i := range want.Inputs {
+		if want.Inputs[i] != got.Inputs[i] {
+			t.Fatalf("trial %d: input %d is %v, want %v", trial, i, got.Inputs[i], want.Inputs[i])
+		}
+	}
+}
+
+// TestGraphExtractMatchesExtract pins the precomputed-adjacency fast
+// path to the reference walk bit for bit — same kept cells in the same
+// order, same free inputs, same candidate count — across random
+// modules, targets, known sets and option corners (tight MaxCells caps,
+// shallow depths, filter off). The oracle's netlist determinism
+// contract rides on this equivalence.
+func TestGraphExtractMatchesExtract(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		m := buildGraphModule(rng, 4+rng.Intn(24))
+		ix := rtlil.NewIndex(m)
+		g := NewGraph(ix)
+		bits := collectBits(ix)
+		if len(bits) == 0 {
+			continue
+		}
+		for q := 0; q < 8; q++ {
+			target := bits[rng.Intn(len(bits))]
+			var knowns []rtlil.SigBit
+			for k := rng.Intn(4); k > 0; k-- {
+				knowns = append(knowns, bits[rng.Intn(len(bits))])
+			}
+			opt := Options{
+				Depth:         1 + rng.Intn(8),
+				MaxCells:      1 + rng.Intn(12),
+				DisableFilter: rng.Intn(3) == 0,
+			}
+			if rng.Intn(4) == 0 {
+				opt.MaxCells = 300
+			}
+			want := Extract(ix, target, knowns, opt)
+			got := g.Extract(target, knowns, opt)
+			diffResults(t, trial, want, got)
+		}
+	}
+}
+
+// TestGraphExtractTracksCellRemoval pins the staleness contract: the
+// mux walk removes cells from the module while the oracle's frozen
+// index is live, and a removed cell must vanish from the candidate set
+// of both implementations identically.
+func TestGraphExtractTracksCellRemoval(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 20; trial++ {
+		m := buildGraphModule(rng, 10+rng.Intn(20))
+		ix := rtlil.NewIndex(m)
+		g := NewGraph(ix)
+		bits := collectBits(ix)
+		if len(bits) == 0 {
+			continue
+		}
+		// Remove a few random cells AFTER the graph build, as the walk
+		// does mid-iteration.
+		cells := m.Cells()
+		for k := 0; k < 3 && len(cells) > 1; k++ {
+			m.RemoveCell(cells[rng.Intn(len(cells))])
+			cells = m.Cells()
+		}
+		for q := 0; q < 8; q++ {
+			target := bits[rng.Intn(len(bits))]
+			var knowns []rtlil.SigBit
+			for k := rng.Intn(3); k > 0; k-- {
+				knowns = append(knowns, bits[rng.Intn(len(bits))])
+			}
+			want := Extract(ix, target, knowns, Options{})
+			got := g.Extract(target, knowns, Options{})
+			diffResults(t, trial, want, got)
+		}
+	}
+}
+
+// TestGraphExtractConcurrent exercises shared-Graph extraction from
+// many goroutines (the batch oracle's worker fan-out) under -race, and
+// re-checks the results against the reference walk.
+func TestGraphExtractConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := buildGraphModule(rng, 30)
+	ix := rtlil.NewIndex(m)
+	g := NewGraph(ix)
+	bits := collectBits(ix)
+	if len(bits) == 0 {
+		t.Skip("no bits")
+	}
+	type query struct {
+		target rtlil.SigBit
+		knowns []rtlil.SigBit
+	}
+	queries := make([]query, 64)
+	for i := range queries {
+		queries[i].target = bits[rng.Intn(len(bits))]
+		for k := rng.Intn(3); k > 0; k-- {
+			queries[i].knowns = append(queries[i].knowns, bits[rng.Intn(len(bits))])
+		}
+	}
+	results := make([]*Result, len(queries))
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := w; i < len(queries); i += 8 {
+				results[i] = g.Extract(queries[i].target, queries[i].knowns, Options{})
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	for i, q := range queries {
+		want := Extract(ix, q.target, q.knowns, Options{})
+		diffResults(t, i, want, results[i])
+	}
+}
