@@ -5,7 +5,7 @@
 // Usage:
 //
 //	smartly-bench [-scale 1.0] [-table 2|3|all] [-industrial n] [-j n] [-check] [-v]
-//	              [-json] [-server] [-design n] [-sat] [-flow name|name=script]...
+//	              [-json] [-server] [-design n] [-sat] [-egraph] [-flow name|name=script]...
 //
 // Scale 1.0 runs the calibrated case sizes (minutes); smaller scales
 // reproduce the table shape faster. The paper's absolute circuit sizes
@@ -56,6 +56,7 @@ type benchConfig struct {
 	server     bool
 	design     int
 	sat        bool
+	egraph     bool
 	flows      []string
 }
 
@@ -71,6 +72,7 @@ func main() {
 	flag.BoolVar(&cfg.server, "server", false, "also measure serving-layer cold vs warm cache latency (in-process smartlyd)")
 	flag.IntVar(&cfg.design, "design", 0, "also measure design-mode sharding cold/warm/incremental latency on an n-module design (0 = off)")
 	flag.BoolVar(&cfg.sat, "sat", false, "also measure the incremental SAT oracle (counters + wall-clock vs the sim_filter=false ablation and the per-query-solver oracle) on the sat and full flows")
+	flag.BoolVar(&cfg.egraph, "egraph", false, "also measure verified e-graph rewriting on the datapath benchmark set (yosys vs pre-egraph full vs datapath vs full)")
 	var flows flowList
 	flag.Var(&flows, "flow", "flow to measure: a named flow or name=script (repeatable; default: the paper's four pipelines)")
 	flag.Parse()
@@ -148,12 +150,21 @@ func runBench(cfg benchConfig, out io.Writer) error {
 		}
 		satBench = &sb
 	}
+	var egraphBench *harness.EgraphBench
+	if cfg.egraph {
+		eb, err := harness.RunEgraphBench(cfg.scale)
+		if err != nil {
+			return err
+		}
+		egraphBench = &eb
+	}
 
 	if cfg.jsonOut {
 		rep := harness.NewBenchReport(cfg.scale, opts.Flows, results, points, time.Since(start))
 		rep.Server = serverBench
 		rep.Design = designBench
 		rep.Sat = satBench
+		rep.Egraph = egraphBench
 		return rep.WriteJSON(out)
 	}
 	if results != nil {
@@ -180,6 +191,9 @@ func runBench(cfg benchConfig, out io.Writer) error {
 	}
 	if satBench != nil {
 		fmt.Fprintln(out, satBench.String())
+	}
+	if egraphBench != nil {
+		fmt.Fprintln(out, egraphBench.String())
 	}
 	return nil
 }

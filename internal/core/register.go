@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/egraph"
 	"repro/internal/opt"
 )
 
@@ -61,6 +62,24 @@ func rebuildOptionsFromArgs(a opt.Args) RebuildOptions {
 	}
 }
 
+var egraphOptionSpecs = []opt.OptionSpec{
+	{Key: "iters", Kind: opt.KindInt, Positive: true, Default: "8", Help: "equality-saturation iteration budget"},
+	{Key: "node_limit", Kind: opt.KindInt, Positive: true, Default: "20000", Help: "e-graph size budget in nodes"},
+	{Key: "rules", Kind: opt.KindString, Default: "all", Help: "rule groups: all, or a '+'-joined subset of arith, bitwise, shift, cmp, fold"},
+	{Key: "verify", Kind: opt.KindBool, Default: "true", Help: "prove every rewritten cone with the cec miter before applying it"},
+	{Key: "verify_conflicts", Kind: opt.KindInt64, Positive: true, Default: "100000", Help: "SAT conflict budget per proof; a blowout rejects the extraction"},
+}
+
+func egraphOptionsFromArgs(a opt.Args) egraph.Options {
+	return egraph.Options{
+		Iters:           a.Int("iters", 0),
+		NodeLimit:       a.Int("node_limit", 0),
+		Rules:           a.Str("rules", ""),
+		DisableVerify:   !a.Bool("verify", true),
+		VerifyConflicts: a.Int64("verify_conflicts", 0),
+	}
+}
+
 // The smaRTLy passes and the paper's named pipelines, exposed to the
 // flow registry. The named flows compile to exactly the pass structures
 // of PipelineYosys/PipelineSAT/PipelineRebuild/PipelineFull, so legacy
@@ -94,8 +113,18 @@ func init() {
 		},
 	})
 
+	opt.Register(opt.PassSpec{
+		Name:    "opt_egraph",
+		Summary: "verified e-graph datapath rewriting (equality saturation + CEC)",
+		Options: egraphOptionSpecs,
+		Build: func(a opt.Args) (opt.Pass, error) {
+			return &egraph.Pass{Opts: egraphOptionsFromArgs(a)}, nil
+		},
+	})
+
 	opt.RegisterFlow("yosys", "fixpoint { opt_expr; opt_muxtree; opt_clean }")
 	opt.RegisterFlow("sat", "fixpoint { opt_expr; satmux; opt_clean }")
 	opt.RegisterFlow("rebuild", "fixpoint { opt_expr; opt_muxtree; rebuild; opt_clean }")
-	opt.RegisterFlow("full", "fixpoint { opt_expr; smartly; opt_clean }")
+	opt.RegisterFlow("datapath", "fixpoint { opt_expr; opt_egraph; opt_clean }")
+	opt.RegisterFlow("full", "fixpoint { opt_expr; smartly; opt_egraph; opt_clean }")
 }

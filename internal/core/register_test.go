@@ -5,12 +5,13 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/egraph"
 	"repro/internal/opt"
 	"repro/internal/rtlil"
 )
 
 func TestSmartlyPassesRegistered(t *testing.T) {
-	for _, name := range []string{"satmux", "rebuild", "smartly"} {
+	for _, name := range []string{"satmux", "rebuild", "smartly", "opt_egraph"} {
 		spec, ok := opt.LookupPass(name)
 		if !ok {
 			t.Fatalf("pass %s not registered", name)
@@ -55,6 +56,19 @@ func TestScriptOptionsReachTypedOptions(t *testing.T) {
 	if sp.RebuildOpts.MaxPatterns != 7 || sp.SatOpts.MaxConflicts != 9 {
 		t.Errorf("smartly opts = %+v / %+v", sp.SatOpts, sp.RebuildOpts)
 	}
+
+	f, err = opt.ParseFlow("opt_egraph(iters=3, rules=arith+fold, verify=false, verify_conflicts=7)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passes, err = f.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	eg := passes[0].(*egraph.Pass)
+	want2 := egraph.Options{Iters: 3, Rules: "arith+fold", DisableVerify: true, VerifyConflicts: 7}
+	if eg.Opts != want2 {
+		t.Errorf("opt_egraph opts = %+v, want %+v", eg.Opts, want2)
+	}
 }
 
 func TestUnknownScriptOptionRejected(t *testing.T) {
@@ -73,6 +87,7 @@ func TestZeroBudgetRejected(t *testing.T) {
 	for _, script := range []string{
 		"satmux(conflicts=0)", "satmux(cells=0)", "satmux(depth=-1)",
 		"rebuild(patterns=0)", "smartly(selector_bits=0)",
+		"opt_egraph(iters=0)", "opt_egraph(verify_conflicts=0)",
 	} {
 		if _, err := opt.ParseFlow(script); err == nil {
 			t.Errorf("ParseFlow(%q) accepted an explicit zero/negative budget", script)
@@ -85,13 +100,14 @@ func TestZeroBudgetRejected(t *testing.T) {
 // with identical counters.
 func TestNamedFlowsMatchLegacyPipelines(t *testing.T) {
 	legacy := map[string]func() opt.Pass{
-		"yosys":   func() opt.Pass { return PipelineYosys() },
-		"sat":     func() opt.Pass { return PipelineSAT(SatMuxOptions{}) },
-		"rebuild": func() opt.Pass { return PipelineRebuild(RebuildOptions{}) },
-		"full":    func() opt.Pass { return PipelineFull(SatMuxOptions{}, RebuildOptions{}) },
+		"yosys":    func() opt.Pass { return PipelineYosys() },
+		"sat":      func() opt.Pass { return PipelineSAT(SatMuxOptions{}) },
+		"rebuild":  func() opt.Pass { return PipelineRebuild(RebuildOptions{}) },
+		"datapath": func() opt.Pass { return PipelineDatapath(egraph.Options{}) },
+		"full":     func() opt.Pass { return PipelineFull(SatMuxOptions{}, RebuildOptions{}) },
 	}
 	if got := opt.FlowNames(); len(got) != len(legacy) {
-		t.Fatalf("FlowNames = %v, want the four paper pipelines", got)
+		t.Fatalf("FlowNames = %v, want the paper pipelines plus datapath", got)
 	}
 	build := func() *rtlil.Module {
 		m := buildFigure3()

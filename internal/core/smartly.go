@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/egraph"
 	"repro/internal/opt"
 	"repro/internal/rtlil"
 )
@@ -64,7 +65,16 @@ func PipelineRebuild(o RebuildOptions) opt.Pass {
 	return opt.Fixpoint(0, opt.ExprPass{}, opt.MuxtreePass{}, &RebuildPass{Opts: o}, opt.CleanPass{})
 }
 
-// PipelineFull runs the complete smaRTLy (Table II / Table III "Full").
+// PipelineDatapath runs only the verified e-graph datapath rewriting:
+// opt_expr; opt_egraph; opt_clean. It targets arithmetic sharing the
+// muxtree-centric passes never see.
+func PipelineDatapath(eo egraph.Options) opt.Pass {
+	return opt.Fixpoint(0, opt.ExprPass{}, &egraph.Pass{Opts: eo}, opt.CleanPass{})
+}
+
+// PipelineFull runs the complete smaRTLy (Table II / Table III "Full")
+// plus the verified e-graph datapath stage, which shares and simplifies
+// the word-level arithmetic the muxtree passes leave untouched.
 func PipelineFull(so SatMuxOptions, ro RebuildOptions) opt.Pass {
-	return opt.Fixpoint(0, opt.ExprPass{}, &SmartlyPass{SatOpts: so, RebuildOpts: ro}, opt.CleanPass{})
+	return opt.Fixpoint(0, opt.ExprPass{}, &SmartlyPass{SatOpts: so, RebuildOpts: ro}, &egraph.Pass{}, opt.CleanPass{})
 }

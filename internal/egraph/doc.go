@@ -1,0 +1,28 @@
+// Package egraph implements verified e-graph rewriting over the
+// word-level datapath cells of an rtlil module — the ROVER recipe
+// ("RTL Optimization via Verified E-Graph Rewriting") adapted to this
+// repository's cell library and area metric.
+//
+// The pipeline is: ingest the module's datapath region (arithmetic,
+// bitwise, shift and comparison cells) into an e-graph whose e-nodes
+// carry cell type, result width and signedness; saturate it under a
+// rule library of datapath identities (commutativity, associativity,
+// distributivity, shift/multiply exchanges for power-of-two constants,
+// constant folding, self-cancellation, comparison canonicalization)
+// with iteration and node budgets; extract the cheapest representative
+// of every needed class under the AIG area cost model; and only then
+// rewrite the module — after every changed output cone has been proved
+// equivalent to the original by the internal/cec miter. A failed proof
+// rejects the whole extraction: the pass never ships an unverified
+// netlist.
+//
+// Widths follow the repository's canonical two-valued semantics (the
+// AIG lowering in internal/aig): operands of arithmetic and bitwise
+// cells are zero-extended or truncated to the result width, comparisons
+// operate at the wider operand width, shifts resize only the shifted
+// operand. The e-graph models those adaptations with an explicit
+// resize e-node so rewrites stay sound across mixed-width netlists.
+// $div is deliberately opaque: it has no AIG lowering, so it is
+// hash-consed (identical-operand cells may merge via CSE) but no rule
+// rewrites through it and the cost model prices it heuristically.
+package egraph

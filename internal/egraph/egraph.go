@@ -1,0 +1,305 @@
+package egraph
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/rtlil"
+)
+
+// ClassID identifies an e-class. IDs are dense and allocation-ordered;
+// after unions an ID must be resolved with Find before use.
+type ClassID int32
+
+// Op is the operator of an e-node: a cell type from the rtlil library
+// (as a string, e.g. "$add") or one of the internal operators below.
+type Op string
+
+// Internal operators that have no cell-library counterpart.
+const (
+	// OpLeaf is an opaque signal the e-graph does not look through:
+	// module inputs, mux/dff outputs, sliced or mixed signals, and
+	// constants it cannot fold (x bits, width > 64).
+	OpLeaf Op = "leaf"
+	// OpConst is a fully defined constant of width <= 64.
+	OpConst Op = "const"
+	// OpResize zero-extends or truncates its child to Width — the
+	// operand adaptation the cell lowerings perform implicitly
+	// (internal/aig resizeLits). It is pure wiring when emitted.
+	OpResize Op = "resize"
+)
+
+// Node is one e-node: an operator applied to e-class children. Equal
+// nodes (same signature after canonicalizing the children) are
+// hash-consed into the same e-class.
+type Node struct {
+	Op Op
+	// Width is the result width, except for comparison operators where
+	// it is the shared operand width (their result is always 1 bit —
+	// see valueWidth).
+	Width int
+	// Signed is part of the node signature for forward compatibility;
+	// the current cell library is entirely unsigned, so it is always
+	// false today and no rule may assume otherwise.
+	Signed bool
+	Kids   []ClassID
+	// Val is the OpConst payload.
+	Val uint64
+	// Leaf is the canonical-signal key of an OpLeaf node; Sig is the
+	// signal itself, kept for emission.
+	Leaf string
+	Sig  rtlil.SigSpec
+}
+
+// valueWidth is the width of the value the node produces: 1 for
+// comparisons, Width for everything else.
+func (n Node) valueWidth() int {
+	if rtlil.IsCompare(rtlil.CellType(n.Op)) {
+		return 1
+	}
+	return n.Width
+}
+
+// key renders the node's hash-cons signature. Children must already be
+// canonical.
+func (n Node) key() string {
+	var b strings.Builder
+	b.WriteString(string(n.Op))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(n.Width))
+	if n.Signed {
+		b.WriteString("|s")
+	}
+	switch n.Op {
+	case OpConst:
+		b.WriteByte('#')
+		b.WriteString(strconv.FormatUint(n.Val, 16))
+	case OpLeaf:
+		b.WriteByte('@')
+		b.WriteString(n.Leaf)
+	}
+	for _, k := range n.Kids {
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(int(k)))
+	}
+	return b.String()
+}
+
+// Class is one e-class: a set of equivalent nodes plus the parent nodes
+// that reference it (for congruence repair).
+type Class struct {
+	id ClassID
+	// width is the value width shared by every node in the class.
+	width int
+	// Nodes holds the class members in insertion order (original
+	// ingested nodes come before rule-derived ones).
+	Nodes []Node
+	// constVal/hasConst cache the OpConst member, if any.
+	constVal uint64
+	hasConst bool
+	// parents lists nodes that have this class as a child, with the
+	// class each parent node currently lives in.
+	parents []parentRef
+}
+
+type parentRef struct {
+	node Node
+	cls  ClassID
+}
+
+// EGraph is a deterministic e-graph: union-find over classes, a
+// hash-cons of canonical nodes, and a worklist-based congruence
+// rebuild. All iteration is in allocation order, so runs are
+// reproducible for identical inputs.
+type EGraph struct {
+	uf       []ClassID
+	classes  []*Class // indexed by ClassID; nil after a merge-away
+	hashcons map[string]ClassID
+	dirty    []ClassID
+	// nodeCount tracks live (hash-consed) nodes for the saturation
+	// budget.
+	nodeCount int
+	// version increments on every structural change (new node or
+	// merge); the saturation loop uses it to detect a fixpoint.
+	version uint64
+}
+
+// New returns an empty e-graph.
+func New() *EGraph {
+	return &EGraph{hashcons: map[string]ClassID{}}
+}
+
+// Find resolves an ID to its canonical class ID (with path compression).
+func (g *EGraph) Find(id ClassID) ClassID {
+	for g.uf[id] != id {
+		g.uf[id] = g.uf[g.uf[id]]
+		id = g.uf[id]
+	}
+	return id
+}
+
+// Class returns the canonical class of id.
+func (g *EGraph) Class(id ClassID) *Class { return g.classes[g.Find(id)] }
+
+// NodeCount returns the number of live hash-consed nodes.
+func (g *EGraph) NodeCount() int { return g.nodeCount }
+
+// ClassCount returns the number of canonical classes.
+func (g *EGraph) ClassCount() int {
+	n := 0
+	for i, c := range g.classes {
+		if c != nil && g.Find(ClassID(i)) == ClassID(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// ClassIDs lists the canonical class IDs in ascending order.
+func (g *EGraph) ClassIDs() []ClassID {
+	out := make([]ClassID, 0, len(g.classes))
+	for i := range g.classes {
+		if g.classes[i] != nil && g.Find(ClassID(i)) == ClassID(i) {
+			out = append(out, ClassID(i))
+		}
+	}
+	return out
+}
+
+// canonicalize rewrites the node's children to canonical class IDs.
+func (g *EGraph) canonicalize(n Node) Node {
+	if len(n.Kids) == 0 {
+		return n
+	}
+	kids := make([]ClassID, len(n.Kids))
+	for i, k := range n.Kids {
+		kids[i] = g.Find(k)
+	}
+	n.Kids = kids
+	return n
+}
+
+// Add hash-conses the node, returning its class (existing or fresh).
+func (g *EGraph) Add(n Node) ClassID {
+	n = g.canonicalize(n)
+	key := n.key()
+	if id, ok := g.hashcons[key]; ok {
+		return g.Find(id)
+	}
+	id := ClassID(len(g.classes))
+	c := &Class{id: id, width: n.valueWidth(), Nodes: []Node{n}}
+	if n.Op == OpConst {
+		c.hasConst, c.constVal = true, n.Val
+	}
+	g.classes = append(g.classes, c)
+	g.uf = append(g.uf, id)
+	g.hashcons[key] = id
+	g.nodeCount++
+	g.version++
+	for _, k := range n.Kids {
+		kc := g.classes[g.Find(k)]
+		kc.parents = append(kc.parents, parentRef{node: n, cls: id})
+	}
+	return id
+}
+
+// Union merges the classes of a and b, returning true when they were
+// distinct. The lower canonical ID wins, keeping iteration order (and
+// extraction tie-breaks) stable.
+func (g *EGraph) Union(a, b ClassID) bool {
+	a, b = g.Find(a), g.Find(b)
+	if a == b {
+		return false
+	}
+	if a > b {
+		a, b = b, a
+	}
+	ca, cb := g.classes[a], g.classes[b]
+	if ca.width != cb.width {
+		panic(fmt.Sprintf("egraph: union of classes with widths %d and %d — unsound rule", ca.width, cb.width))
+	}
+	if ca.hasConst && cb.hasConst && ca.constVal != cb.constVal {
+		panic(fmt.Sprintf("egraph: union proves %d == %d at width %d — unsound rule", ca.constVal, cb.constVal, ca.width))
+	}
+	g.uf[b] = a
+	ca.Nodes = append(ca.Nodes, cb.Nodes...)
+	ca.parents = append(ca.parents, cb.parents...)
+	if cb.hasConst {
+		ca.hasConst, ca.constVal = true, cb.constVal
+	}
+	g.classes[b] = nil
+	g.dirty = append(g.dirty, a)
+	g.version++
+	return true
+}
+
+// Rebuild restores the hash-cons and congruence invariants after a
+// batch of unions: parents of merged classes are re-canonicalized, and
+// nodes that became equal force further unions (upward congruence
+// closure — the "shared-subexpression merging" the pass relies on).
+func (g *EGraph) Rebuild() {
+	for len(g.dirty) > 0 {
+		todo := g.dirty
+		g.dirty = nil
+		seen := map[ClassID]bool{}
+		for _, id := range todo {
+			id = g.Find(id)
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			g.repair(id)
+		}
+	}
+}
+
+func (g *EGraph) repair(id ClassID) {
+	c := g.classes[id]
+	if c == nil {
+		return
+	}
+	// Re-canonicalize parents: nodes whose signatures collide after the
+	// merge identify classes to union.
+	oldParents := c.parents
+	c.parents = nil
+	seen := map[string]ClassID{}
+	for _, p := range oldParents {
+		delete(g.hashcons, p.node.key())
+		n := g.canonicalize(p.node)
+		key := n.key()
+		pcls := g.Find(p.cls)
+		if prev, ok := seen[key]; ok {
+			g.Union(prev, pcls)
+			continue
+		}
+		seen[key] = pcls
+		if other, ok := g.hashcons[key]; ok {
+			g.Union(other, pcls)
+		} else {
+			g.hashcons[key] = pcls
+		}
+		g.classes[g.Find(id)].parents = append(g.classes[g.Find(id)].parents, parentRef{node: n, cls: g.Find(pcls)})
+	}
+	// Dedup the class's own node list under canonical signatures.
+	c = g.classes[g.Find(id)]
+	if c == nil {
+		return
+	}
+	keep := c.Nodes[:0]
+	have := map[string]bool{}
+	for _, n := range c.Nodes {
+		cn := g.canonicalize(n)
+		key := cn.key()
+		if have[key] {
+			g.nodeCount--
+			continue
+		}
+		have[key] = true
+		if at, ok := g.hashcons[key]; !ok || g.Find(at) != g.Find(id) {
+			g.hashcons[key] = g.Find(id)
+		}
+		keep = append(keep, cn)
+	}
+	c.Nodes = keep
+}

@@ -1,0 +1,323 @@
+package egraph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rtlil"
+)
+
+func leaf(g *EGraph, name string, w int) ClassID {
+	return g.Add(Node{Op: OpLeaf, Width: w, Leaf: name})
+}
+
+func cellNode(op rtlil.CellType, w int, kids ...ClassID) Node {
+	return Node{Op: Op(op), Width: w, Kids: kids}
+}
+
+func saturateAll(t *testing.T, g *EGraph) int {
+	t.Helper()
+	rules, err := ParseRules("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, applied := Saturate(g, rules, 16, 100000)
+	return applied
+}
+
+func TestHashconsDedup(t *testing.T) {
+	g := New()
+	a, b := leaf(g, "a", 8), leaf(g, "b", 8)
+	x := g.Add(cellNode(rtlil.CellAdd, 8, a, b))
+	y := g.Add(cellNode(rtlil.CellAdd, 8, a, b))
+	if x != y {
+		t.Fatalf("identical nodes got classes %d and %d", x, y)
+	}
+	if got := g.NodeCount(); got != 3 {
+		t.Fatalf("NodeCount = %d, want 3", got)
+	}
+	if leaf(g, "a", 8) != a {
+		t.Error("leaf not deduped")
+	}
+}
+
+func TestUnionFindLowerIDWins(t *testing.T) {
+	g := New()
+	a, b := leaf(g, "a", 4), leaf(g, "b", 4)
+	if !g.Union(b, a) {
+		t.Fatal("union of distinct classes reported no change")
+	}
+	if g.Union(a, b) {
+		t.Fatal("second union reported a change")
+	}
+	if got := g.Find(b); got != a {
+		t.Errorf("Find(b) = %d, want %d (lower ID wins)", got, a)
+	}
+}
+
+func TestCongruenceClosure(t *testing.T) {
+	g := New()
+	a, b, c := leaf(g, "a", 8), leaf(g, "b", 8), leaf(g, "c", 8)
+	f1 := g.Add(cellNode(rtlil.CellAdd, 8, a, b))
+	f2 := g.Add(cellNode(rtlil.CellAdd, 8, a, c))
+	if g.Find(f1) == g.Find(f2) {
+		t.Fatal("distinct applications merged prematurely")
+	}
+	g.Union(b, c)
+	g.Rebuild()
+	if g.Find(f1) != g.Find(f2) {
+		t.Error("congruence closure did not merge add(a,b) with add(a,c) after b=c")
+	}
+}
+
+func TestUnionWidthMismatchPanics(t *testing.T) {
+	g := New()
+	a, b := leaf(g, "a", 8), leaf(g, "b", 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("union of different widths did not panic")
+		}
+	}()
+	g.Union(a, b)
+}
+
+func TestUnionConstConflictPanics(t *testing.T) {
+	g := New()
+	c1 := g.Add(Node{Op: OpConst, Width: 8, Val: 1})
+	c2 := g.Add(Node{Op: OpConst, Width: 8, Val: 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("union proving 1 == 2 did not panic")
+		}
+	}()
+	g.Union(c1, c2)
+}
+
+func TestConstFold(t *testing.T) {
+	g := New()
+	c3 := g.Add(Node{Op: OpConst, Width: 8, Val: 3})
+	c4 := g.Add(Node{Op: OpConst, Width: 8, Val: 4})
+	sum := g.Add(cellNode(rtlil.CellAdd, 8, c3, c4))
+	saturateAll(t, g)
+	if v, ok := g.constOf(sum); !ok || v != 7 {
+		t.Errorf("3+4 folded to (%d, %v), want (7, true)", v, ok)
+	}
+	cmp := g.Add(cellNode(rtlil.CellLt, 8, c3, c4))
+	saturateAll(t, g)
+	if v, ok := g.constOf(cmp); !ok || v != 1 {
+		t.Errorf("3<4 folded to (%d, %v), want (1, true)", v, ok)
+	}
+}
+
+func TestCommuteAndAssociate(t *testing.T) {
+	g := New()
+	a, b, c := leaf(g, "a", 8), leaf(g, "b", 8), leaf(g, "c", 8)
+	ab := g.Add(cellNode(rtlil.CellMul, 8, a, b))
+	ba := g.Add(cellNode(rtlil.CellMul, 8, b, a))
+	abc := g.Add(cellNode(rtlil.CellAdd, 8, g.Add(cellNode(rtlil.CellAdd, 8, a, b)), c))
+	acb := g.Add(cellNode(rtlil.CellAdd, 8, a, g.Add(cellNode(rtlil.CellAdd, 8, b, c))))
+	saturateAll(t, g)
+	if g.Find(ab) != g.Find(ba) {
+		t.Error("a*b and b*a not merged")
+	}
+	if g.Find(abc) != g.Find(acb) {
+		t.Error("(a+b)+c and a+(b+c) not merged")
+	}
+}
+
+func TestSubSelfAndXorSelf(t *testing.T) {
+	g := New()
+	x := leaf(g, "x", 8)
+	sub := g.Add(cellNode(rtlil.CellSub, 8, x, x))
+	xor := g.Add(cellNode(rtlil.CellXor, 8, x, x))
+	saturateAll(t, g)
+	if v, ok := g.constOf(sub); !ok || v != 0 {
+		t.Errorf("x-x = (%d, %v), want (0, true)", v, ok)
+	}
+	if v, ok := g.constOf(xor); !ok || v != 0 {
+		t.Errorf("x^x = (%d, %v), want (0, true)", v, ok)
+	}
+}
+
+func TestDistributivityFactoring(t *testing.T) {
+	g := New()
+	a, b, c := leaf(g, "a", 8), leaf(g, "b", 8), leaf(g, "c", 8)
+	sum := g.Add(cellNode(rtlil.CellAdd, 8,
+		g.Add(cellNode(rtlil.CellMul, 8, a, b)),
+		g.Add(cellNode(rtlil.CellMul, 8, a, c))))
+	saturateAll(t, g)
+	cm := NewCostModel()
+	ext := Extract(g, cm)
+	n := ext.Node(sum)
+	if rtlil.CellType(n.Op) != rtlil.CellMul {
+		t.Fatalf("extraction chose %s for a*b+a*c, want the factored $mul", n.Op)
+	}
+	// The factored form prices one multiplier instead of two.
+	single := g.Add(cellNode(rtlil.CellMul, 8, a, b))
+	if ext.TotalCost([]ClassID{sum}) >= 2*ext.TotalCost([]ClassID{single}) {
+		t.Errorf("factored cost %d not below two multipliers (%d each)",
+			ext.TotalCost([]ClassID{sum}), ext.TotalCost([]ClassID{single}))
+	}
+}
+
+func TestMulShlExchange(t *testing.T) {
+	g := New()
+	x := leaf(g, "x", 8)
+	four := g.Add(Node{Op: OpConst, Width: 8, Val: 4})
+	mul := g.Add(cellNode(rtlil.CellMul, 8, x, four))
+	two := g.Add(Node{Op: OpConst, Width: 2, Val: 2})
+	shl := g.Add(cellNode(rtlil.CellShl, 8, x, two))
+	saturateAll(t, g)
+	if g.Find(mul) != g.Find(shl) {
+		t.Error("x*4 and x<<2 not merged")
+	}
+}
+
+func TestShiftOverflowAndZero(t *testing.T) {
+	g := New()
+	x := leaf(g, "x", 8)
+	k9 := g.Add(Node{Op: OpConst, Width: 4, Val: 9})
+	over := g.Add(cellNode(rtlil.CellShl, 8, x, k9))
+	zero := g.Add(Node{Op: OpConst, Width: 4, Val: 0})
+	ident := g.Add(cellNode(rtlil.CellShr, 8, x, zero))
+	saturateAll(t, g)
+	if v, ok := g.constOf(over); !ok || v != 0 {
+		t.Errorf("x<<9 at width 8 = (%d, %v), want (0, true)", v, ok)
+	}
+	if g.Find(ident) != g.Find(x) {
+		t.Error("x>>0 not merged with x")
+	}
+}
+
+func TestCompareCanonicalization(t *testing.T) {
+	g := New()
+	a, b := leaf(g, "a", 8), leaf(g, "b", 8)
+	gt := g.Add(cellNode(rtlil.CellGt, 8, a, b))
+	lt := g.Add(cellNode(rtlil.CellLt, 8, b, a))
+	ltSelf := g.Add(cellNode(rtlil.CellLt, 8, a, a))
+	saturateAll(t, g)
+	if g.Find(gt) != g.Find(lt) {
+		t.Error("a>b and b<a not merged")
+	}
+	if v, ok := g.constOf(ltSelf); !ok || v != 0 {
+		t.Errorf("a<a = (%d, %v), want (0, true)", v, ok)
+	}
+}
+
+func TestNotNotAndXnor(t *testing.T) {
+	g := New()
+	a, b := leaf(g, "a", 8), leaf(g, "b", 8)
+	nn := g.Add(cellNode(rtlil.CellNot, 8, g.Add(cellNode(rtlil.CellNot, 8, a))))
+	xnor := g.Add(cellNode(rtlil.CellXnor, 8, a, b))
+	notXor := g.Add(cellNode(rtlil.CellNot, 8, g.Add(cellNode(rtlil.CellXor, 8, a, b))))
+	saturateAll(t, g)
+	if g.Find(nn) != g.Find(a) {
+		t.Error("~~a not merged with a")
+	}
+	if g.Find(xnor) != g.Find(notXor) {
+		t.Error("xnor(a,b) not merged with ~(a^b)")
+	}
+}
+
+func TestSaturateNodeBudget(t *testing.T) {
+	g := New()
+	ids := make([]ClassID, 6)
+	for i := range ids {
+		ids[i] = leaf(g, string(rune('a'+i)), 8)
+	}
+	acc := ids[0]
+	for _, id := range ids[1:] {
+		acc = g.Add(cellNode(rtlil.CellAdd, 8, acc, id))
+	}
+	rules, _ := ParseRules("all")
+	limit := g.NodeCount() + 5
+	Saturate(g, rules, 100, limit)
+	// The budget is a soft stop: one rule application may overshoot by
+	// the few nodes it allocates, but growth must halt near the limit.
+	if g.NodeCount() > limit+8 {
+		t.Errorf("NodeCount = %d, want <= %d (budget ignored)", g.NodeCount(), limit+8)
+	}
+}
+
+func TestDivIsOpaque(t *testing.T) {
+	g := New()
+	a, b := leaf(g, "a", 8), leaf(g, "b", 8)
+	d1 := g.Add(cellNode(rtlil.CellDiv, 8, a, b))
+	d2 := g.Add(cellNode(rtlil.CellDiv, 8, a, b))
+	if d1 != d2 {
+		t.Error("identical $div nodes not hash-consed")
+	}
+	c2 := g.Add(Node{Op: OpConst, Width: 8, Val: 2})
+	dc := g.Add(cellNode(rtlil.CellDiv, 8, a, c2))
+	saturateAll(t, g)
+	if _, ok := g.constOf(g.Find(dc)); ok {
+		t.Error("$div by constant was folded; it must stay opaque")
+	}
+	if got := g.Class(dc).Nodes; len(got) != 1 {
+		t.Errorf("$div class grew %d nodes, want 1 (no rewrites through $div)", len(got))
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	if _, err := ParseRules("arith+shift"); err != nil {
+		t.Errorf("arith+shift rejected: %v", err)
+	}
+	if _, err := ParseRules("bogus"); err == nil {
+		t.Error("unknown group accepted")
+	} else if !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("error does not name the bad group: %v", err)
+	}
+	all, _ := ParseRules("all")
+	sub, _ := ParseRules("cmp")
+	if len(sub) >= len(all) {
+		t.Errorf("cmp-only rule set has %d rules, all has %d", len(sub), len(all))
+	}
+	names := RuleNames()
+	for _, group := range []string{"arith", "bitwise", "shift", "cmp", "fold", "structural"} {
+		if len(names[group]) == 0 {
+			t.Errorf("group %s has no rules", group)
+		}
+	}
+}
+
+func TestCostModelConstOperandsCheaper(t *testing.T) {
+	cm := NewCostModel()
+	x := kidSpec{width: 8}
+	constK := kidSpec{width: 8, isConst: true, val: 13}
+	mulVar := cm.NodeCost(Node{Op: Op(rtlil.CellMul), Width: 8}, []kidSpec{x, x})
+	mulConst := cm.NodeCost(Node{Op: Op(rtlil.CellMul), Width: 8}, []kidSpec{x, constK})
+	if mulConst >= mulVar {
+		t.Errorf("mul by constant (%d) not cheaper than variable mul (%d)", mulConst, mulVar)
+	}
+	div := cm.NodeCost(Node{Op: Op(rtlil.CellDiv), Width: 8}, []kidSpec{x, x})
+	if div <= mulVar {
+		t.Errorf("$div (%d) not priced above $mul (%d)", div, mulVar)
+	}
+	if c := cm.NodeCost(Node{Op: OpLeaf, Width: 8}, nil); c != 0 {
+		t.Errorf("leaf cost = %d, want 0", c)
+	}
+	if c := cm.NodeCost(Node{Op: OpResize, Width: 8}, []kidSpec{x}); c < 1 {
+		t.Errorf("resize cost = %d, want >= 1 (acyclic extraction)", c)
+	}
+}
+
+func TestExtractionDeterministic(t *testing.T) {
+	build := func() (*EGraph, ClassID) {
+		g := New()
+		a, b, c := leaf(g, "a", 8), leaf(g, "b", 8), leaf(g, "c", 8)
+		sum := g.Add(cellNode(rtlil.CellAdd, 8,
+			g.Add(cellNode(rtlil.CellMul, 8, a, b)),
+			g.Add(cellNode(rtlil.CellMul, 8, a, c))))
+		saturateAll(t, g)
+		return g, sum
+	}
+	g1, s1 := build()
+	g2, s2 := build()
+	e1, e2 := Extract(g1, NewCostModel()), Extract(g2, NewCostModel())
+	if k1, k2 := e1.Node(s1).key(), e2.Node(s2).key(); k1 != k2 {
+		t.Errorf("extraction differs across identical runs: %q vs %q", k1, k2)
+	}
+	if c1, c2 := e1.TotalCost([]ClassID{s1}), e2.TotalCost([]ClassID{s2}); c1 != c2 {
+		t.Errorf("total cost differs across identical runs: %d vs %d", c1, c2)
+	}
+}

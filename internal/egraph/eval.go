@@ -1,0 +1,101 @@
+package egraph
+
+import "repro/internal/rtlil"
+
+// mask returns the low-w-bit mask (w in 1..64).
+func mask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}
+
+// foldable reports whether constant folding understands the operator.
+// $div is excluded on purpose: its x-producing division-by-zero case
+// has no two-valued constant story, and the pass treats it as opaque.
+func foldable(op Op) bool {
+	switch rtlil.CellType(op) {
+	case rtlil.CellAdd, rtlil.CellSub, rtlil.CellMul,
+		rtlil.CellAnd, rtlil.CellOr, rtlil.CellXor, rtlil.CellXnor,
+		rtlil.CellNot, rtlil.CellNeg,
+		rtlil.CellShl, rtlil.CellShr,
+		rtlil.CellEq, rtlil.CellNe, rtlil.CellLt, rtlil.CellLe,
+		rtlil.CellGt, rtlil.CellGe:
+		return true
+	}
+	return op == OpResize
+}
+
+// evalOp computes the node's value from constant child values,
+// mirroring the canonical cell semantics of internal/aig and
+// internal/sim: arithmetic/bitwise operate mod 2^Width, comparisons at
+// the operand width with a 1-bit result, shifts zero-fill and overflow
+// to zero. Child values must already be reduced mod their own width.
+func evalOp(op Op, width int, kids []uint64) (uint64, bool) {
+	if width > 64 || width < 1 || !foldable(op) {
+		return 0, false
+	}
+	m := mask(width)
+	one := func(b bool) (uint64, bool) {
+		if b {
+			return 1, true
+		}
+		return 0, true
+	}
+	switch rtlil.CellType(op) {
+	case rtlil.CellAdd:
+		return (kids[0] + kids[1]) & m, true
+	case rtlil.CellSub:
+		return (kids[0] - kids[1]) & m, true
+	case rtlil.CellMul:
+		return (kids[0] * kids[1]) & m, true
+	case rtlil.CellAnd:
+		return kids[0] & kids[1], true
+	case rtlil.CellOr:
+		return kids[0] | kids[1], true
+	case rtlil.CellXor:
+		return kids[0] ^ kids[1], true
+	case rtlil.CellXnor:
+		return ^(kids[0] ^ kids[1]) & m, true
+	case rtlil.CellNot:
+		return ^kids[0] & m, true
+	case rtlil.CellNeg:
+		return (-kids[0]) & m, true
+	case rtlil.CellShl:
+		if kids[1] >= uint64(width) {
+			return 0, true
+		}
+		return (kids[0] << kids[1]) & m, true
+	case rtlil.CellShr:
+		if kids[1] >= uint64(width) {
+			return 0, true
+		}
+		return (kids[0] >> kids[1]) & m, true
+	case rtlil.CellEq:
+		return one(kids[0] == kids[1])
+	case rtlil.CellNe:
+		return one(kids[0] != kids[1])
+	case rtlil.CellLt:
+		return one(kids[0] < kids[1])
+	case rtlil.CellLe:
+		return one(kids[0] <= kids[1])
+	case rtlil.CellGt:
+		return one(kids[0] > kids[1])
+	case rtlil.CellGe:
+		return one(kids[0] >= kids[1])
+	}
+	if op == OpResize {
+		return kids[0] & m, true
+	}
+	return 0, false
+}
+
+// constOf returns the constant value of a class, if it has one, reduced
+// to the class width.
+func (g *EGraph) constOf(id ClassID) (uint64, bool) {
+	c := g.Class(id)
+	if !c.hasConst {
+		return 0, false
+	}
+	return c.constVal, true
+}

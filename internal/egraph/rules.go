@@ -1,0 +1,674 @@
+package egraph
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"repro/internal/rtlil"
+)
+
+// A Rule inspects one e-node and, when it matches, adds an equivalent
+// representation to the node's class (and/or unions classes). Apply
+// returns the number of rewrites performed. Rules must be sound under
+// the repository's canonical two-valued semantics for every value of
+// every leaf — the verify gate will reject (not repair) an unsound
+// extraction, and the e-graph panics outright when a rule proves two
+// distinct constants equal.
+type Rule struct {
+	Name  string
+	Group string
+	Apply func(g *EGraph, id ClassID, n Node) int
+}
+
+// The rule groups selectable through the pass' rules option.
+const (
+	GroupArith   = "arith"   // add/sub/mul identities, distributivity
+	GroupBitwise = "bitwise" // and/or/xor/xnor/not identities
+	GroupShift   = "shift"   // shift-by-constant and mul/shl exchange
+	GroupCmp     = "cmp"     // comparison canonicalization
+	GroupFold    = "fold"    // constant folding
+)
+
+// allGroups lists every group in the order rules run.
+var allGroups = []string{GroupArith, GroupBitwise, GroupShift, GroupCmp, GroupFold}
+
+// ParseRules resolves a rules option value — "all" or a '+'-separated
+// list of group names — to the selected rule set.
+func ParseRules(spec string) ([]Rule, error) {
+	if spec == "" || spec == "all" {
+		return Rules(allGroups...), nil
+	}
+	parts := strings.Split(spec, "+")
+	known := map[string]bool{}
+	for _, g := range allGroups {
+		known[g] = true
+	}
+	for _, p := range parts {
+		if !known[p] {
+			return nil, fmt.Errorf("egraph: unknown rule group %q (have all, %s)", p, strings.Join(allGroups, ", "))
+		}
+	}
+	return Rules(parts...), nil
+}
+
+// Rules returns the rules of the named groups, in library order, plus
+// the always-on structural resize rules.
+func Rules(groups ...string) []Rule {
+	want := map[string]bool{}
+	for _, g := range groups {
+		want[g] = true
+	}
+	var out []Rule
+	for _, r := range ruleLibrary() {
+		if r.Group == "" || want[r.Group] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RuleNames lists every library rule name per group (for docs/tests).
+func RuleNames() map[string][]string {
+	out := map[string][]string{}
+	for _, r := range ruleLibrary() {
+		g := r.Group
+		if g == "" {
+			g = "structural"
+		}
+		out[g] = append(out[g], r.Name)
+	}
+	for _, names := range out {
+		sort.Strings(names)
+	}
+	return out
+}
+
+// opIs reports the node's cell operator.
+func opIs(n Node, t rtlil.CellType) bool { return rtlil.CellType(n.Op) == t }
+
+// matchScanLimit bounds how many nodes of a class a single rule match
+// may enumerate. After heavy merging a class can hold thousands of
+// nodes — and even be its own kid — which makes unbounded enumeration
+// quadratic-to-cubic in the node budget on adversarial inputs. The
+// earliest nodes in a class are the oldest (the original, canonical
+// shapes), so a bounded prefix scan keeps the matches that matter.
+const matchScanLimit = 64
+
+// matchNodes returns a bounded, deterministic (allocation-ordered)
+// prefix of the class's node list for rule matching.
+func matchNodes(g *EGraph, cls ClassID) []Node {
+	nodes := g.Class(cls).Nodes
+	if len(nodes) > matchScanLimit {
+		nodes = nodes[:matchScanLimit]
+	}
+	return nodes
+}
+
+// binKids returns the node's two child classes.
+func binKids(g *EGraph, n Node) (ClassID, ClassID) {
+	return g.Find(n.Kids[0]), g.Find(n.Kids[1])
+}
+
+// addConst adds a constant node of the given width.
+func addConst(g *EGraph, val uint64, width int) ClassID {
+	return g.Add(Node{Op: OpConst, Width: width, Val: val & mask(width)})
+}
+
+// unionWith adds the node and unions it with the class; returns 1 when
+// anything changed.
+func unionWith(g *EGraph, id ClassID, n Node) int {
+	before := g.version
+	nid := g.Add(n)
+	g.Union(id, nid)
+	if g.version != before {
+		return 1
+	}
+	return 0
+}
+
+// commutative cell operators (operand order is irrelevant).
+func isCommutative(t rtlil.CellType) bool {
+	switch t {
+	case rtlil.CellAdd, rtlil.CellMul, rtlil.CellAnd, rtlil.CellOr,
+		rtlil.CellXor, rtlil.CellXnor, rtlil.CellEq, rtlil.CellNe:
+		return true
+	}
+	return false
+}
+
+// associative cell operators.
+func isAssociative(t rtlil.CellType) bool {
+	switch t {
+	case rtlil.CellAdd, rtlil.CellMul, rtlil.CellAnd, rtlil.CellOr, rtlil.CellXor:
+		return true
+	}
+	return false
+}
+
+// groupOf maps an operator to its rule group (for comm/assoc rules that
+// span groups).
+func groupOf(t rtlil.CellType) string {
+	switch t {
+	case rtlil.CellAdd, rtlil.CellSub, rtlil.CellMul, rtlil.CellNeg:
+		return GroupArith
+	case rtlil.CellAnd, rtlil.CellOr, rtlil.CellXor, rtlil.CellXnor, rtlil.CellNot:
+		return GroupBitwise
+	case rtlil.CellShl, rtlil.CellShr:
+		return GroupShift
+	case rtlil.CellEq, rtlil.CellNe, rtlil.CellLt, rtlil.CellLe, rtlil.CellGt, rtlil.CellGe:
+		return GroupCmp
+	}
+	return ""
+}
+
+// ruleLibrary builds the full rule set. Rules are cheap closures; the
+// library is rebuilt per call so rules carry no shared state.
+func ruleLibrary() []Rule {
+	var rules []Rule
+	add := func(name, group string, apply func(g *EGraph, id ClassID, n Node) int) {
+		rules = append(rules, Rule{Name: name, Group: group, Apply: apply})
+	}
+
+	// --- structural (always on) ---------------------------------------
+
+	// resize(w, x) with width(x) == w is the identity.
+	add("resize_identity", "", func(g *EGraph, id ClassID, n Node) int {
+		if n.Op != OpResize {
+			return 0
+		}
+		kid := g.Find(n.Kids[0])
+		if g.Class(kid).width != n.Width {
+			return 0
+		}
+		if g.Union(id, kid) {
+			return 1
+		}
+		return 0
+	})
+	// resize(w1, resize(w2, x)) == resize(w1, x) when w1 <= w2
+	// (truncation composes; zero-extension below w1 does not).
+	add("resize_resize", "", func(g *EGraph, id ClassID, n Node) int {
+		if n.Op != OpResize {
+			return 0
+		}
+		applied := 0
+		for _, inner := range matchNodes(g, n.Kids[0]) {
+			if inner.Op == OpResize && n.Width <= inner.Width {
+				applied += unionWith(g, id, Node{Op: OpResize, Width: n.Width, Kids: []ClassID{inner.Kids[0]}})
+			}
+		}
+		return applied
+	})
+
+	// --- commutativity / associativity --------------------------------
+
+	add("commute", GroupArith, func(g *EGraph, id ClassID, n Node) int {
+		t := rtlil.CellType(n.Op)
+		if !isCommutative(t) {
+			return 0
+		}
+		a, b := binKids(g, n)
+		if a == b {
+			return 0
+		}
+		return unionWith(g, id, Node{Op: n.Op, Width: n.Width, Kids: []ClassID{b, a}})
+	})
+	add("associate", GroupArith, func(g *EGraph, id ClassID, n Node) int {
+		t := rtlil.CellType(n.Op)
+		if !isAssociative(t) {
+			return 0
+		}
+		// (x ∘ y) ∘ z  ->  x ∘ (y ∘ z)
+		applied := 0
+		a, z := binKids(g, n)
+		for _, inner := range matchNodes(g, a) {
+			if inner.Op != n.Op {
+				continue
+			}
+			x, y := binKids(g, inner)
+			yz := g.Add(Node{Op: n.Op, Width: n.Width, Kids: []ClassID{y, z}})
+			applied += unionWith(g, id, Node{Op: n.Op, Width: n.Width, Kids: []ClassID{x, yz}})
+		}
+		return applied
+	})
+
+	// --- arithmetic ----------------------------------------------------
+
+	// a*b + a*c -> a*(b+c), checking every operand pairing (the shared
+	// factor may sit on either side of either multiply).
+	add("distrib_factor", GroupArith, func(g *EGraph, id ClassID, n Node) int {
+		if !opIs(n, rtlil.CellAdd) {
+			return 0
+		}
+		l, r := binKids(g, n)
+		applied := 0
+		for _, ln := range matchNodes(g, l) {
+			if !opIs(ln, rtlil.CellMul) {
+				continue
+			}
+			la, lb := binKids(g, ln)
+			for _, rn := range matchNodes(g, r) {
+				if !opIs(rn, rtlil.CellMul) {
+					continue
+				}
+				ra, rb := binKids(g, rn)
+				for _, pair := range [][4]ClassID{
+					{la, lb, ra, rb}, {la, lb, rb, ra},
+					{lb, la, ra, rb}, {lb, la, rb, ra},
+				} {
+					if pair[0] != pair[2] {
+						continue
+					}
+					sum := g.Add(Node{Op: Op(rtlil.CellAdd), Width: n.Width, Kids: []ClassID{pair[1], pair[3]}})
+					applied += unionWith(g, id, Node{Op: Op(rtlil.CellMul), Width: n.Width, Kids: []ClassID{pair[0], sum}})
+				}
+			}
+		}
+		return applied
+	})
+	// a*(b+c) -> a*b + a*c (the expansion direction feeds further
+	// factorings; extraction keeps whichever form is cheaper).
+	add("distrib_expand", GroupArith, func(g *EGraph, id ClassID, n Node) int {
+		if !opIs(n, rtlil.CellMul) {
+			return 0
+		}
+		a, s := binKids(g, n)
+		applied := 0
+		expand := func(a, s ClassID) {
+			for _, sn := range matchNodes(g, s) {
+				if !opIs(sn, rtlil.CellAdd) {
+					continue
+				}
+				b, c := binKids(g, sn)
+				ab := g.Add(Node{Op: Op(rtlil.CellMul), Width: n.Width, Kids: []ClassID{a, b}})
+				ac := g.Add(Node{Op: Op(rtlil.CellMul), Width: n.Width, Kids: []ClassID{a, c}})
+				applied += unionWith(g, id, Node{Op: Op(rtlil.CellAdd), Width: n.Width, Kids: []ClassID{ab, ac}})
+			}
+		}
+		expand(a, s)
+		if a != s {
+			expand(s, a)
+		}
+		return applied
+	})
+	// x - x -> 0.
+	add("sub_self", GroupArith, func(g *EGraph, id ClassID, n Node) int {
+		if !opIs(n, rtlil.CellSub) {
+			return 0
+		}
+		a, b := binKids(g, n)
+		if a != b {
+			return 0
+		}
+		if g.Union(id, addConst(g, 0, n.Width)) {
+			return 1
+		}
+		return 0
+	})
+	// x - y -> x + (-y): bridges sub into the add/mul rule space.
+	add("sub_to_add", GroupArith, func(g *EGraph, id ClassID, n Node) int {
+		if !opIs(n, rtlil.CellSub) {
+			return 0
+		}
+		a, b := binKids(g, n)
+		nb := g.Add(Node{Op: Op(rtlil.CellNeg), Width: n.Width, Kids: []ClassID{b}})
+		return unionWith(g, id, Node{Op: Op(rtlil.CellAdd), Width: n.Width, Kids: []ClassID{a, nb}})
+	})
+	// x + 0 -> x, x - 0 -> x, x * 1 -> x, x * 0 -> 0.
+	add("arith_identity", GroupArith, func(g *EGraph, id ClassID, n Node) int {
+		t := rtlil.CellType(n.Op)
+		if t != rtlil.CellAdd && t != rtlil.CellSub && t != rtlil.CellMul {
+			return 0
+		}
+		a, b := binKids(g, n)
+		applied := 0
+		try := func(x, c ClassID) {
+			v, ok := g.constOf(c)
+			if !ok {
+				return
+			}
+			switch {
+			case v == 0 && t != rtlil.CellMul:
+				if g.Union(id, x) {
+					applied++
+				}
+			case v == 0 && t == rtlil.CellMul:
+				if g.Union(id, addConst(g, 0, n.Width)) {
+					applied++
+				}
+			case v == 1 && t == rtlil.CellMul:
+				if g.Union(id, x) {
+					applied++
+				}
+			}
+		}
+		try(a, b)
+		if t != rtlil.CellSub {
+			try(b, a)
+		}
+		return applied
+	})
+	// x + x -> x * 2 (which mul_to_shl turns into x << 1; at width 1 the
+	// doubling wraps to zero).
+	add("add_self", GroupArith, func(g *EGraph, id ClassID, n Node) int {
+		if !opIs(n, rtlil.CellAdd) {
+			return 0
+		}
+		a, b := binKids(g, n)
+		if a != b {
+			return 0
+		}
+		if n.Width == 1 {
+			if g.Union(id, addConst(g, 0, 1)) {
+				return 1
+			}
+			return 0
+		}
+		two := addConst(g, 2, n.Width)
+		return unionWith(g, id, Node{Op: Op(rtlil.CellMul), Width: n.Width, Kids: []ClassID{a, two}})
+	})
+	// -(-x) -> x.
+	add("neg_neg", GroupArith, func(g *EGraph, id ClassID, n Node) int {
+		if !opIs(n, rtlil.CellNeg) {
+			return 0
+		}
+		applied := 0
+		for _, inner := range matchNodes(g, n.Kids[0]) {
+			if opIs(inner, rtlil.CellNeg) {
+				if g.Union(id, inner.Kids[0]) {
+					applied++
+				}
+			}
+		}
+		return applied
+	})
+
+	// --- bitwise -------------------------------------------------------
+
+	// x&x -> x, x|x -> x, x^x -> 0, xnor(x,x) -> ~0.
+	add("bitwise_self", GroupBitwise, func(g *EGraph, id ClassID, n Node) int {
+		a, b := ClassID(0), ClassID(0)
+		switch rtlil.CellType(n.Op) {
+		case rtlil.CellAnd, rtlil.CellOr, rtlil.CellXor, rtlil.CellXnor:
+			a, b = binKids(g, n)
+		default:
+			return 0
+		}
+		if a != b {
+			return 0
+		}
+		switch rtlil.CellType(n.Op) {
+		case rtlil.CellAnd, rtlil.CellOr:
+			if g.Union(id, a) {
+				return 1
+			}
+		case rtlil.CellXor:
+			if g.Union(id, addConst(g, 0, n.Width)) {
+				return 1
+			}
+		case rtlil.CellXnor:
+			if g.Union(id, addConst(g, mask(n.Width), n.Width)) {
+				return 1
+			}
+		}
+		return 0
+	})
+	// x&0 -> 0, x&~0 -> x, x|0 -> x, x|~0 -> ~0, x^0 -> x.
+	add("bitwise_identity", GroupBitwise, func(g *EGraph, id ClassID, n Node) int {
+		t := rtlil.CellType(n.Op)
+		if t != rtlil.CellAnd && t != rtlil.CellOr && t != rtlil.CellXor {
+			return 0
+		}
+		a, b := binKids(g, n)
+		applied := 0
+		try := func(x, c ClassID) {
+			v, ok := g.constOf(c)
+			if !ok {
+				return
+			}
+			ones := mask(n.Width)
+			switch {
+			case v == 0 && t == rtlil.CellAnd:
+				if g.Union(id, addConst(g, 0, n.Width)) {
+					applied++
+				}
+			case v == 0: // or, xor
+				if g.Union(id, x) {
+					applied++
+				}
+			case v == ones && t == rtlil.CellAnd:
+				if g.Union(id, x) {
+					applied++
+				}
+			case v == ones && t == rtlil.CellOr:
+				if g.Union(id, addConst(g, ones, n.Width)) {
+					applied++
+				}
+			}
+		}
+		try(a, b)
+		try(b, a)
+		return applied
+	})
+	// ~~x -> x.
+	add("not_not", GroupBitwise, func(g *EGraph, id ClassID, n Node) int {
+		if !opIs(n, rtlil.CellNot) {
+			return 0
+		}
+		applied := 0
+		for _, inner := range matchNodes(g, n.Kids[0]) {
+			if opIs(inner, rtlil.CellNot) {
+				if g.Union(id, inner.Kids[0]) {
+					applied++
+				}
+			}
+		}
+		return applied
+	})
+	// xnor(a,b) -> ~(a^b): lets an xnor share an existing xor.
+	add("xnor_not_xor", GroupBitwise, func(g *EGraph, id ClassID, n Node) int {
+		if !opIs(n, rtlil.CellXnor) {
+			return 0
+		}
+		a, b := binKids(g, n)
+		x := g.Add(Node{Op: Op(rtlil.CellXor), Width: n.Width, Kids: []ClassID{a, b}})
+		return unionWith(g, id, Node{Op: Op(rtlil.CellNot), Width: n.Width, Kids: []ClassID{x}})
+	})
+
+	// --- shifts --------------------------------------------------------
+
+	// x << 0 -> x, x >> 0 -> x; x << k -> 0 and x >> k -> 0 for k >= w.
+	add("shift_const", GroupShift, func(g *EGraph, id ClassID, n Node) int {
+		t := rtlil.CellType(n.Op)
+		if t != rtlil.CellShl && t != rtlil.CellShr {
+			return 0
+		}
+		a, b := binKids(g, n)
+		k, ok := g.constOf(b)
+		if !ok {
+			return 0
+		}
+		switch {
+		case k == 0:
+			if g.Union(id, a) {
+				return 1
+			}
+		case k >= uint64(n.Width):
+			if g.Union(id, addConst(g, 0, n.Width)) {
+				return 1
+			}
+		}
+		return 0
+	})
+	// x << k -> x * 2^k for constant 0 < k < w (2^k is representable at
+	// width w exactly when k < w).
+	add("shl_to_mul", GroupShift, func(g *EGraph, id ClassID, n Node) int {
+		if !opIs(n, rtlil.CellShl) {
+			return 0
+		}
+		a, b := binKids(g, n)
+		k, ok := g.constOf(b)
+		if !ok || k == 0 || k >= uint64(n.Width) || n.Width > 64 {
+			return 0
+		}
+		c := addConst(g, uint64(1)<<k, n.Width)
+		return unionWith(g, id, Node{Op: Op(rtlil.CellMul), Width: n.Width, Kids: []ClassID{a, c}})
+	})
+	// x * 2^k -> x << k: the power-of-two strength reduction the paper's
+	// datapath class gains most from.
+	add("mul_to_shl", GroupShift, func(g *EGraph, id ClassID, n Node) int {
+		if !opIs(n, rtlil.CellMul) || n.Width > 64 {
+			return 0
+		}
+		a, b := binKids(g, n)
+		applied := 0
+		try := func(x, c ClassID) {
+			v, ok := g.constOf(c)
+			if !ok || v == 0 || v&(v-1) != 0 {
+				return
+			}
+			k := uint64(bits.TrailingZeros64(v))
+			if k == 0 || k >= uint64(n.Width) {
+				return // *1 is arith_identity's job; overflow cannot happen for an in-range const
+			}
+			kw := bits.Len64(k)
+			sh := addConst(g, k, kw)
+			applied += unionWith(g, id, Node{Op: Op(rtlil.CellShl), Width: n.Width, Kids: []ClassID{x, sh}})
+		}
+		try(a, b)
+		try(b, a)
+		return applied
+	})
+
+	// --- comparison canonicalization ----------------------------------
+
+	// a>b -> b<a and a>=b -> b<=a: one comparator direction per pair.
+	add("cmp_swap", GroupCmp, func(g *EGraph, id ClassID, n Node) int {
+		var flip rtlil.CellType
+		switch rtlil.CellType(n.Op) {
+		case rtlil.CellGt:
+			flip = rtlil.CellLt
+		case rtlil.CellGe:
+			flip = rtlil.CellLe
+		default:
+			return 0
+		}
+		a, b := binKids(g, n)
+		return unionWith(g, id, Node{Op: Op(flip), Width: n.Width, Kids: []ClassID{b, a}})
+	})
+	// a<=b -> ~(b<a) and a!=b -> ~(a==b): complements share the
+	// comparator through a 1-bit inverter.
+	add("cmp_complement", GroupCmp, func(g *EGraph, id ClassID, n Node) int {
+		var base rtlil.CellType
+		var kids [2]ClassID
+		a, b := ClassID(0), ClassID(0)
+		switch rtlil.CellType(n.Op) {
+		case rtlil.CellLe:
+			a, b = binKids(g, n)
+			base, kids = rtlil.CellLt, [2]ClassID{b, a}
+		case rtlil.CellNe:
+			a, b = binKids(g, n)
+			base, kids = rtlil.CellEq, [2]ClassID{a, b}
+		default:
+			return 0
+		}
+		inner := g.Add(Node{Op: Op(base), Width: n.Width, Kids: kids[:]})
+		return unionWith(g, id, Node{Op: Op(rtlil.CellNot), Width: 1, Kids: []ClassID{inner}})
+	})
+	// x==x -> 1, x!=x -> 0, x<x -> 0, x<=x -> 1 (gt/ge reach these via
+	// cmp_swap).
+	add("cmp_self", GroupCmp, func(g *EGraph, id ClassID, n Node) int {
+		var v uint64
+		switch rtlil.CellType(n.Op) {
+		case rtlil.CellEq, rtlil.CellLe:
+			v = 1
+		case rtlil.CellNe, rtlil.CellLt:
+			v = 0
+		default:
+			return 0
+		}
+		a, b := binKids(g, n)
+		if a != b {
+			return 0
+		}
+		if g.Union(id, addConst(g, v, 1)) {
+			return 1
+		}
+		return 0
+	})
+
+	// --- constant folding ---------------------------------------------
+
+	add("const_fold", GroupFold, func(g *EGraph, id ClassID, n Node) int {
+		if !foldable(n.Op) || len(n.Kids) == 0 {
+			return 0
+		}
+		if rtlil.CellType(n.Op) == rtlil.CellDiv {
+			return 0
+		}
+		vals := make([]uint64, len(n.Kids))
+		for i, k := range n.Kids {
+			v, ok := g.constOf(k)
+			if !ok {
+				return 0
+			}
+			vals[i] = v
+		}
+		v, ok := evalOp(n.Op, n.Width, vals)
+		if !ok {
+			return 0
+		}
+		if g.Union(id, addConst(g, v, n.valueWidth())) {
+			return 1
+		}
+		return 0
+	})
+
+	return rules
+}
+
+// Saturate runs equality saturation: every rule over every (class,
+// node) pair, rebuild, repeat — until a fixpoint, the iteration budget,
+// or the node budget. It returns the number of iterations run and the
+// total rewrites applied.
+func Saturate(g *EGraph, rules []Rule, iters, nodeLimit int) (ranIters, applied int) {
+	for iter := 0; iter < iters; iter++ {
+		if g.NodeCount() >= nodeLimit {
+			break
+		}
+		before := g.version
+		// Snapshot the class list: rewrites may allocate classes, which
+		// get their turn next iteration.
+		ids := g.ClassIDs()
+		for _, id := range ids {
+			for _, rule := range rules {
+				if g.NodeCount() >= nodeLimit {
+					break
+				}
+				id = g.Find(id)
+				// Snapshot the node list: rules may grow it. The limit
+				// is re-checked per node, not just per class: rules
+				// like associativity enumerate a kid class's nodes, so
+				// one unchecked sweep over a large class can add
+				// O(class²) nodes and eat gigabytes before the outer
+				// check fires.
+				nodes := append([]Node(nil), g.classes[id].Nodes...)
+				for _, n := range nodes {
+					if g.NodeCount() >= nodeLimit {
+						break
+					}
+					applied += rule.Apply(g, id, g.canonicalize(n))
+					id = g.Find(id)
+				}
+			}
+		}
+		g.Rebuild()
+		ranIters++
+		if g.version == before {
+			break
+		}
+	}
+	return ranIters, applied
+}

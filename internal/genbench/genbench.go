@@ -41,6 +41,11 @@ type Recipe struct {
 	DepBlocks       int
 	CaseBlocks      int
 	SynergyBlocks   int
+	// Datapath block classes (see DatapathRecipes): word-level
+	// arithmetic redundancy only the e-graph pass can extract.
+	MacBlocks int
+	FirBlocks int
+	CmpBlocks int
 
 	// CaseSelBits bounds the selector width of case blocks.
 	CaseSelBits [2]int
@@ -109,6 +114,9 @@ func Generate(r Recipe, scale float64) *rtlil.Module {
 	add(r.DepBlocks, g.depBlock)
 	add(r.CaseBlocks, g.caseBlock)
 	add(r.SynergyBlocks, g.synergyBlock)
+	add(r.MacBlocks, g.macBlock)
+	add(r.FirBlocks, g.firBlock)
+	add(r.CmpBlocks, g.cmpBlock)
 	g.rng.Shuffle(len(plan), func(i, j int) { plan[i], plan[j] = plan[j], plan[i] })
 	for _, f := range plan {
 		f()
@@ -184,6 +192,47 @@ func (g *generator) plainBlock() {
 		y = g.m.Xor(a, g.m.Shl(b, g.pickW(2)))
 	}
 	g.emit(y)
+}
+
+// macBlock: a multiply-accumulate chain sharing one operand — the
+// distributivity target a*b + a*c (+ a*d) that opt_egraph factors to
+// a*(b+c+d), saving whole multipliers. The AIG cannot share the
+// products structurally (different second operands), so every other
+// flow leaves the block untouched.
+func (g *generator) macBlock() {
+	w := g.r.DataWidth
+	a := g.pickW(w)
+	y := g.m.AddOp(g.m.MulOp(a, g.pickW(w)), g.m.MulOp(a, g.pickW(w)))
+	if g.rng.Intn(2) == 1 {
+		y = g.m.AddOp(y, g.m.MulOp(a, g.pickW(w)))
+	}
+	g.emit(y)
+}
+
+// firBlock: a FIR-style tap pair with a shared power-of-two
+// coefficient: x0*k + x1*k factors to (x0+x1)*k, and the mul-by-pow2
+// then exchanges into a shift — two multipliers collapse to one adder
+// plus wiring.
+func (g *generator) firBlock() {
+	w := g.r.DataWidth
+	k := rtlil.Const(uint64(1)<<uint(1+g.rng.Intn(w-1)), w)
+	acc := g.m.AddOp(g.m.MulOp(g.pickW(w), k), g.m.MulOp(g.pickW(w), k))
+	g.emit(acc)
+}
+
+// cmpBlock: a redundant comparator pair over reassociated sums with a
+// power-of-two threshold: (a+b)+c < k next to k > a+(b+c). The AIG
+// cannot merge the differently associated adder chains, but
+// associativity plus comparison mirroring puts both predicates in one
+// e-class, so one adder chain and one comparator go dead.
+func (g *generator) cmpBlock() {
+	w := g.r.DataWidth
+	a, b, c := g.pickW(w), g.pickW(w), g.pickW(w)
+	k := rtlil.Const(uint64(1)<<uint(g.rng.Intn(w)), w)
+	p := g.m.Lt(g.m.AddOp(g.m.AddOp(a, b), c), k)
+	q := g.m.Gt(k, g.m.AddOp(a, g.m.AddOp(b, c)))
+	g.emit(g.m.Mux(g.pickW(w), g.pickW(w), p))
+	g.emit(g.m.Mux(g.pickW(w), g.pickW(w), q))
 }
 
 // redundantBlock: redundancy the Yosys baseline already removes — the

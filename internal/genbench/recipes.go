@@ -105,3 +105,35 @@ func IndustrialRecipe(point int) Recipe {
 		MaxTerminals: 4, DepChainLen: 4,
 	}
 }
+
+// DatapathRecipes returns the datapath benchmark cases targeting the
+// opt_egraph pass: word-level arithmetic redundancy (shared-operand
+// MAC chains, common-coefficient FIR taps, mirrored comparator trees)
+// that neither the Yosys baseline nor the muxtree-centric smaRTLy
+// flows can touch. They are kept out of Recipes() so the Table II/III
+// calibration is unchanged.
+//
+// DataWidth stays at 5 bits deliberately: the per-cone equivalence
+// proofs opt_egraph runs involve multiplier miters, which are
+// exponential in width for the naive CDCL solver (about 100ms at 5
+// bits, seconds at 6, out of reach at 8). Narrow words keep verified
+// extraction in the millisecond range per proof.
+func DatapathRecipes() []Recipe {
+	return []Recipe{
+		{
+			Name: "mac_chain", Seed: 201,
+			PlainBlocks: 20, MacBlocks: 60, FirBlocks: 10, CmpBlocks: 10,
+			DataWidth: 5,
+		},
+		{
+			Name: "fir_shared", Seed: 202,
+			PlainBlocks: 15, MacBlocks: 10, FirBlocks: 70, CmpBlocks: 5,
+			DataWidth: 5,
+		},
+		{
+			Name: "cmp_forest", Seed: 203,
+			PlainBlocks: 15, MacBlocks: 5, FirBlocks: 5, CmpBlocks: 70,
+			DataWidth: 5,
+		},
+	}
+}

@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/aig"
+	"repro/internal/genbench"
+	"repro/internal/opt"
+)
+
+// EgraphBench is the verified e-graph rewriting section of the bench
+// report: the datapath benchmark set (multiplier/FIR/comparator
+// recipes the muxtree-centric flows cannot touch) measured under four
+// flows — the yosys baseline, the pre-egraph "full" pipeline
+// ("full_noegraph", which shows these designs used to win nothing),
+// the dedicated "datapath" flow and the current "full" flow. The
+// opt_egraph counters come from the "datapath" run; every rewrite it
+// ships was CEC-proven inside the pass, so the section needs no extra
+// whole-module equivalence pass (which would dwarf the optimization
+// wall-clock on multiplier-heavy designs).
+type EgraphBench struct {
+	Scale float64           `json:"scale"`
+	Cases []EgraphCaseBench `json:"cases"`
+}
+
+// EgraphCaseBench is one datapath case's measurement.
+type EgraphCaseBench struct {
+	Name         string         `json:"name"`
+	OriginalArea int            `json:"original_area"`
+	Areas        map[string]int `json:"areas"`
+	// ReductionPct is each flow's AIG-area reduction vs OriginalArea in
+	// percent.
+	ReductionPct map[string]float64 `json:"reduction_pct"`
+	// The opt_egraph counters of the datapath run: cones proved and
+	// applied, cones whose proof failed (rejected, kept original),
+	// rewrites applied during saturation, and the cost-model savings.
+	Verified     int `json:"verified"`
+	Rejected     int `json:"rejected"`
+	RulesApplied int `json:"rules_applied"`
+	CostSaved    int `json:"cost_saved"`
+	// ElapsedMS is the datapath flow's wall-clock, proofs included.
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// egraphBenchFlows returns the flows the section compares.
+// full_noegraph reconstructs the pre-egraph "full" pipeline.
+func egraphBenchFlows() ([]FlowSpec, error) {
+	noEgraph, err := opt.ParseFlow("fixpoint { opt_expr; smartly; opt_clean }")
+	if err != nil {
+		return nil, fmt.Errorf("harness: egraph bench ablation flow: %w", err)
+	}
+	out := []FlowSpec{}
+	for _, name := range []string{FlowYosys, "datapath", FlowFull} {
+		f, err := opt.NamedFlow(name)
+		if err != nil {
+			return nil, fmt.Errorf("harness: egraph bench flow %q: %w", name, err)
+		}
+		out = append(out, FlowSpec{Name: name, Flow: f})
+	}
+	return append(out[:1], append([]FlowSpec{{Name: "full_noegraph", Flow: noEgraph}}, out[1:]...)...), nil
+}
+
+// RunEgraphBench measures the datapath benchmark set at the given
+// scale.
+func RunEgraphBench(scale float64) (EgraphBench, error) {
+	bench := EgraphBench{Scale: scale}
+	flows, err := egraphBenchFlows()
+	if err != nil {
+		return bench, err
+	}
+	for _, recipe := range genbench.DatapathRecipes() {
+		m := genbench.Generate(recipe, scale)
+		cb := EgraphCaseBench{
+			Name:         recipe.Name,
+			Areas:        map[string]int{},
+			ReductionPct: map[string]float64{},
+		}
+		if cb.OriginalArea, err = aig.Area(m); err != nil {
+			return bench, fmt.Errorf("harness: egraph bench %s: %w", recipe.Name, err)
+		}
+		for _, fs := range flows {
+			work := m.Clone()
+			ctx := opt.NewCtx(nil, opt.Config{})
+			start := time.Now()
+			if _, err := fs.Flow.Run(ctx, work); err != nil {
+				return bench, fmt.Errorf("harness: egraph bench %s/%s: %w", recipe.Name, fs.Name, err)
+			}
+			elapsed := time.Since(start)
+			area, err := aig.Area(work)
+			if err != nil {
+				return bench, fmt.Errorf("harness: egraph bench %s/%s area: %w", recipe.Name, fs.Name, err)
+			}
+			cb.Areas[fs.Name] = area
+			if cb.OriginalArea > 0 {
+				cb.ReductionPct[fs.Name] = 100 * float64(cb.OriginalArea-area) / float64(cb.OriginalArea)
+			}
+			if fs.Name == "datapath" {
+				rep := ctx.Report()
+				cb.Verified = rep.Counter("opt_egraph", "egraph_verified")
+				cb.Rejected = rep.Counter("opt_egraph", "egraph_verify_rejected")
+				cb.RulesApplied = rep.Counter("opt_egraph", "egraph_rules_applied")
+				cb.CostSaved = rep.Counter("opt_egraph", "egraph_cost_saved")
+				cb.ElapsedMS = elapsed.Milliseconds()
+			}
+		}
+		bench.Cases = append(bench.Cases, cb)
+	}
+	return bench, nil
+}
+
+// String renders the section for the human-readable bench output.
+func (b EgraphBench) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Verified e-graph rewriting (scale %g, datapath benchmark set)\n", b.Scale)
+	fmt.Fprintf(&sb, "%-12s %9s %8s %14s %10s %6s %9s %9s %9s\n",
+		"Case", "Original", "yosys%", "full_noegraph%", "datapath%", "full%", "Verified", "Rejected", "Elapsed")
+	for _, c := range b.Cases {
+		fmt.Fprintf(&sb, "%-12s %9d %7.1f%% %13.1f%% %9.1f%% %5.1f%% %9d %9d %7dms\n",
+			c.Name, c.OriginalArea,
+			c.ReductionPct[FlowYosys], c.ReductionPct["full_noegraph"],
+			c.ReductionPct["datapath"], c.ReductionPct[FlowFull],
+			c.Verified, c.Rejected, c.ElapsedMS)
+	}
+	return sb.String()
+}

@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestRunEgraphBench runs the e-graph section at the smallest scale:
+// the datapath flow must beat both the yosys baseline and the
+// pre-egraph full pipeline on every case (the section's reason to
+// exist — these designs used to win nothing), every shipped rewrite
+// must have been proved, and the section must round-trip through the
+// bench JSON.
+func TestRunEgraphBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SAT-heavy (per-cone proofs); skipped under -short")
+	}
+	b, err := RunEgraphBench(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Cases) == 0 {
+		t.Fatal("no datapath cases")
+	}
+	for _, c := range b.Cases {
+		if c.OriginalArea == 0 {
+			t.Errorf("%s: no original area", c.Name)
+		}
+		if c.Verified == 0 {
+			t.Errorf("%s: datapath flow proved no rewrites", c.Name)
+		}
+		if dp := c.ReductionPct["datapath"]; dp <= c.ReductionPct["full_noegraph"] ||
+			dp <= c.ReductionPct[FlowYosys] {
+			t.Errorf("%s: datapath (%.1f%%) does not beat yosys (%.1f%%) and the pre-egraph full (%.1f%%)",
+				c.Name, dp, c.ReductionPct[FlowYosys], c.ReductionPct["full_noegraph"])
+		}
+		if c.Areas[FlowFull] > c.Areas["datapath"] {
+			t.Errorf("%s: full (%d) worse than datapath (%d)",
+				c.Name, c.Areas[FlowFull], c.Areas["datapath"])
+		}
+	}
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back EgraphBench
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Cases[0].Verified != b.Cases[0].Verified {
+		t.Error("bench section does not round-trip through JSON")
+	}
+	if b.String() == "" {
+		t.Error("empty human-readable rendering")
+	}
+}

@@ -31,6 +31,10 @@ type BenchReport struct {
 	// incremental-vs-per-query-solver wall-clock (smartly-bench -sat);
 	// absent when the mode did not run.
 	Sat *SatBench `json:"sat,omitempty"`
+	// Egraph holds the verified e-graph rewriting measurement on the
+	// datapath benchmark set (smartly-bench -egraph); absent when the
+	// mode did not run.
+	Egraph *EgraphBench `json:"egraph,omitempty"`
 }
 
 // BenchCase is one benchmark case of a BenchReport.

@@ -206,6 +206,23 @@ func evalLanesPorts(c *rtlil.Cell, port func(string) []uint64) []uint64 {
 		}
 		return acc
 
+	case rtlil.CellDiv:
+		// No structural lane formula: transpose, divide per lane,
+		// transpose back. Division by zero is all-x, clamped to 0.
+		out := make([]uint64, yw)
+		if len(A) > 64 || len(B) > 64 {
+			return out // EvalCell: all-x above 64 bits, clamped to 0
+		}
+		for lane := uint(0); lane < 64; lane++ {
+			b := gatherLane(B, lane)
+			var v uint64
+			if b != 0 {
+				v = gatherLane(A, lane) / b
+			}
+			scatterLane(out, lane, v)
+		}
+		return out
+
 	case rtlil.CellEq, rtlil.CellNe:
 		w := len(A)
 		if len(B) > w {
