@@ -5,7 +5,7 @@
 // Usage:
 //
 //	smartly-bench [-scale 1.0] [-table 2|3|all] [-industrial n] [-j n] [-check] [-v]
-//	              [-json] [-server] [-design n] [-sat] [-egraph] [-flow name|name=script]...
+//	              [-json] [-server] [-design n] [-sat] [-egraph] [-corpus dir] [-flow name|name=script]...
 //
 // Scale 1.0 runs the calibrated case sizes (minutes); smaller scales
 // reproduce the table shape faster. The paper's absolute circuit sizes
@@ -57,6 +57,7 @@ type benchConfig struct {
 	design     int
 	sat        bool
 	egraph     bool
+	corpus     string
 	flows      []string
 }
 
@@ -73,6 +74,7 @@ func main() {
 	flag.IntVar(&cfg.design, "design", 0, "also measure design-mode sharding cold/warm/incremental latency on an n-module design (0 = off)")
 	flag.BoolVar(&cfg.sat, "sat", false, "also measure the incremental SAT oracle (counters + wall-clock vs the sim_filter=false ablation and the per-query-solver oracle) on the sat and full flows")
 	flag.BoolVar(&cfg.egraph, "egraph", false, "also measure verified e-graph rewriting on the datapath benchmark set (yosys vs pre-egraph full vs datapath vs full)")
+	flag.StringVar(&cfg.corpus, "corpus", "", "also measure an external benchmark-corpus directory (manifest.json + Verilog) under the yosys/seq/full flows")
 	var flows flowList
 	flag.Var(&flows, "flow", "flow to measure: a named flow or name=script (repeatable; default: the paper's four pipelines)")
 	flag.Parse()
@@ -158,6 +160,14 @@ func runBench(cfg benchConfig, out io.Writer) error {
 		}
 		egraphBench = &eb
 	}
+	var corpusBench *harness.CorpusBench
+	if cfg.corpus != "" {
+		cb, err := harness.RunCorpusBench(cfg.corpus)
+		if err != nil {
+			return err
+		}
+		corpusBench = &cb
+	}
 
 	if cfg.jsonOut {
 		rep := harness.NewBenchReport(cfg.scale, opts.Flows, results, points, time.Since(start))
@@ -165,6 +175,7 @@ func runBench(cfg benchConfig, out io.Writer) error {
 		rep.Design = designBench
 		rep.Sat = satBench
 		rep.Egraph = egraphBench
+		rep.Corpus = corpusBench
 		return rep.WriteJSON(out)
 	}
 	if results != nil {
@@ -194,6 +205,9 @@ func runBench(cfg benchConfig, out io.Writer) error {
 	}
 	if egraphBench != nil {
 		fmt.Fprintln(out, egraphBench.String())
+	}
+	if corpusBench != nil {
+		fmt.Fprintln(out, corpusBench.String())
 	}
 	return nil
 }

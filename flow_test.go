@@ -229,7 +229,7 @@ func TestPipelineShimEquivalence(t *testing.T) {
 
 func TestNamedFlowsAndRegistry(t *testing.T) {
 	names := FlowNames()
-	if !reflect.DeepEqual(names, []string{"datapath", "full", "rebuild", "sat", "yosys"}) {
+	if !reflect.DeepEqual(names, []string{"datapath", "full", "rebuild", "sat", "seq", "yosys"}) {
 		t.Errorf("FlowNames = %v", names)
 	}
 	if _, err := NamedFlow("bogus"); err == nil {
@@ -238,7 +238,7 @@ func TestNamedFlowsAndRegistry(t *testing.T) {
 	want := map[string]bool{
 		"opt_expr": false, "opt_muxtree": false, "opt_clean": false,
 		"opt_reduce": false, "satmux": false, "rebuild": false, "smartly": false,
-		"opt_egraph": false,
+		"opt_egraph": false, "opt_dff": false,
 	}
 	for _, spec := range Passes() {
 		if _, ok := want[spec.Name]; ok {

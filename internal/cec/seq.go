@@ -1,0 +1,709 @@
+package cec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/aig"
+	"repro/internal/rtlil"
+	"repro/internal/sat"
+	"repro/internal/sim"
+)
+
+// Sequential equivalence checking by k-induction.
+//
+// Where Check cuts both modules at their flip-flops and matches them by
+// cell name, CheckSequential treats registers as internal state: the
+// two modules only need the same input/output ports, so register
+// removals, merges and renamings (the opt_dff rewrite classes) are in
+// scope. The model is the repository-wide sequential semantics: all
+// registers reset to zero and advance together on a single clock.
+//
+// The proof unrolls both transition relations (aig.FromModule, whose Q
+// bits are AIG inputs and D bits AIG outputs) into one incremental SAT
+// solver, one Tseitin copy per time frame, with frame f's Q variables
+// tied to frame f-1's D variables and the primary inputs of both
+// machines tied per frame. Reset and induction hypotheses enter as
+// assumptions (the incremental interface from PR 5), so one solver
+// serves every query:
+//
+//   - BMC base case: for each depth d < k, assume the all-zero reset
+//     state at frame 0 and the miter at frame d. Sat is a concrete
+//     multi-cycle counterexample.
+//   - Induction step: assume the miter quiet at frames 0..k-1 and ask
+//     for a difference at frame k, over an unconstrained start state.
+//
+// Plain k-induction is incomplete for register sweeps: a self-loop
+// register replaced by its reset constant differs in unreachable states
+// for every k. The induction start state is therefore strengthened with
+// van-Eijk-style invariants: candidate register-constant and
+// register-correspondence pairs are harvested from multi-cycle random
+// simulation from reset (both machines under shared stimulus), the
+// candidate set is refined to a 1-inductive fixpoint with per-candidate
+// SAT queries, and the surviving invariants (which hold in every
+// reachable state) constrain all induction frames.
+type SeqOptions struct {
+	// K is the induction depth (default 2). The BMC base case covers
+	// cycles 0..K-1 from reset.
+	K int
+	// MaxConflicts bounds each SAT call; 0 means unlimited.
+	MaxConflicts int64
+	// Seed drives the random simulation (default 1).
+	Seed int64
+	// SimCycles is the number of clock cycles per random-simulation
+	// round (default 16); SimRounds the number of 64-lane rounds
+	// (default 2). Simulation both refutes cheap inequivalences and
+	// harvests the invariant candidates.
+	SimCycles int
+	SimRounds int
+	// MaxInvariants caps the candidate invariant set (default 512).
+	MaxInvariants int
+	// DisableInvariants turns off the van Eijk strengthening, leaving
+	// plain k-induction (ablation/testing knob).
+	DisableInvariants bool
+}
+
+func (o *SeqOptions) withDefaults() SeqOptions {
+	var out SeqOptions
+	if o != nil {
+		out = *o
+	}
+	if out.K == 0 {
+		out.K = 2
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	if out.SimCycles == 0 {
+		out.SimCycles = 16
+	}
+	if out.SimRounds == 0 {
+		out.SimRounds = 2
+	}
+	if out.MaxInvariants == 0 {
+		out.MaxInvariants = 512
+	}
+	return out
+}
+
+// SeqNotEquivalentError is a concrete sequential counterexample: a
+// per-cycle input assignment (from reset) after which the named output
+// differs at cycle Cycle.
+type SeqNotEquivalentError struct {
+	Output string
+	Cycle  int
+	// Inputs[t] assigns every input key at cycle t, for t = 0..Cycle.
+	Inputs []map[string]bool
+}
+
+// Error renders the counterexample.
+func (e *SeqNotEquivalentError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cec: modules differ sequentially on output %s at cycle %d under", e.Output, e.Cycle)
+	for t, in := range e.Inputs {
+		keys := make([]string, 0, len(in))
+		for k := range in {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&sb, " cycle%d{", t)
+		for i, k := range keys {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			v := 0
+			if in[k] {
+				v = 1
+			}
+			fmt.Fprintf(&sb, "%s=%d", k, v)
+		}
+		sb.WriteByte('}')
+	}
+	return sb.String()
+}
+
+// UnknownError reports an inconclusive sequential check: no
+// counterexample was found, but the induction (or a SAT budget) could
+// not complete the proof. Callers with a verify-before-rewire contract
+// must treat it as a rejection.
+type UnknownError struct{ Reason string }
+
+// Error describes why the check was inconclusive.
+func (e *UnknownError) Error() string { return "cec: sequential check inconclusive: " + e.Reason }
+
+// portPoints is cutPoints restricted to real module ports: registers
+// stay internal so the two sides may differ in register structure.
+func portPoints(m *rtlil.Module) *points {
+	ix := rtlil.NewIndex(m)
+	p := &points{}
+	seenIn := map[rtlil.SigBit]bool{}
+	for _, w := range m.Inputs() {
+		mapped := ix.Map(w.Bits())
+		for i, b := range mapped {
+			if b.IsConst() || seenIn[b] {
+				continue
+			}
+			seenIn[b] = true
+			p.inKeys = append(p.inKeys, fmt.Sprintf("in:%s[%d]", w.Name, i))
+			p.inBits = append(p.inBits, b)
+		}
+	}
+	for _, w := range m.Outputs() {
+		for i, b := range w.Bits() {
+			p.outKeys = append(p.outKeys, fmt.Sprintf("out:%s[%d]", w.Name, i))
+			p.outBits = append(p.outBits, b)
+		}
+	}
+	return p
+}
+
+// seqReg is one register bit of one machine.
+type seqReg struct {
+	q    rtlil.SigBit // Q bit as written in the module (LitOf canonicalizes)
+	dLit aig.Lit      // AIG literal of the matching D bit
+	name string       // "cell.Q[i]" for diagnostics
+}
+
+// machine is one side of the product machine: the module, its AIG
+// transition/output function and its register bits in deterministic
+// order.
+type machine struct {
+	mod  *rtlil.Module
+	mp   *aig.Mapping
+	pts  *points
+	regs []seqReg
+}
+
+func newMachine(m *rtlil.Module) (*machine, error) {
+	if err := rtlil.ValidateSequential(m); err != nil {
+		return nil, fmt.Errorf("cec: %w", err)
+	}
+	mp, err := aig.FromModule(m)
+	if err != nil {
+		return nil, fmt.Errorf("cec: mapping %s: %w", m.Name, err)
+	}
+	mc := &machine{mod: m, mp: mp, pts: portPoints(m)}
+	for _, c := range m.SeqCells() {
+		q := c.Port("Q")
+		d := c.Port("D")
+		for i := range q {
+			if q[i].IsConst() {
+				continue
+			}
+			mc.regs = append(mc.regs, seqReg{
+				q:    q[i],
+				dLit: mp.LitOf(d[i]),
+				name: fmt.Sprintf("%s.Q[%d]", c.Name, i),
+			})
+		}
+	}
+	return mc, nil
+}
+
+// invariant is one candidate (later proven) inductive fact about the
+// product machine's reachable states: register bit (side, idx) equals
+// constant 0 (repSide < 0) or equals register bit (repSide, repIdx).
+type invariant struct {
+	side, idx       int
+	repSide, repIdx int
+}
+
+// frame is one time step of the unrolled product machine.
+type frame struct {
+	ca, cb     *aig.CNF
+	in         map[string]sat.Lit // tied input literal per key
+	regA, regB []sat.Lit          // Q literal per register bit
+	dA, dB     []sat.Lit          // D literal per register bit
+	outA, outB []sat.Lit          // output literal per out key
+	diff       sat.Lit            // OR over output-pair XORs
+	invLit     map[int]sat.Lit    // invariant index -> assumption literal
+}
+
+// unroller owns the incremental solver and the growing frame stack.
+type unroller struct {
+	o       SeqOptions
+	solver  *sat.Solver
+	a, b    *machine
+	bInIdx  map[string]int
+	bOutIdx map[string]int
+	frames  []*frame
+	invs    []invariant
+}
+
+func newUnroller(a, b *machine, o SeqOptions) *unroller {
+	u := &unroller{
+		o:       o,
+		solver:  sat.NewSolver(),
+		a:       a,
+		b:       b,
+		bInIdx:  map[string]int{},
+		bOutIdx: map[string]int{},
+	}
+	u.solver.MaxConflicts = o.MaxConflicts
+	for i, key := range b.pts.inKeys {
+		u.bInIdx[key] = i
+	}
+	for i, key := range b.pts.outKeys {
+		u.bOutIdx[key] = i
+	}
+	return u
+}
+
+func (u *unroller) tie(a, b sat.Lit) {
+	u.solver.AddClause(a.Not(), b)
+	u.solver.AddClause(a, b.Not())
+}
+
+// frame materializes time frames up to f and returns frame f.
+func (u *unroller) frame(f int) *frame {
+	for len(u.frames) <= f {
+		u.addFrame()
+	}
+	return u.frames[f]
+}
+
+func (u *unroller) addFrame() {
+	s := u.solver
+	fr := &frame{
+		ca:     aig.NewCNF(u.a.mp.G, s),
+		cb:     aig.NewCNF(u.b.mp.G, s),
+		in:     map[string]sat.Lit{},
+		invLit: map[int]sat.Lit{},
+	}
+	// Primary inputs, tied across the two machines.
+	for i, key := range u.a.pts.inKeys {
+		la := fr.ca.SatLit(u.a.mp.LitOf(u.a.pts.inBits[i]))
+		lb := fr.cb.SatLit(u.b.mp.LitOf(u.b.pts.inBits[u.bInIdx[key]]))
+		u.tie(la, lb)
+		fr.in[key] = la
+	}
+	// Register state and next-state literals.
+	for _, r := range u.a.regs {
+		fr.regA = append(fr.regA, fr.ca.SatLit(u.a.mp.LitOf(r.q)))
+		fr.dA = append(fr.dA, fr.ca.SatLit(r.dLit))
+	}
+	for _, r := range u.b.regs {
+		fr.regB = append(fr.regB, fr.cb.SatLit(u.b.mp.LitOf(r.q)))
+		fr.dB = append(fr.dB, fr.cb.SatLit(r.dLit))
+	}
+	// Transition: this frame's state is the previous frame's next-state.
+	if n := len(u.frames); n > 0 {
+		prev := u.frames[n-1]
+		for i := range fr.regA {
+			u.tie(fr.regA[i], prev.dA[i])
+		}
+		for i := range fr.regB {
+			u.tie(fr.regB[i], prev.dB[i])
+		}
+	}
+	// Output miter: diff <-> OR over per-output XORs.
+	var xs []sat.Lit
+	for i, key := range u.a.pts.outKeys {
+		la := fr.ca.SatLit(u.a.mp.LitOf(u.a.pts.outBits[i]))
+		lb := fr.cb.SatLit(u.b.mp.LitOf(u.b.pts.outBits[u.bOutIdx[key]]))
+		fr.outA = append(fr.outA, la)
+		fr.outB = append(fr.outB, lb)
+		x := sat.PosLit(s.NewVar())
+		s.AddClause(x.Not(), la, lb)
+		s.AddClause(x.Not(), la.Not(), lb.Not())
+		s.AddClause(x, la.Not(), lb)
+		s.AddClause(x, la, lb.Not())
+		xs = append(xs, x)
+	}
+	diff := sat.PosLit(s.NewVar())
+	for _, x := range xs {
+		s.AddClause(x.Not(), diff)
+	}
+	s.AddClause(append([]sat.Lit{diff.Not()}, xs...)...)
+	fr.diff = diff
+	u.frames = append(u.frames, fr)
+}
+
+func (u *unroller) regLit(fr *frame, side, idx int) sat.Lit {
+	if side == 0 {
+		return fr.regA[idx]
+	}
+	return fr.regB[idx]
+}
+
+// resetAssumps returns the all-zero reset state of frame 0.
+func (u *unroller) resetAssumps() []sat.Lit {
+	fr := u.frame(0)
+	out := make([]sat.Lit, 0, len(fr.regA)+len(fr.regB))
+	for _, l := range fr.regA {
+		out = append(out, l.Not())
+	}
+	for _, l := range fr.regB {
+		out = append(out, l.Not())
+	}
+	return out
+}
+
+// invAssump returns the assumption literal enforcing invariant j at
+// frame f (creating the indicator variable and clauses on first use).
+func (u *unroller) invAssump(f, j int) sat.Lit {
+	fr := u.frame(f)
+	if l, ok := fr.invLit[j]; ok {
+		return l
+	}
+	inv := u.invs[j]
+	r := u.regLit(fr, inv.side, inv.idx)
+	var l sat.Lit
+	if inv.repSide < 0 {
+		l = r.Not() // register bit == 0
+	} else {
+		s := u.regLit(fr, inv.repSide, inv.repIdx)
+		e := sat.PosLit(u.solver.NewVar())
+		u.solver.AddClause(e.Not(), r.Not(), s)
+		u.solver.AddClause(e.Not(), r, s.Not())
+		l = e
+	}
+	fr.invLit[j] = l
+	return l
+}
+
+// violation returns an assumption literal forcing invariant j to be
+// violated at frame f.
+func (u *unroller) violation(f, j int) sat.Lit {
+	fr := u.frame(f)
+	inv := u.invs[j]
+	r := u.regLit(fr, inv.side, inv.idx)
+	if inv.repSide < 0 {
+		return r // register bit == 1
+	}
+	s := u.regLit(fr, inv.repSide, inv.repIdx)
+	x := sat.PosLit(u.solver.NewVar())
+	u.solver.AddClause(x.Not(), r, s)
+	u.solver.AddClause(x.Not(), r.Not(), s.Not())
+	return x
+}
+
+// bmc searches for a counterexample at exactly depth d from reset.
+// Returns (cex, nil) when found, (nil, nil) when refuted, an
+// UnknownError on budget exhaustion.
+func (u *unroller) bmc(d int) (*SeqNotEquivalentError, error) {
+	fr := u.frame(d)
+	assumps := append(u.resetAssumps(), fr.diff)
+	switch u.solver.Solve(assumps...) {
+	case sat.Unsat:
+		return nil, nil
+	case sat.Unknown:
+		return nil, &UnknownError{Reason: fmt.Sprintf("BMC conflict budget exhausted at depth %d (MaxConflicts=%d)", d, u.o.MaxConflicts)}
+	}
+	return u.extractCex(d), nil
+}
+
+// extractCex reads the per-cycle input assignment and the first
+// differing output out of a satisfying model.
+func (u *unroller) extractCex(d int) *SeqNotEquivalentError {
+	e := &SeqNotEquivalentError{Cycle: d}
+	for f := 0; f <= d; f++ {
+		fr := u.frames[f]
+		in := map[string]bool{}
+		for key, l := range fr.in {
+			in[key] = u.solver.ValueLit(l)
+		}
+		e.Inputs = append(e.Inputs, in)
+	}
+	fr := u.frames[d]
+	e.Output = "?"
+	for i, key := range u.a.pts.outKeys {
+		if u.solver.ValueLit(fr.outA[i]) != u.solver.ValueLit(fr.outB[i]) {
+			e.Output = key
+			break
+		}
+	}
+	return e
+}
+
+// refineInvariants drops candidates until the set is 1-inductive: every
+// surviving invariant provably holds at frame 1 whenever all survivors
+// hold at frame 0 (over an unconstrained start state). Since every
+// candidate holds in the all-zero reset state by construction, the
+// fixpoint is a true invariant of both machines' reachable product
+// states. Inconclusive queries conservatively drop the candidate.
+func (u *unroller) refineInvariants(cands []invariant) []invariant {
+	u.invs = cands
+	active := make([]int, len(cands))
+	for i := range active {
+		active[i] = i
+	}
+	for {
+		assumps := make([]sat.Lit, 0, len(active))
+		for _, j := range active {
+			assumps = append(assumps, u.invAssump(0, j))
+		}
+		var kept []int
+		changed := false
+		for _, j := range active {
+			switch u.solver.Solve(append(assumps, u.violation(1, j))...) {
+			case sat.Unsat:
+				kept = append(kept, j)
+			default: // Sat or Unknown: not (provably) inductive
+				changed = true
+			}
+		}
+		active = kept
+		if !changed {
+			break
+		}
+	}
+	out := make([]invariant, 0, len(active))
+	for _, j := range active {
+		out = append(out, cands[j])
+	}
+	u.invs = out
+	// Invalidate cached per-frame indicator literals: indices moved.
+	for _, fr := range u.frames {
+		fr.invLit = map[int]sat.Lit{}
+	}
+	return out
+}
+
+// induction runs the strengthened induction step at depth k: assuming
+// the invariants at every frame and a quiet miter at frames 0..k-1, a
+// difference at frame k must be unsatisfiable.
+func (u *unroller) induction(k int) error {
+	var assumps []sat.Lit
+	for f := 0; f <= k; f++ {
+		fr := u.frame(f)
+		for j := range u.invs {
+			assumps = append(assumps, u.invAssump(f, j))
+		}
+		if f < k {
+			assumps = append(assumps, fr.diff.Not())
+		}
+	}
+	switch u.solver.Solve(append(assumps, u.frame(k).diff)...) {
+	case sat.Unsat:
+		return nil
+	case sat.Unknown:
+		return &UnknownError{Reason: fmt.Sprintf("induction conflict budget exhausted at k=%d (MaxConflicts=%d)", k, u.o.MaxConflicts)}
+	}
+	return &UnknownError{Reason: fmt.Sprintf("k-induction inconclusive at k=%d with %d invariants", k, len(u.invs))}
+}
+
+// simulate runs both machines from reset under shared random stimulus.
+// It returns a counterexample if the outputs ever differ, else the
+// per-register value signatures used to harvest invariant candidates.
+func simulate(a, b *machine, o SeqOptions) (*SeqNotEquivalentError, [][]uint64, [][]uint64, error) {
+	simA, err := sim.NewSequential(a.mod)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("cec: module %s: %w", a.mod.Name, err)
+	}
+	simB, err := sim.NewSequential(b.mod)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("cec: module %s: %w", b.mod.Name, err)
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	sigA := make([][]uint64, len(a.regs))
+	sigB := make([][]uint64, len(b.regs))
+	for round := 0; round < o.SimRounds; round++ {
+		simA.Reset()
+		simB.Reset()
+		var history []map[string]uint64
+		for cyc := 0; cyc < o.SimCycles; cyc++ {
+			lanes := map[string]uint64{}
+			inA := map[rtlil.SigBit]uint64{}
+			inB := map[rtlil.SigBit]uint64{}
+			for i, key := range a.pts.inKeys {
+				v := rng.Uint64()
+				lanes[key] = v
+				inA[a.pts.inBits[i]] = v
+			}
+			// a.pts and b.pts are key-matched but may order the keys
+			// differently; assign B by key.
+			for i, key := range b.pts.inKeys {
+				inB[b.pts.inBits[i]] = lanes[key]
+			}
+			history = append(history, lanes)
+			va := simA.Step(inA)
+			vb := simB.Step(inB)
+			for i, key := range a.pts.outKeys {
+				xa := simA.Sig(va, rtlil.SigSpec{a.pts.outBits[i]})[0]
+				var xb uint64
+				for ib, kb := range b.pts.outKeys {
+					if kb == key {
+						xb = simB.Sig(vb, rtlil.SigSpec{b.pts.outBits[ib]})[0]
+						break
+					}
+				}
+				if xa != xb {
+					lane := firstDiffLane(xa, xb)
+					e := &SeqNotEquivalentError{Output: key, Cycle: cyc}
+					for _, h := range history {
+						in := map[string]bool{}
+						for k, v := range h {
+							in[k] = (v>>lane)&1 == 1
+						}
+						e.Inputs = append(e.Inputs, in)
+					}
+					return e, nil, nil, nil
+				}
+			}
+			stA := simA.State()
+			for i, r := range a.regs {
+				sigA[i] = append(sigA[i], stA[simA.Index().MapBit(r.q)])
+			}
+			stB := simB.State()
+			for i, r := range b.regs {
+				sigB[i] = append(sigB[i], stB[simB.Index().MapBit(r.q)])
+			}
+		}
+	}
+	return nil, sigA, sigB, nil
+}
+
+// harvestInvariants groups register bits (of both machines) and the
+// constant 0 by simulation signature; each class yields member==rep
+// candidates.
+func harvestInvariants(a, b *machine, sigA, sigB [][]uint64, max int) []invariant {
+	sigKey := func(sig []uint64) string {
+		var sb strings.Builder
+		for _, v := range sig {
+			fmt.Fprintf(&sb, "%016x.", v)
+		}
+		return sb.String()
+	}
+	type member struct{ side, idx int }
+	classes := map[string][]member{}
+	addOrder := []string{}
+	add := func(key string, m member) {
+		if _, ok := classes[key]; !ok {
+			addOrder = append(addOrder, key)
+		}
+		classes[key] = append(classes[key], m)
+	}
+	n := 0
+	if len(sigA) > 0 {
+		n = len(sigA[0])
+	} else if len(sigB) > 0 {
+		n = len(sigB[0])
+	}
+	zeroKey := sigKey(make([]uint64, n))
+	for i := range a.regs {
+		add(sigKey(sigA[i]), member{0, i})
+	}
+	for i := range b.regs {
+		add(sigKey(sigB[i]), member{1, i})
+	}
+	var out []invariant
+	for _, key := range addOrder {
+		ms := classes[key]
+		if key == zeroKey {
+			// Constant-zero candidates: every member against const 0.
+			for _, m := range ms {
+				out = append(out, invariant{side: m.side, idx: m.idx, repSide: -1})
+			}
+			continue
+		}
+		if len(ms) < 2 {
+			continue
+		}
+		rep := ms[0]
+		for _, m := range ms[1:] {
+			out = append(out, invariant{side: m.side, idx: m.idx, repSide: rep.side, repIdx: rep.idx})
+		}
+	}
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// CheckSequential proves sequential equivalence of a and b from the
+// all-zero reset state, returning nil when proven, a
+// *SeqNotEquivalentError with a multi-cycle counterexample when
+// refuted, a *UnknownError when the k-induction proof is inconclusive,
+// and other errors for interface mismatches, multiple clock domains or
+// unmappable logic.
+func CheckSequential(a, b *rtlil.Module, opt *SeqOptions) error {
+	o := opt.withDefaults()
+	ma, err := newMachine(a)
+	if err != nil {
+		return err
+	}
+	mb, err := newMachine(b)
+	if err != nil {
+		return err
+	}
+	if err := matchKeys(ma.pts, mb.pts); err != nil {
+		return err
+	}
+
+	// Phase 1: multi-cycle random simulation — cheap refuter and
+	// invariant-candidate harvest in one pass.
+	cex, sigA, sigB, err := simulate(ma, mb, o)
+	if err != nil {
+		return err
+	}
+	if cex != nil {
+		return cex
+	}
+
+	u := newUnroller(ma, mb, o)
+	// Stateless on both sides: frame 0 covers the whole behavior.
+	if len(ma.regs) == 0 && len(mb.regs) == 0 {
+		c, err := u.bmc(0)
+		if err != nil {
+			return err
+		}
+		if c != nil {
+			return c
+		}
+		return nil
+	}
+
+	// Phase 2: BMC base case, cycles 0..K-1 from reset.
+	for d := 0; d < o.K; d++ {
+		c, err := u.bmc(d)
+		if err != nil {
+			return err
+		}
+		if c != nil {
+			return c
+		}
+	}
+
+	// Phase 3: strengthen and close the induction.
+	if !o.DisableInvariants {
+		u.refineInvariants(harvestInvariants(ma, mb, sigA, sigB, o.MaxInvariants))
+	}
+	return u.induction(o.K)
+}
+
+// BMC searches for a sequential counterexample within depth cycles of
+// reset (cycles 0..depth inclusive): bounded model checking without the
+// induction step. It returns nil when no counterexample exists up to
+// the bound — bounded equivalence, not a proof. The differential
+// fuzzer cross-checks CheckSequential verdicts against BMC at k+2.
+func BMC(a, b *rtlil.Module, depth int, opt *SeqOptions) error {
+	o := opt.withDefaults()
+	ma, err := newMachine(a)
+	if err != nil {
+		return err
+	}
+	mb, err := newMachine(b)
+	if err != nil {
+		return err
+	}
+	if err := matchKeys(ma.pts, mb.pts); err != nil {
+		return err
+	}
+	u := newUnroller(ma, mb, o)
+	for d := 0; d <= depth; d++ {
+		c, err := u.bmc(d)
+		if err != nil {
+			return err
+		}
+		if c != nil {
+			return c
+		}
+		if len(ma.regs) == 0 && len(mb.regs) == 0 {
+			break // stateless: deeper frames repeat frame 0
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/genbench"
+	"repro/internal/opt"
+	"repro/internal/rtlil"
+)
+
+// TestDffDeterministicAcrossWorkers: the sequential flow must produce a
+// bit-identical netlist and identical counters regardless of the worker
+// budget. opt_dff itself is single-threaded, but it runs inside flows
+// whose other passes shard work, so the sweep's output must not depend
+// on anything a parallel stage could reorder.
+func TestDffDeterministicAcrossWorkers(t *testing.T) {
+	flow, err := opt.NamedFlow("seq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range genbench.SeqRecipes() {
+		r := r
+		t.Run(r.Name, func(t *testing.T) {
+			type outcome struct {
+				hash    string
+				details map[string]int
+			}
+			run := func(workers int) outcome {
+				m := genbench.Generate(r, 0.5)
+				ctx := opt.NewCtx(nil, opt.Config{Workers: workers})
+				res, err := flow.Run(ctx, m)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				return outcome{hash: rtlil.CanonicalHash(m), details: res.Details}
+			}
+			seq := run(1)
+			if seq.details["dff_removed"] == 0 {
+				t.Errorf("recipe %s swept no registers: %v", r.Name, seq.details)
+			}
+			for _, workers := range []int{2, 8} {
+				par := run(workers)
+				if seq.hash != par.hash {
+					t.Errorf("workers=%d: netlist hash %s != sequential %s",
+						workers, par.hash, seq.hash)
+				}
+				if !reflect.DeepEqual(seq.details, par.details) {
+					t.Errorf("workers=%d: counters differ:\nseq: %v\npar: %v",
+						workers, seq.details, par.details)
+				}
+			}
+		})
+	}
+}

@@ -126,5 +126,6 @@ func init() {
 	opt.RegisterFlow("sat", "fixpoint { opt_expr; satmux; opt_clean }")
 	opt.RegisterFlow("rebuild", "fixpoint { opt_expr; opt_muxtree; rebuild; opt_clean }")
 	opt.RegisterFlow("datapath", "fixpoint { opt_expr; opt_egraph; opt_clean }")
-	opt.RegisterFlow("full", "fixpoint { opt_expr; smartly; opt_egraph; opt_clean }")
+	opt.RegisterFlow("seq", "fixpoint { opt_expr; opt_dff; opt_clean }")
+	opt.RegisterFlow("full", "fixpoint { opt_expr; smartly; opt_egraph; opt_dff; opt_clean }")
 }

@@ -104,6 +104,7 @@ func TestNamedFlowsMatchLegacyPipelines(t *testing.T) {
 		"sat":      func() opt.Pass { return PipelineSAT(SatMuxOptions{}) },
 		"rebuild":  func() opt.Pass { return PipelineRebuild(RebuildOptions{}) },
 		"datapath": func() opt.Pass { return PipelineDatapath(egraph.Options{}) },
+		"seq":      func() opt.Pass { return PipelineSeq(opt.DffOptions{}) },
 		"full":     func() opt.Pass { return PipelineFull(SatMuxOptions{}, RebuildOptions{}) },
 	}
 	if got := opt.FlowNames(); len(got) != len(legacy) {

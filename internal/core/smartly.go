@@ -72,9 +72,17 @@ func PipelineDatapath(eo egraph.Options) opt.Pass {
 	return opt.Fixpoint(0, opt.ExprPass{}, &egraph.Pass{Opts: eo}, opt.CleanPass{})
 }
 
+// PipelineSeq runs the register-aware sequential sweep: opt_expr;
+// opt_dff; opt_clean. Every register removal or merge is proven by the
+// k-induction sequential equivalence check before it is applied.
+func PipelineSeq(o opt.DffOptions) opt.Pass {
+	return opt.Fixpoint(0, opt.ExprPass{}, &opt.DffPass{Opts: o}, opt.CleanPass{})
+}
+
 // PipelineFull runs the complete smaRTLy (Table II / Table III "Full")
 // plus the verified e-graph datapath stage, which shares and simplifies
-// the word-level arithmetic the muxtree passes leave untouched.
+// the word-level arithmetic the muxtree passes leave untouched, and the
+// induction-verified register sweep for sequential designs.
 func PipelineFull(so SatMuxOptions, ro RebuildOptions) opt.Pass {
-	return opt.Fixpoint(0, opt.ExprPass{}, &SmartlyPass{SatOpts: so, RebuildOpts: ro}, &egraph.Pass{}, opt.CleanPass{})
+	return opt.Fixpoint(0, opt.ExprPass{}, &SmartlyPass{SatOpts: so, RebuildOpts: ro}, &egraph.Pass{}, &opt.DffPass{}, opt.CleanPass{})
 }

@@ -46,6 +46,12 @@ type Recipe struct {
 	MacBlocks int
 	FirBlocks int
 	CmpBlocks int
+	// Sequential block classes (see SeqRecipes): registered pipelines
+	// plus the register redundancy the opt_dff sweep removes. Any
+	// nonzero count adds the shared clk input.
+	PipeBlocks     int
+	ConstRegBlocks int
+	DupRegBlocks   int
 
 	// CaseSelBits bounds the selector width of case blocks.
 	CaseSelBits [2]int
@@ -76,6 +82,8 @@ type generator struct {
 	r    Recipe
 	pool []rtlil.SigSpec // input signals to draw operands from
 	outs []rtlil.SigSpec // block outputs to be folded into ports
+	clk  rtlil.SigSpec   // shared clock, created on first sequential block
+	nreg int             // register name counter
 }
 
 // Generate builds the module for a recipe at the given scale factor
@@ -117,6 +125,12 @@ func Generate(r Recipe, scale float64) *rtlil.Module {
 	add(r.MacBlocks, g.macBlock)
 	add(r.FirBlocks, g.firBlock)
 	add(r.CmpBlocks, g.cmpBlock)
+	add(r.PipeBlocks, g.pipeBlock)
+	add(r.ConstRegBlocks, g.constRegBlock)
+	add(r.DupRegBlocks, g.dupRegBlock)
+	if r.PipeBlocks+r.ConstRegBlocks+r.DupRegBlocks > 0 {
+		g.seqClk() // deterministic wire order: clk precedes block wires
+	}
 	g.rng.Shuffle(len(plan), func(i, j int) { plan[i], plan[j] = plan[j], plan[i] })
 	for _, f := range plan {
 		f()

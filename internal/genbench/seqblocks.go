@@ -1,0 +1,143 @@
+package genbench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rtlil"
+)
+
+// Sequential block classes, targeting the opt_dff register sweep and
+// the k-induction checker:
+//
+//   - pipe blocks: registered pipelines over live datapath logic —
+//     nothing removable, they set the register denominator and force
+//     the checker to reason across cycles.
+//   - const-reg blocks: registers stuck at the zero reset value
+//     (self-loops, D tied to 0, decay via an input gate, chains of
+//     stuck registers) — removed by opt_dff's greatest-fixpoint sweep.
+//   - dup-reg blocks: register pairs latching the same D — merged by
+//     opt_dff's structural dedup.
+//
+// All sequential blocks share the single clk input (the sequential
+// passes require one clock domain).
+
+// seqClk lazily creates the shared clock input.
+func (g *generator) seqClk() rtlil.SigSpec {
+	if g.clk == nil {
+		g.clk = g.m.AddInput("clk", 1).Bits()
+	}
+	return g.clk
+}
+
+// reg latches d through a fresh register and returns its Q.
+func (g *generator) reg(hint string, d rtlil.SigSpec) rtlil.SigSpec {
+	q := g.m.NewWireHint(hint, d.Width())
+	g.nreg++
+	g.m.AddDff(fmt.Sprintf("%s_ff%d", hint, g.nreg), g.seqClk(), d, q.Bits())
+	return q.Bits()
+}
+
+// pipeBlock: a 2-3 stage registered pipeline over live logic. Every
+// stage register carries fresh data, so the sweep must keep them all.
+func (g *generator) pipeBlock() {
+	w := g.r.DataWidth
+	cur := g.m.Xor(g.m.And(g.pickW(w), g.pickW(w)), g.pickW(w))
+	stages := 2 + g.rng.Intn(2)
+	for i := 0; i < stages; i++ {
+		cur = g.reg("pipe", cur)
+		if g.rng.Intn(2) == 0 {
+			cur = g.m.Xor(cur, g.pickW(w))
+		}
+	}
+	g.emit(cur)
+}
+
+// constRegBlock: a register (or a small cone of registers) provably
+// stuck at the zero reset value, XOR-mixed into live data so it stays
+// observable until the sweep proves it constant.
+func (g *generator) constRegBlock() {
+	w := g.r.DataWidth
+	var stuck rtlil.SigSpec
+	switch g.rng.Intn(4) {
+	case 0:
+		// Self-loop: q' = q.
+		q := g.m.NewWireHint("stuck", w)
+		g.nreg++
+		g.m.AddDff(fmt.Sprintf("stuck_ff%d", g.nreg), g.seqClk(), q.Bits(), q.Bits())
+		stuck = q.Bits()
+	case 1:
+		// D tied to constant zero.
+		stuck = g.reg("stuck", rtlil.Const(0, w))
+	case 2:
+		// Decay through an input gate: q' = q & x stays 0 from reset.
+		q := g.m.NewWireHint("stuck", w)
+		g.nreg++
+		g.m.AddDff(fmt.Sprintf("stuck_ff%d", g.nreg), g.seqClk(),
+			g.m.And(q.Bits(), g.pickW(w)), q.Bits())
+		stuck = q.Bits()
+	case 3:
+		// A chain rooted in a self-loop: q1' = q1, q2' = q1 | q2.
+		q1 := g.m.NewWireHint("stuck", w)
+		g.nreg++
+		g.m.AddDff(fmt.Sprintf("stuck_ff%d", g.nreg), g.seqClk(), q1.Bits(), q1.Bits())
+		q2 := g.m.NewWireHint("stuck", w)
+		g.nreg++
+		g.m.AddDff(fmt.Sprintf("stuck_ff%d", g.nreg), g.seqClk(),
+			g.m.Or(q1.Bits(), q2.Bits()), q2.Bits())
+		stuck = q2.Bits()
+	}
+	g.emit(g.m.Xor(g.pickW(g.r.DataWidth), stuck))
+}
+
+// dupRegBlock: two registers latching the same D signal, each with its
+// own live use. The sweep merges them; one use keeps the survivor live.
+func (g *generator) dupRegBlock() {
+	w := g.r.DataWidth
+	d := g.m.Xor(g.pickW(w), g.pickW(w))
+	q1 := g.reg("dup", d)
+	q2 := g.reg("dup", d)
+	g.emit(g.m.And(q1, g.pickW(w)))
+	g.emit(g.m.Or(q2, g.pickW(w)))
+}
+
+// SeqRecipes returns the sequential benchmark cases for the register
+// sweep: pipeline-dominated, cleanup-dominated and a mixed case. Sizes
+// are modest because every opt_dff application re-proves the whole
+// module with the induction miter.
+func SeqRecipes() []Recipe {
+	return []Recipe{
+		{
+			Name: "seq_pipeline", Seed: 301,
+			PlainBlocks: 10, PipeBlocks: 24, ConstRegBlocks: 6, DupRegBlocks: 4,
+			DataWidth: 8,
+		},
+		{
+			Name: "seq_regsweep", Seed: 302,
+			PlainBlocks: 8, PipeBlocks: 4, ConstRegBlocks: 24, DupRegBlocks: 12,
+			DataWidth: 8,
+		},
+		{
+			Name: "seq_mixed", Seed: 303,
+			PlainBlocks: 12, RedundantBlocks: 8, DepBlocks: 6, CaseBlocks: 2,
+			PipeBlocks: 10, ConstRegBlocks: 10, DupRegBlocks: 6,
+			CaseSelBits: [2]int{3, 3}, DataWidth: 8, PmuxFraction: 0.4,
+		},
+	}
+}
+
+// RandomSeqRecipe derives a small random sequential recipe from a fuzz
+// seed: every block class can appear, register-heavy on average.
+func RandomSeqRecipe(seed int64) Recipe {
+	rng := rand.New(rand.NewSource(seed))
+	return Recipe{
+		Name: fmt.Sprintf("seqfuzz_%d", seed), Seed: seed,
+		PlainBlocks:     rng.Intn(4),
+		RedundantBlocks: rng.Intn(3),
+		DepBlocks:       rng.Intn(3),
+		PipeBlocks:      rng.Intn(5),
+		ConstRegBlocks:  rng.Intn(5),
+		DupRegBlocks:    rng.Intn(4),
+		DataWidth:       2 + rng.Intn(5),
+	}
+}

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/rtlil"
+	"repro/internal/verilog"
+)
+
+// CorpusCase is one externally-supplied benchmark design: a Verilog
+// file from an ISCAS/EPFL-style corpus directory, elaborated to rtlil.
+type CorpusCase struct {
+	Name   string
+	File   string
+	Top    string
+	Module *rtlil.Module
+}
+
+// corpusManifest is the schema of <dir>/manifest.json.
+type corpusManifest struct {
+	Cases []struct {
+		Name string `json:"name"`
+		File string `json:"file"`
+		Top  string `json:"top"`
+	} `json:"cases"`
+}
+
+// LoadCorpus reads a benchmark-corpus directory: a manifest.json listing
+// the cases plus the Verilog sources it references. Every case's file is
+// parsed and elaborated; the named top module (or the file's single
+// module when top is empty) becomes the case's netlist. The loaded
+// modules are validated, so a corrupt corpus fails here rather than
+// mid-benchmark.
+func LoadCorpus(dir string) ([]CorpusCase, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("harness: corpus %s: %w", dir, err)
+	}
+	var mf corpusManifest
+	if err := json.Unmarshal(raw, &mf); err != nil {
+		return nil, fmt.Errorf("harness: corpus %s: manifest.json: %w", dir, err)
+	}
+	if len(mf.Cases) == 0 {
+		return nil, fmt.Errorf("harness: corpus %s: manifest lists no cases", dir)
+	}
+	var out []CorpusCase
+	for _, c := range mf.Cases {
+		if c.Name == "" || c.File == "" {
+			return nil, fmt.Errorf("harness: corpus %s: case needs name and file (got %+v)", dir, c)
+		}
+		src, err := os.ReadFile(filepath.Join(dir, c.File))
+		if err != nil {
+			return nil, fmt.Errorf("harness: corpus case %s: %w", c.Name, err)
+		}
+		f, err := verilog.Parse(string(src))
+		if err != nil {
+			return nil, fmt.Errorf("harness: corpus case %s: %w", c.Name, err)
+		}
+		d, err := verilog.Elaborate(f)
+		if err != nil {
+			return nil, fmt.Errorf("harness: corpus case %s: %w", c.Name, err)
+		}
+		var m *rtlil.Module
+		if c.Top != "" {
+			if m = d.Module(c.Top); m == nil {
+				return nil, fmt.Errorf("harness: corpus case %s: no module %q in %s", c.Name, c.Top, c.File)
+			}
+		} else {
+			mods := d.Modules()
+			if len(mods) != 1 {
+				return nil, fmt.Errorf("harness: corpus case %s: %s has %d modules, set top", c.Name, c.File, len(mods))
+			}
+			m = mods[0]
+		}
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("harness: corpus case %s: %w", c.Name, err)
+		}
+		out = append(out, CorpusCase{Name: c.Name, File: c.File, Top: m.Name, Module: m})
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/aig"
+	"repro/internal/cec"
+	"repro/internal/opt"
+)
+
+// CorpusBench is the external-corpus section of the bench report: every
+// case of a benchmark-corpus directory (LoadCorpus) measured under the
+// yosys baseline, the register-sweep "seq" flow and the current "full"
+// flow. The opt_dff counters and the register statistics come from the
+// seq run; SeqProved records an end-to-end k-induction equivalence
+// check of the seq result against the unoptimized netlist — on top of
+// the per-sweep proofs the pass already ran internally.
+type CorpusBench struct {
+	Dir   string            `json:"dir"`
+	Cases []CorpusCaseBench `json:"cases"`
+}
+
+// CorpusCaseBench is one corpus case's measurement.
+type CorpusCaseBench struct {
+	Name         string             `json:"name"`
+	Top          string             `json:"top"`
+	OriginalArea int                `json:"original_area"`
+	Registers    int                `json:"registers"`
+	Areas        map[string]int     `json:"areas"`
+	ReductionPct map[string]float64 `json:"reduction_pct"`
+	// Register statistics and opt_dff counters of the seq run.
+	RegistersAfter int  `json:"registers_after"`
+	DffConst       int  `json:"dff_const"`
+	DffMerged      int  `json:"dff_merged"`
+	DffUnused      int  `json:"dff_unused"`
+	DffRejected    int  `json:"dff_verify_rejected"`
+	SeqProved      bool `json:"seq_proved"`
+	// ElapsedMS is the seq flow's wall-clock, proofs included.
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// corpusBenchFlows returns the flows the section compares.
+func corpusBenchFlows() ([]FlowSpec, error) {
+	out := []FlowSpec{}
+	for _, name := range []string{FlowYosys, "seq", FlowFull} {
+		f, err := opt.NamedFlow(name)
+		if err != nil {
+			return nil, fmt.Errorf("harness: corpus bench flow %q: %w", name, err)
+		}
+		out = append(out, FlowSpec{Name: name, Flow: f})
+	}
+	return out, nil
+}
+
+// RunCorpusBench loads the corpus directory and measures every case.
+func RunCorpusBench(dir string) (CorpusBench, error) {
+	bench := CorpusBench{Dir: dir}
+	cases, err := LoadCorpus(dir)
+	if err != nil {
+		return bench, err
+	}
+	flows, err := corpusBenchFlows()
+	if err != nil {
+		return bench, err
+	}
+	for _, cc := range cases {
+		cb := CorpusCaseBench{
+			Name:         cc.Name,
+			Top:          cc.Top,
+			Registers:    cc.Module.StateBits(),
+			Areas:        map[string]int{},
+			ReductionPct: map[string]float64{},
+		}
+		if cb.OriginalArea, err = aig.Area(cc.Module); err != nil {
+			return bench, fmt.Errorf("harness: corpus bench %s: %w", cc.Name, err)
+		}
+		for _, fs := range flows {
+			work := cc.Module.Clone()
+			ctx := opt.NewCtx(nil, opt.Config{})
+			start := time.Now()
+			if _, err := fs.Flow.Run(ctx, work); err != nil {
+				return bench, fmt.Errorf("harness: corpus bench %s/%s: %w", cc.Name, fs.Name, err)
+			}
+			elapsed := time.Since(start)
+			area, err := aig.Area(work)
+			if err != nil {
+				return bench, fmt.Errorf("harness: corpus bench %s/%s area: %w", cc.Name, fs.Name, err)
+			}
+			cb.Areas[fs.Name] = area
+			if cb.OriginalArea > 0 {
+				cb.ReductionPct[fs.Name] = 100 * float64(cb.OriginalArea-area) / float64(cb.OriginalArea)
+			}
+			if fs.Name == "seq" {
+				rep := ctx.Report()
+				cb.RegistersAfter = work.StateBits()
+				cb.DffConst = rep.Counter("opt_dff", "dff_const")
+				cb.DffMerged = rep.Counter("opt_dff", "dff_merged")
+				cb.DffUnused = rep.Counter("opt_dff", "dff_unused")
+				cb.DffRejected = rep.Counter("opt_dff", "dff_verify_rejected")
+				cb.SeqProved = cec.CheckSequential(cc.Module, work, nil) == nil
+				cb.ElapsedMS = elapsed.Milliseconds()
+			}
+		}
+		bench.Cases = append(bench.Cases, cb)
+	}
+	return bench, nil
+}
+
+// String renders the section for the human-readable bench output.
+func (b CorpusBench) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Benchmark corpus (%s)\n", b.Dir)
+	fmt.Fprintf(&sb, "%-12s %9s %5s %8s %6s %6s %7s %7s %7s %7s %9s\n",
+		"Case", "Original", "Regs", "yosys%", "seq%", "full%", "RegsAft", "Const", "Merged", "Unused", "SeqProved")
+	for _, c := range b.Cases {
+		fmt.Fprintf(&sb, "%-12s %9d %5d %7.1f%% %5.1f%% %5.1f%% %7d %7d %7d %7d %9v\n",
+			c.Name, c.OriginalArea, c.Registers,
+			c.ReductionPct[FlowYosys], c.ReductionPct["seq"], c.ReductionPct[FlowFull],
+			c.RegistersAfter, c.DffConst, c.DffMerged, c.DffUnused, c.SeqProved)
+	}
+	return sb.String()
+}

@@ -35,6 +35,11 @@ type BenchReport struct {
 	// datapath benchmark set (smartly-bench -egraph); absent when the
 	// mode did not run.
 	Egraph *EgraphBench `json:"egraph,omitempty"`
+	// Corpus holds the external benchmark-corpus measurement
+	// (smartly-bench -corpus <dir>): yosys/seq/full areas, register
+	// sweep counters and the end-to-end induction proof per case;
+	// absent when the mode did not run.
+	Corpus *CorpusBench `json:"corpus,omitempty"`
 }
 
 // BenchCase is one benchmark case of a BenchReport.

@@ -1,0 +1,250 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/cec"
+	"repro/internal/rtlil"
+)
+
+// checkSeqEquiv fails the test if the optimized module is not
+// sequentially equivalent to the original.
+func checkSeqEquiv(t *testing.T, orig, got *rtlil.Module) {
+	t.Helper()
+	if err := cec.CheckSequential(orig, got, nil); err != nil {
+		t.Fatalf("opt_dff broke sequential equivalence: %v", err)
+	}
+}
+
+// dffTestbench builds a module exercising every opt_dff rewrite class:
+// a self-loop register (stuck at reset), a register with D tied to
+// constant 0, a duplicate register pair, a register that nobody reads,
+// and one genuinely live register.
+func dffTestbench() *rtlil.Module {
+	m := rtlil.NewModule("bench")
+	clk := m.AddInput("clk", 1).Bits()
+	x := m.AddInput("x", 4).Bits()
+
+	self := m.NewWire(4)
+	m.AddDff("self", clk, self.Bits(), self.Bits())
+	zero := m.NewWire(4)
+	m.AddDff("zero", clk, rtlil.Const(0, 4), zero.Bits())
+	dup1 := m.NewWire(4)
+	dup2 := m.NewWire(4)
+	m.AddDff("dup1", clk, x, dup1.Bits())
+	m.AddDff("dup2", clk, x, dup2.Bits())
+	dead := m.NewWire(4)
+	m.AddDff("dead", clk, m.Not(x), dead.Bits())
+	live := m.NewWire(4)
+	m.AddDff("live", clk, m.Xor(x, dup1.Bits()), live.Bits())
+
+	y := m.AddOutput("y", 4)
+	m.Connect(y.Bits(), m.Xor(m.Or(self.Bits(), zero.Bits()),
+		m.And(dup2.Bits(), live.Bits())))
+	return m
+}
+
+func countDffs(m *rtlil.Module) int {
+	return len(m.SeqCells())
+}
+
+func TestDffSweep(t *testing.T) {
+	m := dffTestbench()
+	orig := m.Clone()
+	r, err := RunScript(nil, m, DffPass{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Changed {
+		t.Fatal("nothing optimized")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	checkSeqEquiv(t, orig, m)
+	// self + zero removed as constants, dup2 merged into dup1, dead
+	// removed as unused: dup1 and live survive.
+	if got := countDffs(m); got != 2 {
+		t.Errorf("registers after sweep = %d, want 2", got)
+	}
+	for counter, want := range map[string]int{
+		"dff_const":   2,
+		"dff_merged":  1,
+		"dff_unused":  1,
+		"dff_removed": 4,
+		"dff_proved":  1,
+	} {
+		if got := r.Details[counter]; got != want {
+			t.Errorf("%s = %d, want %d", counter, got, want)
+		}
+	}
+	if r.Details["dff_const_bits"] == 0 {
+		t.Error("dff_const_bits = 0, want freed constant bits propagated")
+	}
+}
+
+// TestDffNonzeroConstKept is the soundness trap: D tied to a nonzero
+// constant leaves the reset value after one cycle, so the register must
+// survive the sweep.
+func TestDffNonzeroConstKept(t *testing.T) {
+	m := rtlil.NewModule("m")
+	clk := m.AddInput("clk", 1).Bits()
+	q := m.NewWire(4)
+	m.AddDff("r", clk, rtlil.Const(5, 4), q.Bits())
+	y := m.AddOutput("y", 4)
+	m.Connect(y.Bits(), q.Bits())
+	r, err := RunScript(nil, m, DffPass{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Changed {
+		t.Fatalf("nonzero-constant register swept: %+v", r.Details)
+	}
+	if got := countDffs(m); got != 1 {
+		t.Errorf("registers = %d, want 1", got)
+	}
+}
+
+func TestDffConstConeRemoval(t *testing.T) {
+	// A cone of mutually-constant registers: q1' = q1 & x, q2' = q1 | q2.
+	// From reset both stay 0; neither D is syntactically constant, so
+	// only the greatest-fixpoint simulation finds them.
+	m := rtlil.NewModule("m")
+	clk := m.AddInput("clk", 1).Bits()
+	x := m.AddInput("x", 1).Bits()
+	q1 := m.NewWire(1)
+	q2 := m.NewWire(1)
+	m.AddDff("q1", clk, m.And(q1.Bits(), x), q1.Bits())
+	m.AddDff("q2", clk, m.Or(q1.Bits(), q2.Bits()), q2.Bits())
+	y := m.AddOutput("y", 1)
+	m.Connect(y.Bits(), m.Xor(q2.Bits(), x))
+	orig := m.Clone()
+	r, err := RunScript(nil, m, DffPass{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Details["dff_const"]; got != 2 {
+		t.Fatalf("dff_const = %d, want 2 (details %+v)", got, r.Details)
+	}
+	checkSeqEquiv(t, orig, m)
+}
+
+func TestDffMulticlock(t *testing.T) {
+	m := rtlil.NewModule("m")
+	c1 := m.AddInput("clk1", 1).Bits()
+	c2 := m.AddInput("clk2", 1).Bits()
+	q1 := m.NewWire(1)
+	q2 := m.NewWire(1)
+	m.AddDff("f1", c1, q1.Bits(), q1.Bits())
+	m.AddDff("f2", c2, q2.Bits(), q2.Bits())
+	y := m.AddOutput("y", 1)
+	m.Connect(y.Bits(), m.Xor(q1.Bits(), q2.Bits()))
+	r, err := RunScript(nil, m, DffPass{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Changed {
+		t.Fatal("multi-clock module must be skipped")
+	}
+	if r.Details["dff_multiclock"] != 1 {
+		t.Errorf("dff_multiclock = %d, want 1", r.Details["dff_multiclock"])
+	}
+	if got := countDffs(m); got != 2 {
+		t.Errorf("registers = %d, want 2 (untouched)", got)
+	}
+}
+
+func TestDffCombinationalNoop(t *testing.T) {
+	m := rtlil.NewModule("m")
+	a := m.AddInput("a", 2).Bits()
+	y := m.AddOutput("y", 2)
+	m.Connect(y.Bits(), m.Not(a))
+	r, err := RunScript(nil, m, DffPass{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Changed || len(r.Details) != 0 {
+		t.Fatalf("combinational module not a no-op: %+v", r.Details)
+	}
+}
+
+// TestDffVerifyOnOffIdentical: the sweep is deterministic, so the
+// verified and unverified paths must produce byte-identical netlists.
+func TestDffVerifyOnOffIdentical(t *testing.T) {
+	src := dffTestbench()
+	on := src.Clone()
+	off := src.Clone()
+	ron, err := RunScript(nil, on, DffPass{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roff, err := RunScript(nil, off, DffPass{Opts: DffOptions{DisableVerify: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtlil.CanonicalHash(on) != rtlil.CanonicalHash(off) {
+		t.Fatal("verify-on and verify-off netlists differ")
+	}
+	for _, counter := range []string{"dff_const", "dff_merged", "dff_unused", "dff_removed", "dff_const_bits"} {
+		if ron.Details[counter] != roff.Details[counter] {
+			t.Errorf("%s: verify-on %d != verify-off %d",
+				counter, ron.Details[counter], roff.Details[counter])
+		}
+	}
+	if ron.Details["dff_proved"] != 1 || roff.Details["dff_proved"] != 0 {
+		t.Errorf("dff_proved on/off = %d/%d, want 1/0",
+			ron.Details["dff_proved"], roff.Details["dff_proved"])
+	}
+}
+
+func TestDffAblationOptions(t *testing.T) {
+	for _, tc := range []struct {
+		script  string
+		counter string
+	}{
+		{"opt_dff(const=false)", "dff_const"},
+		{"opt_dff(merge=false)", "dff_merged"},
+		{"opt_dff(unused=false)", "dff_unused"},
+	} {
+		f, err := ParseFlow(tc.script)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.script, err)
+		}
+		m := dffTestbench()
+		r, err := f.Run(nil, m)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.script, err)
+		}
+		if got := r.Details[tc.counter]; got != 0 {
+			t.Errorf("%s: %s = %d, want 0", tc.script, tc.counter, got)
+		}
+	}
+	if _, err := ParseFlow("opt_dff(k=0)"); err == nil {
+		t.Error("opt_dff(k=0) accepted, want positive-option error")
+	}
+	if _, err := ParseFlow("opt_dff(bogus=1)"); err == nil {
+		t.Error("opt_dff(bogus=1) accepted, want unknown-option error")
+	}
+}
+
+// TestDffRejectsViaVerifier forces the prover into an unprovable spot
+// with a conflict budget of 1: the pass must keep the module untouched
+// and report the rejection.
+func TestDffRejectsViaVerifier(t *testing.T) {
+	m := dffTestbench()
+	before := rtlil.CanonicalHash(m)
+	r, err := RunScript(nil, m, DffPass{Opts: DffOptions{VerifyConflicts: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Details["dff_verify_rejected"] != 1 {
+		t.Fatalf("dff_verify_rejected = %d, want 1 (details %+v)",
+			r.Details["dff_verify_rejected"], r.Details)
+	}
+	if r.Changed {
+		t.Error("rejected sweep must not set Changed")
+	}
+	if rtlil.CanonicalHash(m) != before {
+		t.Error("rejected sweep mutated the module")
+	}
+}

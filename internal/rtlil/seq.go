@@ -1,0 +1,80 @@
+package rtlil
+
+import "fmt"
+
+// Sequential helpers shared by the register-aware pass (opt_dff), the
+// k-induction checker (internal/cec) and the multi-cycle simulator
+// (internal/sim).
+//
+// The repository-wide sequential semantics: every $dff resets to zero
+// (consistent with the two-valued canonical semantics where x evaluates
+// as 0), and all flip-flops of a module advance together on the tick of
+// a single clock. Multi-clock modules are valid IR but the sequential
+// reasoning passes skip or reject them — see SingleClock.
+
+// SeqCells returns the module's sequential cells in insertion order.
+func (m *Module) SeqCells() []*Cell {
+	var out []*Cell
+	for _, c := range m.Cells() {
+		if IsSequential(c.Type) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// StateBits counts the module's state bits (the sum of $dff widths).
+func (m *Module) StateBits() int {
+	n := 0
+	for _, c := range m.Cells() {
+		if IsSequential(c.Type) {
+			n += len(c.Port("Q"))
+		}
+	}
+	return n
+}
+
+// SingleClock returns the canonical clock bit shared by every
+// sequential cell of the module. Modules without sequential cells
+// return a constant bit and ok=true (vacuously single-clock); modules
+// whose flip-flops sit on more than one canonical clock signal return
+// ok=false.
+func SingleClock(m *Module) (clk SigBit, ok bool) {
+	sm := NewSigMap(m)
+	seen := false
+	for _, c := range m.Cells() {
+		if !IsSequential(c.Type) {
+			continue
+		}
+		b := sm.Bit(c.Port("CLK")[0])
+		if !seen {
+			clk, seen = b, true
+			continue
+		}
+		if b != clk {
+			return SigBit{}, false
+		}
+	}
+	if !seen {
+		return ConstBit(S0), true
+	}
+	return clk, true
+}
+
+// ValidateSequential extends Validate with the constraints the
+// sequential reasoning layer assumes: a single clock domain and
+// fully wire-driven (non-constant) state. It returns the first
+// violation, or nil for purely combinational modules.
+func ValidateSequential(m *Module) error {
+	if _, ok := SingleClock(m); !ok {
+		return fmt.Errorf("rtlil: module %s has flip-flops on more than one clock", m.Name)
+	}
+	for _, c := range m.SeqCells() {
+		for i, b := range c.Port("Q") {
+			if b.IsConst() {
+				return fmt.Errorf("rtlil: cell %s ($dff) Q bit %d is a constant", c.Name, i)
+			}
+		}
+	}
+	return nil
+}

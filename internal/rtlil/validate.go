@@ -161,6 +161,9 @@ func (m *Module) validateCellWidths(c *Cell) error {
 		if width("CLK") != 1 {
 			return fmt.Errorf("rtlil: cell %s ($dff) CLK width %d != 1", c.Name, width("CLK"))
 		}
+		if err := wantEq("Q", "WIDTH"); err != nil {
+			return err
+		}
 	}
 	return nil
 }

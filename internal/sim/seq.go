@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"repro/internal/rtlil"
+)
+
+// Sequential is a multi-cycle 64-way bit-parallel simulator: it steps a
+// register-bearing module through clock cycles, latching every $dff's D
+// into its Q between steps. Registers reset to zero, the
+// repository-wide sequential semantics (consistent with the two-valued
+// canonicalization where x evaluates as 0). The clock port itself is
+// never evaluated — every Step is one posedge for all flip-flops, so
+// the module should be single-clock (rtlil.SingleClock).
+type Sequential struct {
+	p     *Parallel
+	dffs  []*rtlil.Cell
+	state map[rtlil.SigBit]uint64 // canonical Q bit -> lane vector
+}
+
+// NewSequential prepares a sequential simulator for the module. It
+// fails on combinational loops.
+func NewSequential(m *rtlil.Module) (*Sequential, error) {
+	p, err := NewParallel(m)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sequential{p: p, dffs: m.SeqCells()}
+	s.Reset()
+	return s, nil
+}
+
+// Reset returns every register to the all-zero reset state.
+func (s *Sequential) Reset() {
+	s.state = map[rtlil.SigBit]uint64{}
+	for _, c := range s.dffs {
+		for _, b := range s.p.ix.Map(c.Port("Q")) {
+			if !b.IsConst() {
+				s.state[b] = 0
+			}
+		}
+	}
+}
+
+// Step evaluates one clock cycle: combinational logic is computed from
+// the primary inputs and the current register state, then every D is
+// latched into its Q for the next cycle. Input lane vectors for bits
+// not present in the map are 0. The returned map holds the cycle's
+// combinational values (keyed by canonical bit), readable with Sig.
+func (s *Sequential) Step(inputs map[rtlil.SigBit]uint64) map[rtlil.SigBit]uint64 {
+	merged := make(map[rtlil.SigBit]uint64, len(inputs)+len(s.state))
+	for b, v := range s.state {
+		merged[b] = v
+	}
+	for b, v := range inputs {
+		merged[s.p.ix.MapBit(b)] = v
+	}
+	vals := s.p.Run(merged)
+	next := make(map[rtlil.SigBit]uint64, len(s.state))
+	for _, c := range s.dffs {
+		d := s.p.Sig(vals, c.Port("D"))
+		for i, b := range s.p.ix.Map(c.Port("Q")) {
+			if !b.IsConst() {
+				next[b] = d[i]
+			}
+		}
+	}
+	s.state = next
+	return vals
+}
+
+// Sig reads a signal's lane vectors out of a Step result.
+func (s *Sequential) Sig(vals map[rtlil.SigBit]uint64, sig rtlil.SigSpec) []uint64 {
+	return s.p.Sig(vals, sig)
+}
+
+// State returns a copy of the current register state, keyed by
+// canonical Q bit. After n Steps this is the state entering cycle n.
+func (s *Sequential) State() map[rtlil.SigBit]uint64 {
+	out := make(map[rtlil.SigBit]uint64, len(s.state))
+	for b, v := range s.state {
+		out[b] = v
+	}
+	return out
+}
+
+// Index returns the module index used by the simulator.
+func (s *Sequential) Index() *rtlil.Index { return s.p.ix }

@@ -1,0 +1,56 @@
+package verilog
+
+import (
+	"testing"
+
+	"repro/internal/rtlil"
+)
+
+// TestElaborateDeterministic guards the sorted-target iteration in
+// elabAlways/mergeEnvs: multi-target always blocks with branching used
+// to emit cells in map order, so repeated elaborations of the same
+// source produced different netlists. Golden hashes depend on this.
+func TestElaborateDeterministic(t *testing.T) {
+	src := `
+module det(input clk, input sel, input [3:0] a, input [3:0] b,
+           output [3:0] y);
+  reg [3:0] p, q, r, s, u;
+  reg [3:0] n;
+  always @(*) begin
+    case (sel)
+      1'b0: n = a & b;
+      default: n = a | b;
+    endcase
+  end
+  always @(posedge clk) begin
+    if (sel) begin
+      p <= a;
+      q <= b;
+      r <= a ^ b;
+    end else begin
+      p <= b;
+      s <= a + b;
+    end
+    u <= n;
+  end
+  assign y = p ^ q ^ r ^ s ^ u;
+endmodule
+`
+	var want string
+	for i := 0; i < 20; i++ {
+		f, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Elaborate(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := rtlil.CanonicalHash(d.Modules()[0])
+		if i == 0 {
+			want = got
+		} else if got != want {
+			t.Fatalf("elaboration %d: hash %s != first run %s", i, got, want)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package verilog
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/rtlil"
 )
@@ -489,6 +490,18 @@ func (e *elaborator) synthLHS(x Expr) (rtlil.SigSpec, error) {
 // procedural elaboration. A nil value means not yet assigned.
 type procEnv map[string]rtlil.SigSpec
 
+// sortedKeys returns the environment's target names in name order:
+// cell-creating merges iterate targets through this so elaboration is
+// deterministic run to run.
+func sortedKeys(env procEnv) []string {
+	out := make([]string, 0, len(env))
+	for k := range env {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 func (env procEnv) clone() procEnv {
 	out := make(procEnv, len(env))
 	for k, v := range env {
@@ -505,10 +518,17 @@ func (e *elaborator) elabAlways(a *AlwaysBlock) error {
 	if len(targets) == 0 {
 		return nil
 	}
+	// Iterate targets in name order so generated cells (and their
+	// auto-assigned names) come out identical on every run.
+	names := make([]string, 0, len(targets))
+	for t := range targets {
+		names = append(names, t)
+	}
+	sort.Strings(names)
 	env := procEnv{}
 	if !a.Comb {
 		// Sequential: targets hold their value (Q) when unassigned.
-		for t := range targets {
+		for _, t := range names {
 			info := e.decls[t]
 			if info == nil {
 				return e.errorf(a.Line, "undeclared target %s", t)
@@ -516,7 +536,7 @@ func (e *elaborator) elabAlways(a *AlwaysBlock) error {
 			env[t] = info.wire.Bits()
 		}
 	} else {
-		for t := range targets {
+		for _, t := range names {
 			if e.decls[t] == nil {
 				return e.errorf(a.Line, "undeclared target %s", t)
 			}
@@ -528,7 +548,7 @@ func (e *elaborator) elabAlways(a *AlwaysBlock) error {
 		return err
 	}
 	if a.Comb {
-		for t := range targets {
+		for _, t := range names {
 			v := env[t]
 			if v == nil {
 				return e.errorf(a.Line, "combinational always block does not assign %s on all paths (latch)", t)
@@ -542,7 +562,7 @@ func (e *elaborator) elabAlways(a *AlwaysBlock) error {
 	if clkInfo == nil {
 		return e.errorf(a.Line, "undeclared clock %s", a.Clock)
 	}
-	for t := range targets {
+	for _, t := range names {
 		w := e.decls[t].wire
 		d := env[t].Resize(w.Width, false)
 		e.m.AddDff("", clkInfo.wire.Bits().Extract(0, 1), d, w.Bits())
@@ -692,7 +712,7 @@ func (e *elaborator) lhsRange(x Expr, info *declInfo) (off, n int, err error) {
 // target.
 func (e *elaborator) mergeEnvs(cond rtlil.SigSpec, envT, envE procEnv) (procEnv, error) {
 	out := procEnv{}
-	for k := range envT {
+	for _, k := range sortedKeys(envT) {
 		vt, ve := envT[k], envE[k]
 		switch {
 		case vt == nil && ve == nil:
@@ -762,7 +782,7 @@ func (e *elaborator) execCase(v *CaseStmt, env procEnv) (procEnv, error) {
 			conds = append(conds, arms[i].cond)
 		}
 		sbus := rtlil.Concat(conds...)
-		for k := range env {
+		for _, k := range sortedKeys(env) {
 			dflt := defaultEnv[k]
 			values := make([]rtlil.SigSpec, 0, len(arms))
 			allAssigned := dflt != nil

@@ -185,11 +185,18 @@ func HashDesign(d *Design) string { return rtlil.CanonicalHashDesign(d) }
 // (flip-flops excluded).
 func Area(m *Module) (int, error) { return aig.Area(m) }
 
-// CheckEquivalence proves combinational equivalence of two modules
-// (flip-flops are cut into pseudo inputs/outputs and matched by cell
-// name). It returns nil when equivalent and a counterexample error when
-// not.
-func CheckEquivalence(a, b *Module) error { return cec.Check(a, b, nil) }
+// CheckEquivalence proves two modules equivalent. Combinational
+// modules use the SAT miter directly; when either side holds registers
+// it proves sequential equivalence from the zero-reset state by
+// k-induction (so register sweeps — removals, merges — verify instead
+// of tripping an interface mismatch on the cut flip-flops). It returns
+// nil when equivalent and a counterexample error when not.
+func CheckEquivalence(a, b *Module) error {
+	if a.StateBits() > 0 || b.StateBits() > 0 {
+		return cec.CheckSequential(a, b, nil)
+	}
+	return cec.Check(a, b, nil)
+}
 
 // BenchmarkNames lists the public benchmark cases reproduced from the
 // paper's Table II.

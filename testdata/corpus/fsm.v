@@ -1,0 +1,24 @@
+// Three-state handshake FSM (idle -> run -> done) with a stuck status
+// register: `err` can only ever be cleared, so from the zero reset it
+// is a provable constant and the sweep removes it. The state register
+// is live and must survive.
+module fsm(input clk, input go, input stop,
+           output [1:0] state_out, output busy);
+  reg [1:0] state;
+  reg [1:0] next;
+  reg err;
+  always @(*) begin
+    case (state)
+      2'b00: next = go ? 2'b01 : 2'b00;
+      2'b01: next = stop ? 2'b10 : 2'b01;
+      2'b10: next = 2'b00;
+      default: next = 2'b00;
+    endcase
+  end
+  always @(posedge clk) begin
+    state <= next;
+    err <= err & go;
+  end
+  assign state_out = state;
+  assign busy = (state != 2'b00) | err;
+endmodule

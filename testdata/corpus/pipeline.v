@@ -1,0 +1,17 @@
+// Two-stage ALU pipeline. The live stages p1/p2 must survive the
+// register sweep; `zero` is latched from a constant and `spin` is a
+// self-loop, so both reduce to the reset state and disappear.
+module pipeline(input clk,
+                input [7:0] a, input [7:0] b, input sel,
+                output [7:0] y);
+  reg [7:0] p1, p2;
+  reg [7:0] zero;
+  reg [7:0] spin;
+  always @(posedge clk) begin
+    p1 <= sel ? (a + b) : (a ^ b);
+    p2 <= p1;
+    zero <= 8'b00000000;
+    spin <= spin;
+  end
+  assign y = (p2 | zero) ^ spin;
+endmodule

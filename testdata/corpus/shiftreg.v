@@ -1,0 +1,16 @@
+// Serial-in shift register with two tap registers that latch the same
+// next-state function (mergeable) and one tap that is never read
+// (unused). The shifter itself is live.
+module shiftreg(input clk, input d, input en,
+                output q, output tap);
+  reg [3:0] sh;
+  reg t1, t2, dead;
+  always @(posedge clk) begin
+    sh <= {sh[2:0], d & en};
+    t1 <= sh[3];
+    t2 <= sh[3];
+    dead <= sh[0] ^ d;
+  end
+  assign q = t1 & en;
+  assign tap = t2 | sh[1];
+endmodule

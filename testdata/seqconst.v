@@ -1,0 +1,18 @@
+// Constant-register shapes for the opt_dff greatest-fixpoint sweep:
+// `z` is tied to zero, `decay` (q' = q & x) never leaves the zero reset
+// state although its D is not syntactically constant, and `ghost` is
+// latched every cycle but never read. All three registers disappear
+// under the seq flow; y reduces to a function of x alone.
+module seqconst(input clk,
+                input [3:0] x,
+                output [3:0] y);
+  reg [3:0] z;
+  reg [3:0] decay;
+  reg [3:0] ghost;
+  always @(posedge clk) begin
+    z <= 4'b0000;
+    decay <= decay & x;
+    ghost <= ~x;
+  end
+  assign y = x ^ z ^ decay;
+endmodule

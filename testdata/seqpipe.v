@@ -1,0 +1,23 @@
+// A 2-stage registered pipeline with register-level redundancy for the
+// opt_dff sweep: `stuck` is a self-loop that never leaves the zero
+// reset state (removable), and `d1`/`d2` latch the same next-state
+// function (mergeable). The live pipeline registers s1/s2 must survive.
+// Every rewrite is proven by the k-induction sequential CEC before it
+// is applied.
+module seqpipe(input clk,
+               input [3:0] a, input [3:0] b,
+               output [3:0] y);
+  reg [3:0] s1, s2;
+  reg [3:0] stuck;
+  reg [3:0] d1, d2;
+  wire [3:0] sum;
+  assign sum = a + b;
+  always @(posedge clk) begin
+    s1 <= a ^ b;
+    s2 <= s1 & a;
+    stuck <= stuck;
+    d1 <= sum;
+    d2 <= sum;
+  end
+  assign y = (s2 | stuck) ^ (d1 & d2);
+endmodule
