@@ -5,11 +5,14 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -109,30 +112,176 @@ func (c *Client) Job(ctx context.Context, id string) (api.Job, error) {
 	return out, err
 }
 
+// ErrResultEvicted reports a finished job whose result payload the
+// daemon no longer holds (pruned from memory with no durable record to
+// re-hydrate from). Resubmitting the request usually re-serves the
+// payload from the daemon's result cache.
+var ErrResultEvicted = errors.New("client: job result evicted")
+
+// waitMaxBackoff caps the retry backoff of Wait between failed polls.
+const waitMaxBackoff = 2 * time.Second
+
 // Wait polls the job every interval (min 10ms) until it finishes or ctx
 // expires. A failed job returns the job and an error carrying its
-// message.
+// message; a job whose payload the daemon evicted returns the job and
+// an error wrapping ErrResultEvicted.
+//
+// Transient poll failures — the network hiccuping, the daemon
+// restarting or briefly answering 5xx — are retried with bounded
+// exponential backoff instead of aborting: abandoning a long
+// optimization because one poll died would leave the work running with
+// nobody to collect it, and a durable-store daemon resolves the same
+// job id across a restart. Only responses that cannot heal end the
+// wait: 404 (the daemon does not know the job) and 400 (the poll
+// itself is malformed), plus ctx expiry.
 func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (api.Job, error) {
 	if interval < 10*time.Millisecond {
 		interval = 10 * time.Millisecond
 	}
+	backoff := interval
 	for {
 		j, err := c.Job(ctx, id)
-		if err != nil {
+		switch {
+		case err == nil:
+			backoff = interval
+			switch j.State {
+			case api.JobDone:
+				return j, nil
+			case api.JobFailed:
+				return j, fmt.Errorf("client: job %s failed: %s", id, j.Error)
+			case api.JobResultEvicted:
+				return j, fmt.Errorf("%w: job %s: %s", ErrResultEvicted, id, j.Error)
+			}
+		case terminalWaitError(ctx, err):
 			return j, err
+		default:
+			// Transient: back off a little harder each consecutive
+			// failure so a daemon mid-restart is not hammered.
+			if backoff < waitMaxBackoff {
+				backoff *= 2
+			}
 		}
-		switch j.State {
-		case api.JobDone:
-			return j, nil
-		case api.JobFailed:
-			return j, fmt.Errorf("client: job %s failed: %s", id, j.Error)
+		wait := interval
+		if err != nil {
+			wait = min(backoff, waitMaxBackoff)
 		}
 		select {
-		case <-time.After(interval):
+		case <-time.After(wait):
 		case <-ctx.Done():
 			return j, ctx.Err()
 		}
 	}
+}
+
+// terminalWaitError reports whether a poll error cannot heal by
+// retrying: the caller's context died, or the daemon answered 404
+// (unknown job) or 400 (malformed poll).
+func terminalWaitError(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return true
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status == http.StatusNotFound || apiErr.Status == http.StatusBadRequest
+	}
+	return false
+}
+
+// Events streams a job's progress events (lifecycle transitions and
+// per-pass completions) from GET /v1/jobs/{id}/events, invoking fn for
+// each in order. after resumes past the last seen Seq (0 streams the
+// whole retained history). The call returns nil when the stream ends
+// after a terminal state event, fn's error if it rejects an event, and
+// otherwise reconnects through transient drops — resuming via
+// Last-Event-ID so no event is delivered twice — until ctx expires.
+func (c *Client) Events(ctx context.Context, id string, after int, fn func(api.JobEvent) error) error {
+	backoff := 100 * time.Millisecond
+	for {
+		terminal, err := c.streamEvents(ctx, id, &after, fn)
+		if terminal || err != nil {
+			return err
+		}
+		// The stream dropped mid-job (daemon restarting, connection
+		// reset): reconnect and resume after the last delivered event.
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if backoff < waitMaxBackoff {
+			backoff *= 2
+		}
+	}
+}
+
+// streamEvents runs one events connection, advancing *after past every
+// delivered event. terminal reports a clean end-of-stream (the job
+// reached a terminal state); err is only non-nil for errors that must
+// end the enclosing Events loop (fn rejection, 404/400, ctx expiry).
+func (c *Client) streamEvents(ctx context.Context, id string, after *int, fn func(api.JobEvent) error) (terminal bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.baseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	req.Header.Set("Last-Event-ID", strconv.Itoa(*after))
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return false, ctx.Err()
+		}
+		return false, nil // transient; reconnect
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e api.Error
+		if json.NewDecoder(resp.Body).Decode(&e) != nil || e.Error == "" {
+			e.Error = resp.Status
+		}
+		apiErr := &APIError{Status: resp.StatusCode, Message: e.Error}
+		if terminalWaitError(ctx, apiErr) {
+			return false, apiErr
+		}
+		return false, nil // transient (e.g. 503 during drain); reconnect
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20) // events carry design-free payloads, but be generous
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data = []byte(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		case line == "":
+			if len(data) == 0 {
+				continue
+			}
+			var ev api.JobEvent
+			if json.Unmarshal(data, &ev) != nil {
+				data = nil
+				continue // unknown frame; skip
+			}
+			data = nil
+			if ev.Seq <= *after {
+				continue // replay overlap
+			}
+			if err := fn(ev); err != nil {
+				return false, err
+			}
+			*after = ev.Seq
+			if ev.Type == api.EventState && (ev.State == api.JobDone ||
+				ev.State == api.JobFailed || ev.State == api.JobResultEvicted) {
+				terminal = true
+			}
+		}
+	}
+	if ctx.Err() != nil {
+		return false, ctx.Err()
+	}
+	// A clean server-side close after a terminal state event is the
+	// normal end of stream; anything else is a drop to heal.
+	return terminal, nil
 }
 
 // Flows lists the daemon's registered named flows.

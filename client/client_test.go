@@ -3,8 +3,11 @@ package client
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -174,4 +177,127 @@ func newDesignJSON(t *testing.T, d *smartly.Design) []byte {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
+}
+
+// flakyTransport fails the first n round trips with a transport error,
+// then delegates to the real transport — a daemon mid-restart as seen
+// from the client.
+type flakyTransport struct {
+	next     http.RoundTripper
+	mu       sync.Mutex
+	failures int
+	attempts int
+}
+
+func (f *flakyTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	f.mu.Lock()
+	f.attempts++
+	fail := f.failures > 0
+	if fail {
+		f.failures--
+	}
+	f.mu.Unlock()
+	if fail {
+		return nil, errors.New("connection refused (simulated restart)")
+	}
+	return f.next.RoundTrip(r)
+}
+
+// TestWaitRetriesTransientPollErrors is the regression test for Wait
+// abandoning a job on one failed poll: a transport that fails once must
+// cost one retry, not the whole wait.
+func TestWaitRetriesTransientPollErrors(t *testing.T) {
+	c := startDaemon(t)
+	ctx := context.Background()
+	d := parseDesign(t)
+	var buf bytes.Buffer
+	if err := smartly.WriteJSON(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.OptimizeAsync(ctx, api.OptimizeRequest{Design: buf.Bytes(), Flow: "yosys"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every poll from here fails twice before reaching the daemon.
+	ft := &flakyTransport{next: http.DefaultTransport, failures: 2}
+	c.SetHTTPClient(&http.Client{Transport: ft})
+	done, err := c.Wait(ctx, job.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Wait aborted on a transient poll error: %v", err)
+	}
+	if done.State != api.JobDone || done.Result == nil {
+		t.Fatalf("job finished as %s (result nil=%v)", done.State, done.Result == nil)
+	}
+	if ft.attempts < 3 {
+		t.Errorf("transport saw %d attempts, want the 2 failures plus a success", ft.attempts)
+	}
+}
+
+// TestWaitTerminalErrors: 404 (unknown job) must end the wait
+// immediately — no amount of retrying makes an unknown id appear — and
+// an evicted result surfaces as ErrResultEvicted.
+func TestWaitTerminalErrors(t *testing.T) {
+	c := startDaemon(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Wait(ctx, "no-such-job", 10*time.Millisecond)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("Wait on unknown job: %v, want APIError 404", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("Wait retried a 404 instead of failing fast")
+	}
+
+	// A daemon reporting result_evicted ends the wait with the sentinel.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(api.Job{ID: "j", State: api.JobResultEvicted, Error: "evicted"})
+	}))
+	defer ts.Close()
+	_, err = New(ts.URL).Wait(ctx, "j", 10*time.Millisecond)
+	if !errors.Is(err, ErrResultEvicted) {
+		t.Fatalf("Wait on evicted job: %v, want ErrResultEvicted", err)
+	}
+}
+
+// TestEventsStream follows a job's progress through the client SSE
+// wrapper: ordered lifecycle, at least one pass event for an uncached
+// run, and a clean return at the terminal state.
+func TestEventsStream(t *testing.T) {
+	c := startDaemon(t)
+	ctx := context.Background()
+	d := parseDesign(t)
+	var buf bytes.Buffer
+	if err := smartly.WriteJSON(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.OptimizeAsync(ctx, api.OptimizeRequest{Design: buf.Bytes(), Flow: "yosys", NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var states []string
+	passes, lastSeq := 0, 0
+	err = c.Events(ctx, job.ID, 0, func(ev api.JobEvent) error {
+		if ev.Seq <= lastSeq {
+			t.Errorf("event seq %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		switch ev.Type {
+		case api.EventState:
+			states = append(states, ev.State)
+		case api.EventPass:
+			passes++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	if len(states) == 0 || states[len(states)-1] != api.JobDone {
+		t.Fatalf("lifecycle %v, want ... done", states)
+	}
+	if passes == 0 {
+		t.Error("no pass events for an uncached run")
+	}
 }

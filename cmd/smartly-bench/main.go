@@ -5,7 +5,7 @@
 // Usage:
 //
 //	smartly-bench [-scale 1.0] [-table 2|3|all] [-industrial n] [-j n] [-check] [-v]
-//	              [-json] [-server] [-design n] [-sat] [-egraph] [-corpus dir] [-flow name|name=script]...
+//	              [-json] [-server] [-replica n] [-design n] [-sat] [-egraph] [-corpus dir] [-flow name|name=script]...
 //
 // Scale 1.0 runs the calibrated case sizes (minutes); smaller scales
 // reproduce the table shape faster. The paper's absolute circuit sizes
@@ -54,6 +54,7 @@ type benchConfig struct {
 	verbose    bool
 	jsonOut    bool
 	server     bool
+	replica    int
 	design     int
 	sat        bool
 	egraph     bool
@@ -71,6 +72,7 @@ func main() {
 	flag.BoolVar(&cfg.verbose, "v", false, "log per-flow progress")
 	flag.BoolVar(&cfg.jsonOut, "json", false, "emit one machine-readable JSON report instead of tables")
 	flag.BoolVar(&cfg.server, "server", false, "also measure serving-layer cold vs warm cache latency (in-process smartlyd)")
+	flag.IntVar(&cfg.replica, "replica", 0, "also measure the two-replica shared cache tier (HTTP peer protocol) on an n-module design (0 = off)")
 	flag.IntVar(&cfg.design, "design", 0, "also measure design-mode sharding cold/warm/incremental latency on an n-module design (0 = off)")
 	flag.BoolVar(&cfg.sat, "sat", false, "also measure the incremental SAT oracle (counters + wall-clock vs the sim_filter=false ablation and the per-query-solver oracle) on the sat and full flows")
 	flag.BoolVar(&cfg.egraph, "egraph", false, "also measure verified e-graph rewriting on the datapath benchmark set (yosys vs pre-egraph full vs datapath vs full)")
@@ -136,6 +138,14 @@ func runBench(cfg benchConfig, out io.Writer) error {
 		}
 		serverBench = &sb
 	}
+	var replicaBench *harness.ReplicaBench
+	if cfg.replica > 0 {
+		rb, err := harness.RunReplicaBench(cfg.replica, serverBenchFlow(cfg.flows), cfg.scale)
+		if err != nil {
+			return err
+		}
+		replicaBench = &rb
+	}
 	var designBench *harness.DesignBench
 	if cfg.design > 0 {
 		db, err := harness.RunDesignBench(cfg.design, serverBenchFlow(cfg.flows), cfg.scale, 2)
@@ -172,6 +182,7 @@ func runBench(cfg benchConfig, out io.Writer) error {
 	if cfg.jsonOut {
 		rep := harness.NewBenchReport(cfg.scale, opts.Flows, results, points, time.Since(start))
 		rep.Server = serverBench
+		rep.Replica = replicaBench
 		rep.Design = designBench
 		rep.Sat = satBench
 		rep.Egraph = egraphBench
@@ -196,6 +207,9 @@ func runBench(cfg benchConfig, out io.Writer) error {
 	}
 	if serverBench != nil {
 		fmt.Fprintln(out, serverBench.String())
+	}
+	if replicaBench != nil {
+		fmt.Fprintln(out, replicaBench.String())
 	}
 	if designBench != nil {
 		fmt.Fprintln(out, designBench.String())

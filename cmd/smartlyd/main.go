@@ -6,17 +6,26 @@
 // Usage:
 //
 //	smartlyd [-addr :8080] [-jobs n] [-queue n] [-workers n]
-//	         [-cache-dir dir] [-cache-size mib] [-flow full]
-//	         [-mode whole|design] [-q]
+//	         [-cache-dir dir] [-cache-size mib] [-cache-peer url]
+//	         [-jobs-dir dir] [-flow full] [-mode whole|design] [-q]
 //
 // Endpoints (see docs/api.md):
 //
-//	POST /v1/optimize   optimize a JSON netlist (sync, or async with
-//	                    {"async": true})
-//	GET  /v1/jobs/{id}  poll an async submission
-//	GET  /v1/flows      registered named flows
-//	GET  /v1/passes     pass registry with options
-//	GET  /healthz       liveness + job/cache counters
+//	POST /v1/optimize          optimize a JSON netlist (sync, or async
+//	                           with {"async": true})
+//	GET  /v1/jobs/{id}         poll an async submission
+//	GET  /v1/jobs/{id}/events  stream job progress (server-sent events)
+//	GET  /v1/cache/{id}        peer cache lookup (framed entry or 404)
+//	PUT  /v1/cache/{id}        peer cache push
+//	GET  /v1/flows             registered named flows
+//	GET  /v1/passes            pass registry with options
+//	GET  /healthz              liveness + job/cache counters
+//
+// With -cache-dir set, async jobs persist to <cache-dir>/jobs (override
+// with -jobs-dir): a restarted daemon re-serves finished jobs and
+// re-runs interrupted ones under their original ids. With -cache-peer
+// set, misses consult the peer replica's cache before computing and
+// stores push to it, fail-soft.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests and
 // accepted async jobs finish (bounded by -drain), new work is refused.
@@ -32,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -42,16 +52,18 @@ import (
 
 // options collects the daemon flags.
 type options struct {
-	addr     string
-	jobs     int
-	queue    int
-	workers  int
-	cacheDir string
-	cacheMiB int64
-	flow     string
-	mode     string
-	drain    time.Duration
-	quiet    bool
+	addr      string
+	jobs      int
+	queue     int
+	workers   int
+	cacheDir  string
+	cacheMiB  int64
+	cachePeer string
+	jobsDir   string
+	flow      string
+	mode      string
+	drain     time.Duration
+	quiet     bool
 }
 
 func main() {
@@ -62,6 +74,8 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 0, "default per-request engine worker budget (0 = all cores)")
 	flag.StringVar(&o.cacheDir, "cache-dir", "", "result cache disk tier directory (empty = memory only)")
 	flag.Int64Var(&o.cacheMiB, "cache-size", 0, "memory cache bound in MiB (0 = default, 256)")
+	flag.StringVar(&o.cachePeer, "cache-peer", "", "base URL of a peer replica whose cache backs misses (empty = none)")
+	flag.StringVar(&o.jobsDir, "jobs-dir", "", "durable job store directory (empty = <cache-dir>/jobs, or memory only without -cache-dir)")
 	flag.StringVar(&o.flow, "flow", "full", "flow run when a request names none")
 	flag.StringVar(&o.mode, "mode", api.ModeWhole, "cache granularity for requests that set none: whole (one entry per design) or design (per-module entries, incremental resubmits)")
 	flag.DurationVar(&o.drain, "drain", 30*time.Second, "graceful shutdown budget")
@@ -83,6 +97,21 @@ func newServer(o options) (*server.Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o.cachePeer != "" {
+		c.SetRemote(cache.NewHTTPPeer(o.cachePeer, 0))
+	}
+	jobsDir := o.jobsDir
+	if jobsDir == "" && o.cacheDir != "" {
+		jobsDir = filepath.Join(o.cacheDir, "jobs")
+	}
+	if jobsDir != "" {
+		// Pre-create so a misconfigured directory fails startup (the
+		// server itself degrades to memory-only, which is right for a
+		// library but wrong for a daemon asked for durability).
+		if err := os.MkdirAll(jobsDir, 0o755); err != nil {
+			return nil, fmt.Errorf("creating job store: %w", err)
+		}
+	}
 	logf := log.Printf
 	if o.quiet {
 		logf = nil
@@ -94,6 +123,7 @@ func newServer(o options) (*server.Server, error) {
 		DefaultFlow: o.flow,
 		DefaultMode: o.mode,
 		Cache:       c,
+		JobsDir:     jobsDir,
 		Logf:        logf,
 	}), nil
 }

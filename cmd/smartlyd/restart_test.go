@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/client"
+	"repro/internal/genbench"
+	"repro/internal/server/api"
+)
+
+// TestMain doubles as the daemon helper process for the kill -9 e2e:
+// when SMARTLYD_E2E_ADDR is set, the binary IS smartlyd (the real serve
+// path, signal handling and all) instead of the test suite.
+func TestMain(m *testing.M) {
+	if addr := os.Getenv("SMARTLYD_E2E_ADDR"); addr != "" {
+		o := options{
+			addr:     addr,
+			jobs:     1,
+			cacheDir: os.Getenv("SMARTLYD_E2E_CACHE"),
+			flow:     "yosys",
+			drain:    5 * time.Second,
+			quiet:    true,
+		}
+		if err := serve(o); err != nil {
+			fmt.Fprintln(os.Stderr, "smartlyd helper:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// designRequest builds an async optimize request over a generated
+// design (distinct seeds give distinct cache keys, so every job is its
+// own computation).
+func designRequest(t *testing.T, seed int64) api.OptimizeRequest {
+	t.Helper()
+	d := genbench.GenerateDesign(genbench.DesignRecipe{Modules: 4, Seed: seed}, 0.02)
+	var buf bytes.Buffer
+	if err := smartly.WriteJSON(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	return api.OptimizeRequest{Design: buf.Bytes(), Flow: "full"}
+}
+
+// TestKillDashNineRecovery is the durability acceptance test: a daemon
+// holding finished, running and queued async jobs is killed with
+// SIGKILL — no drain, no goodbye — and restarted over the same
+// directories. The finished job must re-serve its payload, the
+// interrupted ones must run to completion under their original ids, and
+// a client.Wait started before the kill must complete against the
+// restarted daemon.
+func TestKillDashNineRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e: spawns and kills daemon processes")
+	}
+	dir := t.TempDir()
+	addr := freeAddr(t)
+	startDaemon := func() *exec.Cmd {
+		cmd := exec.Command(os.Args[0], "-test.run=none")
+		cmd.Env = append(os.Environ(),
+			"SMARTLYD_E2E_ADDR="+addr,
+			"SMARTLYD_E2E_CACHE="+filepath.Join(dir, "cache"))
+		cmd.Stdout = io.Discard
+		cmd.Stderr = io.Discard
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return cmd
+	}
+
+	c := client.New("http://" + addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	p1 := startDaemon()
+	waitHealthy(t, ctx, c)
+
+	// One job runs to completion before the kill...
+	finished, err := c.OptimizeAsync(ctx, designRequest(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := c.Wait(ctx, finished.ID, 20*time.Millisecond)
+	if err != nil || done.Result == nil {
+		t.Fatalf("pre-kill job: %v (result nil=%v)", err, done.Result == nil)
+	}
+	// ...and with -jobs 1 these three serialize: when the kill lands at
+	// most one is running and the rest are queued.
+	var pending []api.Job
+	for seed := int64(2); seed <= 4; seed++ {
+		j, err := c.OptimizeAsync(ctx, designRequest(t, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pending = append(pending, j)
+	}
+	// A Wait in flight across the kill: it must ride out the restart.
+	type waited struct {
+		job api.Job
+		err error
+	}
+	waiterc := make(chan waited, 1)
+	go func() {
+		j, err := c.Wait(ctx, pending[0].ID, 20*time.Millisecond)
+		waiterc <- waited{j, err}
+	}()
+
+	if err := p1.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	p1.Wait()
+
+	p2 := startDaemon()
+	defer func() {
+		p2.Process.Signal(syscall.SIGTERM)
+		p2.Wait()
+	}()
+	waitHealthy(t, ctx, c)
+
+	// The finished job re-serves its payload under the original id.
+	replayed, err := c.Job(ctx, finished.ID)
+	if err != nil {
+		t.Fatalf("finished job lost across restart: %v", err)
+	}
+	if replayed.State != api.JobDone || replayed.Result == nil {
+		t.Fatalf("finished job replayed as %s (result nil=%v)", replayed.State, replayed.Result == nil)
+	}
+	if !bytes.Equal(replayed.Result.Design, done.Result.Design) {
+		t.Error("re-served payload differs from the pre-kill result")
+	}
+	// The interrupted jobs run to completion under their original ids.
+	for _, j := range pending {
+		got, err := c.Wait(ctx, j.ID, 20*time.Millisecond)
+		if err != nil || got.State != api.JobDone || got.Result == nil {
+			t.Fatalf("recovered job %s: %v state=%s", j.ID, err, got.State)
+		}
+	}
+	// And the Wait that spanned the kill came home.
+	w := <-waiterc
+	if w.err != nil || w.job.State != api.JobDone || w.job.Result == nil {
+		t.Fatalf("in-flight Wait across restart: %v state=%s", w.err, w.job.State)
+	}
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func waitHealthy(t *testing.T, ctx context.Context, c *client.Client) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		h, err := c.Health(ctx)
+		if err == nil && h.Status == "ok" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy: %v", err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}

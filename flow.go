@@ -29,6 +29,10 @@ type (
 	PassReport = opt.PassReport
 	// FixpointReport records one fixpoint wrapper's iterations.
 	FixpointReport = opt.FixpointReport
+	// PassEvent is one live progress observation (a completed pass
+	// invocation), streamed to a WithProgress sink while a run is in
+	// flight.
+	PassEvent = opt.PassEvent
 )
 
 // Pass registry surface: specs describe every pass constructible from a
@@ -114,6 +118,7 @@ type runConfig struct {
 	workers    int
 	moduleJobs int
 	logf       func(format string, args ...any)
+	progress   func(PassEvent)
 	timings    bool
 }
 
@@ -155,6 +160,16 @@ func WithLogf(logf func(format string, args ...any)) RunOption {
 	return func(c *runConfig) { c.logf = logf }
 }
 
+// WithProgress attaches a sink for structured per-pass progress events,
+// emitted as each pass invocation completes while the run is still in
+// flight (RunDesign labels events with the module name). Calls are
+// serialized. Events carry wall-clock durations regardless of
+// WithTimings — they are live telemetry, never part of the
+// deterministic report. nil discards them.
+func WithProgress(fn func(PassEvent)) RunOption {
+	return func(c *runConfig) { c.progress = fn }
+}
+
 // WithTimings includes wall-clock durations in the returned RunReport.
 // Off by default so that reports are fully deterministic and can be
 // compared across runs and worker counts.
@@ -187,7 +202,7 @@ func (f *Flow) run(cfg runConfig, m *Module) (RunReport, opt.Result, error) {
 	if f == nil || f.flow == nil {
 		return RunReport{}, opt.Result{}, fmt.Errorf("smartly: nil flow")
 	}
-	ec := opt.NewCtx(cfg.ctx, opt.Config{Workers: cfg.workers, Logf: cfg.logf})
+	ec := opt.NewCtx(cfg.ctx, opt.Config{Workers: cfg.workers, Logf: cfg.logf, Progress: cfg.progress})
 	start := time.Now()
 	res, err := f.flow.Run(ec, m)
 	wall := time.Since(start)
@@ -215,7 +230,7 @@ func (f *Flow) RunDesign(d *Design, opts ...RunOption) (map[string]RunReport, er
 	if f == nil || f.flow == nil {
 		return nil, fmt.Errorf("smartly: nil flow")
 	}
-	ec := opt.NewCtx(cfg.ctx, opt.Config{Workers: cfg.workers, Logf: cfg.logf})
+	ec := opt.NewCtx(cfg.ctx, opt.Config{Workers: cfg.workers, Logf: cfg.logf, Progress: cfg.progress})
 	runs, err := f.flow.RunDesign(ec, d, opt.DesignConfig{ModuleJobs: cfg.moduleJobs})
 	out := make(map[string]RunReport, len(runs))
 	for i := range runs {

@@ -77,6 +77,12 @@ type Stats struct {
 	// DiskBad counts disk-tier entries dropped because they were
 	// corrupt or truncated (each such read is served as a miss).
 	DiskBad uint64 `json:"disk_bad"`
+	// RemoteHits counts remote-tier refills, RemoteErrors remote
+	// lookups or stores that failed (each failed lookup is served as a
+	// miss; each failed store is dropped — the fail-soft contract the
+	// disk tier set).
+	RemoteHits   uint64 `json:"remote_hits,omitempty"`
+	RemoteErrors uint64 `json:"remote_errors,omitempty"`
 	// Coalesced counts Do callers that waited on an identical in-flight
 	// computation instead of running their own.
 	Coalesced uint64 `json:"coalesced"`
@@ -91,12 +97,14 @@ const DefaultMaxBytes = 256 << 20
 // compute function panicked instead of returning.
 var ErrComputePanicked = errors.New("cache: computation panicked")
 
-// Cache is a two-tier content-addressed cache; see the package comment.
+// Cache is a tiered content-addressed cache — memory LRU, optional
+// disk tier, optional shared remote tier; see the package comment.
 type Cache struct {
 	maxBytes int64
 	dir      string // "" = memory only
 
 	mu      sync.Mutex
+	remote  Remote // nil = no remote tier
 	byID    map[string]*list.Element
 	lru     *list.List // front = most recently used
 	bytes   int64
@@ -138,7 +146,9 @@ func New(maxBytes int64, dir string) (*Cache, error) {
 }
 
 // Get returns the value stored under id, consulting the memory tier
-// first and refilling it from the disk tier on a memory miss.
+// first, refilling it from the disk tier on a memory miss, and asking
+// the shared remote tier (when attached) last. A remote refill lands in
+// both local tiers so the next lookup is local.
 func (c *Cache) Get(id string) ([]byte, bool) {
 	c.mu.Lock()
 	if el, ok := c.byID[id]; ok {
@@ -158,15 +168,70 @@ func (c *Cache) Get(id string) ([]byte, bool) {
 		return val, true
 	}
 
+	if r := c.getRemote(); r != nil {
+		val, ok, err := r.Get(id)
+		switch {
+		case err != nil:
+			c.mu.Lock()
+			c.stats.RemoteErrors++
+			c.mu.Unlock()
+		case ok:
+			c.mu.Lock()
+			c.stats.RemoteHits++
+			c.insert(id, val)
+			c.mu.Unlock()
+			c.writeDisk(id, val)
+			return val, true
+		}
+	}
+
 	c.mu.Lock()
 	c.stats.Misses++
 	c.mu.Unlock()
 	return nil, false
 }
 
-// Put stores the value under id in both tiers. The caller must not
-// mutate val afterwards.
+// Put stores the value under id in every tier: memory, disk and — when
+// attached — the shared remote tier (best effort, like the disk
+// write). The caller must not mutate val afterwards.
 func (c *Cache) Put(id string, val []byte) {
+	c.PutLocal(id, val)
+	if r := c.getRemote(); r != nil {
+		if err := r.Put(id, val); err != nil {
+			c.mu.Lock()
+			c.stats.RemoteErrors++
+			c.mu.Unlock()
+		}
+	}
+}
+
+// GetLocal consults only the local tiers (memory, then disk), without
+// touching the remote tier or the hit/miss counters. The cache peer
+// endpoint serves through it: peers must see a replica's own entries,
+// not recurse into its remote tier, and peer traffic must not skew the
+// replica's request-path statistics.
+func (c *Cache) GetLocal(id string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.byID[id]; ok {
+		c.lru.MoveToFront(el)
+		val := el.Value.(*entry).val
+		c.mu.Unlock()
+		return val, true
+	}
+	c.mu.Unlock()
+	if val, ok := c.readDisk(id); ok {
+		c.mu.Lock()
+		c.insert(id, val)
+		c.mu.Unlock()
+		return val, true
+	}
+	return nil, false
+}
+
+// PutLocal stores the value in the local tiers only. The cache peer
+// endpoint stores through it, so a pushed entry is never re-pushed to
+// this replica's own remote tier (no echo loops between peers).
+func (c *Cache) PutLocal(id string, val []byte) {
 	c.mu.Lock()
 	c.insert(id, val)
 	c.mu.Unlock()

@@ -85,6 +85,22 @@ func unframe(raw []byte) ([]byte, bool) {
 	return val, true
 }
 
+// Frame wraps a payload in the disk/wire framing (magic + SHA-256 +
+// payload). The remote peer protocol ships framed bytes so a transfer
+// corrupted in flight is detected by Unframe on the receiving side,
+// exactly like an entry corrupted at rest.
+func Frame(val []byte) []byte {
+	sum := sha256.Sum256(val)
+	out := make([]byte, 0, diskHeaderLen+len(val))
+	out = append(out, diskMagic...)
+	out = append(out, sum[:]...)
+	return append(out, val...)
+}
+
+// Unframe validates framed bytes (see Frame) and returns the payload;
+// ok is false for anything damaged or truncated.
+func Unframe(raw []byte) ([]byte, bool) { return unframe(raw) }
+
 // writeDisk persists a value to the disk tier, best effort.
 func (c *Cache) writeDisk(id string, val []byte) {
 	if c.dir == "" {
@@ -112,6 +128,15 @@ func (c *Cache) writeDisk(id string, val []byte) {
 		return
 	}
 	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	// CreateTemp makes the file 0600, which breaks the documented
+	// multi-process contract: replicas sharing the directory may run as
+	// different users, and a 0600 entry written by one is unreadable (a
+	// permanent miss) for the others. World-readable like any published
+	// cache artifact; Chmod is not subject to the umask.
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
 		os.Remove(tmp.Name())
 		return
 	}

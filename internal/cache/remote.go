@@ -1,0 +1,114 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// The remote tier lets N replicas behind a load balancer share one
+// content-addressed pool: after a memory and disk miss the cache asks a
+// Remote before computing, and every Put is pushed to it. The tier is
+// fail-soft like the disk tier — a remote error or a damaged transfer
+// is a miss (counted in Stats.RemoteErrors), never a failed request —
+// so a dead peer degrades a replica to its local tiers and nothing
+// else. Entries are location-independent by construction: ids are
+// content hashes (Key/ModuleKey), so any replica's entry is valid on
+// every other.
+
+// Remote is a shared cache tier behind the memory and disk tiers.
+// Implementations must be safe for concurrent use. Get returns the
+// payload and whether it was found; an error means the tier itself
+// failed (network down, peer gone) rather than a plain miss.
+type Remote interface {
+	Get(id string) ([]byte, bool, error)
+	Put(id string, val []byte) error
+}
+
+// SetRemote attaches (or, with nil, detaches) the shared remote tier.
+func (c *Cache) SetRemote(r Remote) {
+	c.mu.Lock()
+	c.remote = r
+	c.mu.Unlock()
+}
+
+// getRemote snapshots the remote tier under the lock.
+func (c *Cache) getRemote() Remote {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.remote
+}
+
+// HTTPPeer is a Remote backed by another smartlyd's cache peer
+// endpoints (GET/PUT /v1/cache/{id}, see docs/api.md). Payloads travel
+// framed (Frame/Unframe), so a transfer corrupted in flight is detected
+// and treated as a miss on the receiving side.
+type HTTPPeer struct {
+	base string
+	hc   *http.Client
+}
+
+// NewHTTPPeer builds a peer client for the daemon at baseURL (e.g.
+// "http://cache-head:8080"). timeout bounds each request (0 = 5s): the
+// remote tier sits on the request path, so a hung peer must degrade to
+// a miss quickly instead of stalling every cold request.
+func NewHTTPPeer(baseURL string, timeout time.Duration) *HTTPPeer {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return &HTTPPeer{
+		base: strings.TrimRight(baseURL, "/"),
+		hc:   &http.Client{Timeout: timeout},
+	}
+}
+
+func (p *HTTPPeer) url(id string) string { return p.base + "/v1/cache/" + id }
+
+// Get fetches one entry from the peer. A 404 is a plain miss; any
+// transport failure, non-2xx status or framing mismatch is an error
+// (the caller counts it and serves a miss).
+func (p *HTTPPeer) Get(id string) ([]byte, bool, error) {
+	resp, err := p.hc.Get(p.url(id))
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("cache: peer get %s: HTTP %d", id[:min(12, len(id))], resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	val, ok := Unframe(raw)
+	if !ok {
+		return nil, false, fmt.Errorf("cache: peer get %s: damaged transfer", id[:min(12, len(id))])
+	}
+	return val, true, nil
+}
+
+// Put pushes one entry to the peer, framed.
+func (p *HTTPPeer) Put(id string, val []byte) error {
+	req, err := http.NewRequest(http.MethodPut, p.url(id), bytes.NewReader(Frame(val)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("cache: peer put %s: HTTP %d", id[:min(12, len(id))], resp.StatusCode)
+	}
+	// Drain so the connection is reused.
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}

@@ -1,0 +1,217 @@
+package cache
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// fakeRemote is an in-memory Remote with togglable failure.
+type fakeRemote struct {
+	mu   sync.Mutex
+	vals map[string][]byte
+	fail bool
+	gets int
+	puts int
+}
+
+func newFakeRemote() *fakeRemote { return &fakeRemote{vals: map[string][]byte{}} }
+
+func (r *fakeRemote) Get(id string) ([]byte, bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gets++
+	if r.fail {
+		return nil, false, errors.New("remote down")
+	}
+	v, ok := r.vals[id]
+	return v, ok, nil
+}
+
+func (r *fakeRemote) Put(id string, val []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.puts++
+	if r.fail {
+		return errors.New("remote down")
+	}
+	r.vals[id] = append([]byte(nil), val...)
+	return nil
+}
+
+// TestDiskEntryWorldReadable: the multi-process shared-directory
+// contract requires on-disk entries readable by other users (a replica
+// fleet sharing one cache tree rarely runs as one uid). CreateTemp's
+// private 0600 must not leak through the rename.
+func TestDiskEntryWorldReadable(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(1024, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := Key{Netlist: "n", Flow: "f"}.ID()
+	c.Put(id, []byte("payload"))
+	matches, err := filepath.Glob(filepath.Join(dir, "*", "*"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no disk entry written (%v)", err)
+	}
+	for _, m := range matches {
+		fi, err := os.Stat(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Mode().Perm() != 0o644 {
+			t.Errorf("entry %s mode %o, want 644", m, fi.Mode().Perm())
+		}
+	}
+}
+
+func TestRemoteTierGetAndPromotion(t *testing.T) {
+	r := newFakeRemote()
+	r.vals["k"] = []byte("shared")
+	c, err := New(1024, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRemote(r)
+	v, ok := c.Get("k")
+	if !ok || string(v) != "shared" {
+		t.Fatalf("remote tier miss: %q %v", v, ok)
+	}
+	if s := c.Stats(); s.RemoteHits != 1 {
+		t.Errorf("stats %+v, want 1 remote hit", s)
+	}
+	// The refill landed locally: the next Get is a memory hit, not
+	// another remote round trip.
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if r.gets != 1 {
+		t.Errorf("remote asked %d times, want 1", r.gets)
+	}
+}
+
+func TestRemoteTierPutPushes(t *testing.T) {
+	r := newFakeRemote()
+	c, err := New(1024, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRemote(r)
+	c.Put("k", []byte("v"))
+	if got := r.vals["k"]; string(got) != "v" {
+		t.Errorf("remote holds %q after Put", got)
+	}
+	// PutLocal must NOT push: it is the peer-endpoint store path, and
+	// echoing it back out would ping-pong entries between replicas.
+	c.PutLocal("k2", []byte("v2"))
+	if _, ok := r.vals["k2"]; ok {
+		t.Error("PutLocal leaked to the remote tier")
+	}
+	// GetLocal must not consult the remote either.
+	gets := r.gets
+	if _, ok := c.GetLocal("absent"); ok {
+		t.Error("GetLocal hit on absent entry")
+	}
+	if r.gets != gets {
+		t.Error("GetLocal recursed into the remote tier")
+	}
+}
+
+func TestRemoteTierFailSoft(t *testing.T) {
+	r := newFakeRemote()
+	r.fail = true
+	c, err := New(1024, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRemote(r)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("hit from a dead remote")
+	}
+	c.Put("k", []byte("v")) // push fails; local store must still work
+	if v, ok := c.Get("k"); !ok || string(v) != "v" {
+		t.Fatalf("local tier lost the value: %q %v", v, ok)
+	}
+	if s := c.Stats(); s.RemoteErrors != 2 {
+		t.Errorf("stats %+v, want 2 remote errors (one get, one put)", s)
+	}
+}
+
+// peerHandler implements the smartlyd cache peer endpoints over a
+// backing Cache, mirroring internal/server's handlers (which cannot be
+// imported here without a dependency cycle).
+func peerHandler(c *Cache) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cache/{id}", func(w http.ResponseWriter, r *http.Request) {
+		val, ok := c.GetLocal(r.PathValue("id"))
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(Frame(val))
+	})
+	mux.HandleFunc("PUT /v1/cache/{id}", func(w http.ResponseWriter, r *http.Request) {
+		raw := new(bytes.Buffer)
+		raw.ReadFrom(r.Body)
+		val, ok := Unframe(raw.Bytes())
+		if !ok {
+			http.Error(w, "malformed", http.StatusBadRequest)
+			return
+		}
+		c.PutLocal(r.PathValue("id"), val)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+func TestHTTPPeerRoundTrip(t *testing.T) {
+	head, err := New(1024, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(peerHandler(head))
+	defer ts.Close()
+	p := NewHTTPPeer(ts.URL, 0)
+
+	if _, ok, err := p.Get("absent"); ok || err != nil {
+		t.Fatalf("miss: ok=%v err=%v", ok, err)
+	}
+	if err := p.Put("k", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := p.Get("k")
+	if err != nil || !ok || string(v) != "payload" {
+		t.Fatalf("get after put: %q ok=%v err=%v", v, ok, err)
+	}
+
+	// A full replica pair: cache B resolves its miss through the peer.
+	b, err := New(1024, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetRemote(p)
+	v, ok = b.Get("k")
+	if !ok || string(v) != "payload" {
+		t.Fatalf("replica b remote miss: %q %v", v, ok)
+	}
+	if s := b.Stats(); s.RemoteHits != 1 {
+		t.Errorf("replica b stats %+v", s)
+	}
+}
+
+func TestHTTPPeerDamagedTransfer(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not a framed payload"))
+	}))
+	defer ts.Close()
+	p := NewHTTPPeer(ts.URL, 0)
+	if _, ok, err := p.Get("k"); ok || err == nil {
+		t.Fatalf("damaged transfer not rejected: ok=%v err=%v", ok, err)
+	}
+}

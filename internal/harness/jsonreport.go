@@ -23,6 +23,11 @@ type BenchReport struct {
 	// Server holds the serving-layer warm-vs-cold cache latency smoke
 	// (smartly-bench -server); absent when the mode did not run.
 	Server *ServerBench `json:"server,omitempty"`
+	// Replica holds the two-replica shared-cache-tier measurement
+	// (smartly-bench -replica n): replica B's warm-hit rate on its first
+	// pass over a design replica A computed; absent when the mode did
+	// not run.
+	Replica *ReplicaBench `json:"replica,omitempty"`
 	// Design holds the design-mode sharding cold/warm/incremental
 	// latency smoke (smartly-bench -design); absent when the mode did
 	// not run.

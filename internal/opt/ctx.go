@@ -18,12 +18,34 @@ import (
 // with a single worker, no timing sink and no logging, so sequential
 // callers and tests need not construct one.
 type Ctx struct {
-	ctx     context.Context
-	workers int
-	logf    func(format string, args ...any)
+	ctx      context.Context
+	workers  int
+	logf     func(format string, args ...any)
+	progress func(PassEvent)
+	module   string // label stamped on progress events ("" = unlabeled)
 
 	mu  sync.Mutex
 	rep *reportCollector
+}
+
+// PassEvent is one structured progress observation: a pass invocation
+// that just completed. Unlike the RunReport (a snapshot at the end of a
+// run), events stream while the run is in flight, so a serving layer
+// can surface live progress for long optimizations. Events carry wall
+// time regardless of the timings option — they are progress telemetry,
+// never part of a deterministic report or cached payload.
+type PassEvent struct {
+	// Module labels the module being optimized (set by design-level
+	// runs; "" for single-module runs).
+	Module string
+	// Pass is the pass (or composite wrapper) name.
+	Pass string
+	// Calls counts completed invocations of this pass so far, Last the
+	// duration of the invocation that just finished, Total the summed
+	// duration across invocations — all within this module's context.
+	Calls int
+	Last  time.Duration
+	Total time.Duration
 }
 
 // Config configures a new engine context.
@@ -34,6 +56,11 @@ type Config struct {
 	Workers int
 	// Logf receives structured progress lines; nil discards them.
 	Logf func(format string, args ...any)
+	// Progress receives one PassEvent per completed pass invocation;
+	// nil discards them. Calls are serialized.
+	Progress func(PassEvent)
+	// Module labels this context's progress events.
+	Module string
 }
 
 // NewCtx builds an engine context on top of parent (nil = Background).
@@ -56,7 +83,21 @@ func NewCtx(parent context.Context, cfg Config) *Ctx {
 			inner(format, args...)
 		}
 	}
-	return &Ctx{ctx: parent, workers: w, logf: logf, rep: newReportCollector()}
+	progress := cfg.Progress
+	if progress != nil {
+		// Serialize for the same reason; child contexts route through
+		// their parent's wrapped sink, so cross-module events serialize
+		// on the parent mutex.
+		var mu sync.Mutex
+		inner := progress
+		progress = func(ev PassEvent) {
+			mu.Lock()
+			defer mu.Unlock()
+			inner(ev)
+		}
+	}
+	return &Ctx{ctx: parent, workers: w, logf: logf, progress: progress,
+		module: cfg.Module, rep: newReportCollector()}
 }
 
 // Background returns an engine context over context.Background with the
@@ -116,6 +157,9 @@ func (c *Ctx) StartPass(name string) func() time.Duration {
 		calls, total := c.rep.recordTiming(name, d)
 		c.mu.Unlock()
 		c.Logf("pass=%s last=%s calls=%d total=%s", name, d, calls, total)
+		if c.progress != nil {
+			c.progress(PassEvent{Module: c.module, Pass: name, Calls: calls, Last: d, Total: total})
+		}
 		return d
 	}
 }

@@ -100,7 +100,8 @@ func (f *Flow) RunDesign(c *Ctx, d *rtlil.Design, cfg DesignConfig) ([]ModuleRun
 		moduleJobs, perModule = SplitWorkers(c.Workers(), jobs)
 	}
 	ForEach(c.Context(), moduleJobs, len(mods), func(i int) {
-		mc := NewCtx(c.Context(), Config{Workers: perModule, Logf: c.sharedLogf()})
+		mc := NewCtx(c.Context(), Config{Workers: perModule, Logf: c.sharedLogf(),
+			Progress: c.sharedProgress(), Module: mods[i].Name})
 		start := time.Now()
 		res, err := f.Run(mc, mods[i])
 		rep := mc.Report()
@@ -129,6 +130,16 @@ func (c *Ctx) sharedLogf() func(format string, args ...any) {
 		return nil
 	}
 	return c.logf
+}
+
+// sharedProgress exposes the context's (already serialized) progress
+// sink for child contexts of a design run, so per-module events from
+// concurrent shards funnel into one ordered stream.
+func (c *Ctx) sharedProgress() func(PassEvent) {
+	if c == nil {
+		return nil
+	}
+	return c.progress
 }
 
 // mergeChild folds a child context's timing observations into c, so a

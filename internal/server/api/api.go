@@ -159,18 +159,54 @@ const (
 	JobRunning = "running"
 	JobDone    = "done"
 	JobFailed  = "failed"
+	// JobResultEvicted is a done job whose result payload was pruned
+	// from memory and cannot be re-hydrated from the durable job store
+	// (no store configured, or the record is gone). It is a distinct
+	// terminal state so a poller is never handed "done" with a nil
+	// Result as if it were success; resubmitting the request usually
+	// re-serves the payload from the result cache.
+	JobResultEvicted = "result_evicted"
 )
 
 // Job is the body of an async submission (202) and of GET /v1/jobs/{id}.
 type Job struct {
 	ID    string `json:"id"`
 	State string `json:"state"`
-	// Error is set when State is "failed".
+	// Error is set when State is "failed" or "result_evicted".
 	Error string `json:"error,omitempty"`
 	// Result is set when State is "done".
 	Result *OptimizeResponse `json:"result,omitempty"`
 	// SubmittedAt is the server-side enqueue time.
 	SubmittedAt time.Time `json:"submitted_at"`
+}
+
+// Job event types streamed by GET /v1/jobs/{id}/events.
+const (
+	// EventState is a job lifecycle transition (queued → running →
+	// done|failed).
+	EventState = "state"
+	// EventPass is one completed pass invocation of the running
+	// optimization.
+	EventPass = "pass"
+)
+
+// JobEvent is one server-sent event of GET /v1/jobs/{id}/events. Seq
+// numbers events 1.. within a job, so a reconnecting client resumes
+// with Last-Event-ID (or ?after=) and never re-sees an event.
+type JobEvent struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"`
+	// State and Error are set on EventState events.
+	State string `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Module, Pass, Calls and ElapsedMS are set on EventPass events:
+	// the module being optimized, the pass that completed, how many
+	// invocations of it have completed in that module, and the
+	// wall-clock of the invocation that just finished.
+	Module    string  `json:"module,omitempty"`
+	Pass      string  `json:"pass,omitempty"`
+	Calls     int     `json:"calls,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
 }
 
 // JobStats summarizes the job store for /healthz.

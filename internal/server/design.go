@@ -149,6 +149,7 @@ func (s *Server) computeModule(pr *request, m *smartly.Module, perModule int) ([
 		smartly.WithContext(s.runCtx),
 		smartly.WithWorkers(perModule),
 	}
+	opts = append(opts, progressOption(pr, m.Name)...)
 	if pr.req.Timings {
 		opts = append(opts, smartly.WithTimings())
 	}

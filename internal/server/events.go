@@ -1,0 +1,80 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// GET /v1/jobs/{id}/events streams a job's progress as server-sent
+// events: lifecycle transitions (event: state) and per-pass completions
+// (event: pass), each with its sequence number as the SSE id. The
+// stream replays buffered events first — subscribing after the job
+// finished replays its whole (retained) history — then follows the live
+// tail and ends when the job reaches a terminal state. A reconnecting
+// client resumes without duplicates via the standard Last-Event-ID
+// header (or ?after=N), both holding the last Seq it saw.
+
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		s.writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	after, err := eventsAfter(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, http.StatusNotImplemented, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	for {
+		evs, next, terminal := s.jobs.eventsSince(j, after)
+		for _, ev := range evs {
+			raw, err := json.Marshal(ev)
+			if err != nil {
+				continue // wire type marshals by construction
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, raw); err != nil {
+				return // client gone
+			}
+			after = ev.Seq
+		}
+		flusher.Flush()
+		if terminal {
+			return
+		}
+		select {
+		case <-next:
+		case <-r.Context().Done():
+			return
+		case <-s.runCtx.Done():
+			return
+		}
+	}
+}
+
+// eventsAfter resolves the resume position of an events subscription:
+// ?after=N, else the SSE-standard Last-Event-ID header, else 0 (the
+// whole retained stream).
+func eventsAfter(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("after")
+	if raw == "" {
+		raw = r.Header.Get("Last-Event-ID")
+	}
+	if raw == "" {
+		return 0, nil
+	}
+	after, err := strconv.Atoi(raw)
+	if err != nil || after < 0 {
+		return 0, fmt.Errorf("bad event position %q: want a non-negative integer", raw)
+	}
+	return after, nil
+}

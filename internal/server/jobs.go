@@ -3,6 +3,8 @@ package server
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
+	"fmt"
 	"net/http"
 	"sync"
 	"time"
@@ -11,16 +13,25 @@ import (
 )
 
 // maxRetainedJobs bounds the job store: once exceeded, the oldest
-// finished jobs are forgotten (polling them then returns 404).
+// finished jobs are forgotten (polling them then returns 404) and their
+// durable records removed.
 const maxRetainedJobs = 1024
 
 // maxRetainedResults bounds how many finished jobs keep their full
-// result payload. Payloads carry whole optimized netlists, so — unlike
-// the byte-bounded result cache — retaining one per job would let a
-// long-lived daemon pin gigabytes. Older finished jobs keep their
-// metadata (state, error) but drop the payload; resubmitting the same
-// request is served from the cache.
+// result payload in memory. Payloads carry whole optimized netlists, so
+// — unlike the byte-bounded result cache — retaining one per job would
+// let a long-lived daemon pin gigabytes. Older finished jobs keep their
+// metadata (state, error) and drop the in-memory payload; polling one
+// re-hydrates it from the durable store, and without a store the job is
+// reported as result_evicted — never "done" with a nil result.
 const maxRetainedResults = 32
+
+// maxRetainedEvents bounds a job's buffered progress events. Events are
+// small, but a long fixpoint-heavy flow over a large design emits one
+// per pass invocation per module; past the bound the oldest events are
+// dropped (a late events subscriber resumes from what remains — the
+// live tail — which is what progress streaming is for).
+const maxRetainedEvents = 4096
 
 // job is one async submission. Mutable state is guarded by the store
 // mutex; done closes when the job reaches a terminal state.
@@ -31,29 +42,93 @@ type job struct {
 	errMsg    string
 	result    *api.OptimizeResponse
 	done      chan struct{}
+
+	// events buffers the job's progress stream (lifecycle transitions
+	// and per-pass completions); seq numbers the next event; eventc is
+	// closed and replaced on every append, waking events subscribers.
+	events []api.JobEvent
+	seq    int
+	eventc chan struct{}
 }
 
-// jobStore tracks async jobs in submission order for pruning.
+// jobStore tracks async jobs in submission order for pruning, with an
+// optional durable backend that survives restarts.
 type jobStore struct {
 	mu    sync.Mutex
 	byID  map[string]*job
 	order []*job
+	disk  *diskJobs // nil = in-memory only
 }
 
-func (js *jobStore) init() { js.byID = map[string]*job{} }
+func (js *jobStore) init(disk *diskJobs) {
+	js.byID = map[string]*job{}
+	js.disk = disk
+}
 
-// add registers a new queued job and prunes old finished ones.
-func (js *jobStore) add() *job {
+// newJob allocates a job in the given state without registering it.
+func newJob(id string, submitted time.Time, state string) *job {
+	return &job{
+		id:        id,
+		submitted: submitted,
+		state:     state,
+		done:      make(chan struct{}),
+		eventc:    make(chan struct{}),
+	}
+}
+
+// add registers a new queued job, persists its record (with the
+// request body, so a restart can re-run it) and prunes old finished
+// jobs.
+func (js *jobStore) add(request json.RawMessage) *job {
 	buf := make([]byte, 16)
 	rand.Read(buf) // never fails per crypto/rand contract
-	j := &job{
-		id:        hex.EncodeToString(buf),
-		submitted: time.Now(),
-		state:     api.JobQueued,
-		done:      make(chan struct{}),
-	}
+	j := newJob(hex.EncodeToString(buf), time.Now(), api.JobQueued)
 	js.mu.Lock()
 	defer js.mu.Unlock()
+	js.register(j)
+	js.appendEventLocked(j, api.JobEvent{Type: api.EventState, State: j.state})
+	js.disk.save(jobRecord{
+		ID: j.id, State: j.state, SubmittedAt: j.submitted, Request: request,
+	})
+	return j
+}
+
+// adopt registers a job recovered from the durable store under its
+// original id (so pollers from before the restart still resolve it).
+// Terminal jobs arrive with done already closed; pending ones are
+// re-persisted as queued, so a crash during recovery recovers the same
+// way again. Returns nil for a duplicate id (damaged store).
+func (js *jobStore) adopt(rec jobRecord) *job {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	if js.byID[rec.ID] != nil {
+		return nil
+	}
+	state := rec.State
+	terminal := state == api.JobDone || state == api.JobFailed
+	if !terminal {
+		// A job caught mid-run restarts from the queue: the optimization
+		// is deterministic and cache-backed, so re-running is safe.
+		state = api.JobQueued
+	}
+	j := newJob(rec.ID, rec.SubmittedAt, state)
+	j.errMsg = rec.Error
+	js.register(j)
+	js.appendEventLocked(j, api.JobEvent{Type: api.EventState, State: state, Error: rec.Error})
+	if terminal {
+		close(j.done)
+		// The result payload (if any) stays on disk and re-hydrates on
+		// demand; the record is already correct.
+	} else if rec.State != state {
+		js.disk.save(jobRecord{
+			ID: j.id, State: state, SubmittedAt: j.submitted, Request: rec.Request,
+		})
+	}
+	return j
+}
+
+// register links a job into byID/order and prunes. Caller holds mu.
+func (js *jobStore) register(j *job) {
 	js.byID[j.id] = j
 	js.order = append(js.order, j)
 	for len(js.order) > maxRetainedJobs {
@@ -67,10 +142,11 @@ func (js *jobStore) add() *job {
 		if victim < 0 {
 			break // everything still active; keep over-retaining
 		}
-		delete(js.byID, js.order[victim].id)
+		id := js.order[victim].id
+		delete(js.byID, id)
 		js.order = append(js.order[:victim], js.order[victim+1:]...)
+		js.disk.remove(id)
 	}
-	return j
 }
 
 // get returns the job by id, or nil.
@@ -80,14 +156,30 @@ func (js *jobStore) get(id string) *job {
 	return js.byID[id]
 }
 
-// setState transitions a job; terminal states close done exactly once
-// and prune payloads of older finished jobs.
-func (js *jobStore) setState(j *job, state, errMsg string, result *api.OptimizeResponse) {
+// setState transitions a job, persists the record write-ahead (before
+// the transition is observable through done), appends the lifecycle
+// event, and on terminal states prunes in-memory payloads of older
+// finished jobs.
+func (js *jobStore) setState(j *job, state, errMsg string, result *api.OptimizeResponse, request json.RawMessage) {
 	js.mu.Lock()
 	j.state = state
 	j.errMsg = errMsg
 	j.result = result
 	terminal := state == api.JobDone || state == api.JobFailed
+	rec := jobRecord{ID: j.id, State: state, Error: errMsg, SubmittedAt: j.submitted}
+	if result != nil {
+		if raw, err := json.Marshal(result); err == nil {
+			rec.Result = raw
+		}
+	}
+	if !terminal {
+		// Keep the request in the record while the job can still be
+		// re-run by a recovery; terminal records drop it (the payload or
+		// error is what matters now, and done jobs re-serve, not re-run).
+		rec.Request = request
+	}
+	js.disk.save(rec)
+	js.appendEventLocked(j, api.JobEvent{Type: api.EventState, State: state, Error: errMsg})
 	if terminal {
 		js.pruneResultsLocked()
 	}
@@ -97,8 +189,44 @@ func (js *jobStore) setState(j *job, state, errMsg string, result *api.OptimizeR
 	}
 }
 
-// pruneResultsLocked drops the result payload of all but the most
-// recent maxRetainedResults finished jobs. Caller holds mu.
+// appendEventLocked buffers one event and wakes subscribers. Caller
+// holds mu.
+func (js *jobStore) appendEventLocked(j *job, ev api.JobEvent) {
+	j.seq++
+	ev.Seq = j.seq
+	j.events = append(j.events, ev)
+	if len(j.events) > maxRetainedEvents {
+		j.events = j.events[len(j.events)-maxRetainedEvents:]
+	}
+	close(j.eventc)
+	j.eventc = make(chan struct{})
+}
+
+// appendEvent buffers one progress event from a running optimization.
+func (js *jobStore) appendEvent(j *job, ev api.JobEvent) {
+	js.mu.Lock()
+	js.appendEventLocked(j, ev)
+	js.mu.Unlock()
+}
+
+// eventsSince snapshots the job's events with Seq > after, the channel
+// that signals the next append, and whether the job is terminal (no
+// further events will ever arrive).
+func (js *jobStore) eventsSince(j *job, after int) (evs []api.JobEvent, next <-chan struct{}, terminal bool) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	for i := range j.events {
+		if j.events[i].Seq > after {
+			evs = append(evs, j.events[i:]...)
+			break
+		}
+	}
+	terminal = j.state == api.JobDone || j.state == api.JobFailed
+	return evs, j.eventc, terminal
+}
+
+// pruneResultsLocked drops the in-memory result payload of all but the
+// most recent maxRetainedResults finished jobs. Caller holds mu.
 func (js *jobStore) pruneResultsLocked() {
 	kept := 0
 	for i := len(js.order) - 1; i >= 0; i-- {
@@ -112,17 +240,30 @@ func (js *jobStore) pruneResultsLocked() {
 	}
 }
 
-// snapshot renders a job's current wire form.
+// snapshot renders a job's current wire form. A done job whose
+// in-memory payload was pruned re-hydrates it from the durable store;
+// without one (or with the record gone) the job is reported in the
+// distinct result_evicted state — never "done" with a nil result, which
+// callers would mistake for success with no payload.
 func (js *jobStore) snapshot(j *job) api.Job {
 	js.mu.Lock()
-	defer js.mu.Unlock()
-	return api.Job{
+	out := api.Job{
 		ID:          j.id,
 		State:       j.state,
 		Error:       j.errMsg,
 		Result:      j.result,
 		SubmittedAt: j.submitted,
 	}
+	js.mu.Unlock()
+	if out.State == api.JobDone && out.Result == nil {
+		if res, ok := js.disk.loadResult(j.id); ok {
+			out.Result = res
+		} else {
+			out.State = api.JobResultEvicted
+			out.Error = "result payload evicted (finished long ago); resubmit the request — the result cache usually still holds it"
+		}
+	}
+	return out
 }
 
 // stats counts jobs by state for /healthz.
@@ -153,7 +294,19 @@ func (s *Server) submitJob(pr *request) (api.Job, error) {
 	if err != nil {
 		return api.Job{}, err
 	}
-	j := s.jobs.add()
+	// Persist the request verbatim so a restart can re-run the job; a
+	// marshal failure is impossible for a decoded request (RawMessage
+	// design + plain fields) but would only cost durability, not the job.
+	raw, _ := json.Marshal(pr.req)
+	j := s.jobs.add(raw)
+	s.runJob(j, pr, raw, release)
+	return s.jobs.snapshot(j), nil
+}
+
+// runJob runs one admitted async job in the background, feeding its
+// progress event stream. release gives back the queue position.
+func (s *Server) runJob(j *job, pr *request, request json.RawMessage, release func()) {
+	pr.progress = func(ev api.JobEvent) { s.jobs.appendEvent(j, ev) }
 	go func() {
 		defer release()
 		// The slot wait and the run are bounded by the server lifetime
@@ -162,25 +315,67 @@ func (s *Server) submitJob(pr *request) (api.Job, error) {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		case <-s.runCtx.Done():
-			s.jobs.setState(j, api.JobFailed, s.runCtx.Err().Error(), nil)
+			s.jobs.setState(j, api.JobFailed, s.runCtx.Err().Error(), nil, nil)
 			return
 		}
-		s.jobs.setState(j, api.JobRunning, "", nil)
+		s.jobs.setState(j, api.JobRunning, "", nil, request)
 		resp, err := s.serve(pr)
 		if err != nil {
-			s.jobs.setState(j, api.JobFailed, err.Error(), nil)
+			s.jobs.setState(j, api.JobFailed, err.Error(), nil, nil)
 			return
 		}
-		s.jobs.setState(j, api.JobDone, "", resp)
+		s.jobs.setState(j, api.JobDone, "", resp, nil)
 	}()
-	return s.jobs.snapshot(j), nil
+}
+
+// recoverJobs replays the durable store on startup: terminal jobs are
+// re-registered so they keep re-serving their payloads under their
+// original ids, and queued or mid-run jobs are re-validated and
+// re-submitted. Recovery runs before the listener serves, so recovered
+// work holds queue positions like freshly admitted work.
+func (s *Server) recoverJobs() {
+	recovered, requeued := 0, 0
+	for _, rec := range s.jobs.disk.load() {
+		j := s.jobs.adopt(rec)
+		if j == nil {
+			continue
+		}
+		recovered++
+		if rec.State == api.JobDone || rec.State == api.JobFailed {
+			continue
+		}
+		requeued++
+		var req api.OptimizeRequest
+		if err := json.Unmarshal(rec.Request, &req); err != nil {
+			s.jobs.setState(j, api.JobFailed, fmt.Sprintf("recovery: damaged request record: %v", err), nil, nil)
+			continue
+		}
+		pr, err := s.validateRequest(req)
+		if err != nil {
+			s.jobs.setState(j, api.JobFailed, "recovery: "+err.Error(), nil, nil)
+			continue
+		}
+		release, err := s.admit()
+		if err != nil {
+			// More surviving jobs than queue positions: fail the overflow
+			// explicitly rather than over-admitting (the client's Wait
+			// sees a typed failure and can resubmit).
+			s.jobs.setState(j, api.JobFailed, "recovery: "+err.Error(), nil, nil)
+			continue
+		}
+		s.runJob(j, pr, rec.Request, release)
+	}
+	if recovered > 0 {
+		s.logf("job store: recovered %d jobs (%d re-queued) from %s",
+			recovered, requeued, s.jobs.disk.dir)
+	}
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j := s.jobs.get(r.PathValue("id"))
 	if j == nil {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		s.writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.jobs.snapshot(j))
+	s.writeJSON(w, http.StatusOK, s.jobs.snapshot(j))
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sync"
@@ -39,6 +40,12 @@ type Config struct {
 	// Cache is the result cache; nil builds a memory-only cache with
 	// the default bound.
 	Cache *cache.Cache
+	// JobsDir persists async jobs to a durable store under this
+	// directory: a restarted daemon re-serves finished jobs and re-runs
+	// queued or interrupted ones under their original ids. "" keeps
+	// jobs in memory only (they die with the process, and long-pruned
+	// results report result_evicted instead of re-hydrating).
+	JobsDir string
 	// Logf receives one structured line per request; nil discards.
 	Logf func(format string, args ...any)
 	// MaxBodyBytes bounds request bodies (0 = 512 MiB).
@@ -61,6 +68,7 @@ type Server struct {
 
 	sem      chan struct{} // admission: one token per running optimization
 	admitted atomic.Int64  // running + waiting requests
+	draining atomic.Bool   // Drain called: admit nothing new
 	wg       sync.WaitGroup
 
 	jobs jobStore
@@ -98,12 +106,28 @@ func New(cfg Config) *Server {
 		stop:   stop,
 		sem:    make(chan struct{}, cfg.Jobs),
 	}
-	s.jobs.init()
+	var disk *diskJobs
+	if cfg.JobsDir != "" {
+		var err error
+		disk, err = newDiskJobs(cfg.JobsDir, s.logf)
+		if err != nil {
+			// Fail soft, like the cache's disk tier: the daemon still
+			// serves, jobs just lose durability. cmd/smartlyd pre-creates
+			// the directory so misconfiguration fails fast there.
+			s.logf("job store disabled: %v", err)
+			disk = nil
+		}
+	}
+	s.jobs.init(disk)
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/cache/{id}", s.handleCacheGet)
+	s.mux.HandleFunc("PUT /v1/cache/{id}", s.handleCachePut)
 	s.mux.HandleFunc("GET /v1/flows", s.handleFlows)
 	s.mux.HandleFunc("GET /v1/passes", s.handlePasses)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.recoverJobs()
 	return s
 }
 
@@ -117,9 +141,12 @@ func (s *Server) Cache() *cache.Cache { return s.cache }
 // return context errors. Use Drain first for a graceful stop.
 func (s *Server) Close() { s.stop() }
 
-// Drain blocks until all admitted work (sync requests and async jobs)
-// has finished, or ctx expires.
+// Drain stops admission (new requests are rejected with 503) and then
+// blocks until all already-admitted work — sync requests and async jobs
+// — has finished, or ctx expires. Without the admission stop a steady
+// stream of new requests could keep the wait from ever completing.
 func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
 	done := make(chan struct{})
 	go func() { s.wg.Wait(); close(done) }()
 	select {
@@ -136,17 +163,21 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// writeJSON writes one JSON response body.
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON writes one JSON response body. An Encode failure at this
+// point is almost always the client hanging up mid-response; the status
+// line is already written, so all that remains is to log it instead of
+// silently swallowing it.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logf("writing response (status %d): %v", code, err)
+	}
 }
 
 // writeError writes the error body shared by every non-2xx response.
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, api.Error{Error: fmt.Sprintf(format, args...)})
+func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	s.writeJSON(w, code, api.Error{Error: fmt.Sprintf(format, args...)})
 }
 
 // request is one validated optimization request: everything derived
@@ -160,6 +191,10 @@ type request struct {
 	// mode is the resolved cache granularity (api.ModeWhole or
 	// api.ModeDesign; the request's own, or the server default).
 	mode string
+	// progress, when set, receives per-pass events while the request's
+	// own computation runs (async jobs feed their event stream with it;
+	// cache hits emit none — there is no computation to observe).
+	progress func(api.JobEvent)
 }
 
 // parseRequest decodes and validates an optimize request body.
@@ -169,6 +204,13 @@ func (s *Server) parseRequest(r *http.Request) (*request, error) {
 	if err := dec.Decode(&req); err != nil {
 		return nil, fmt.Errorf("decoding request body: %w", err)
 	}
+	return s.validateRequest(req)
+}
+
+// validateRequest validates a decoded optimize request. Split from
+// parseRequest so job recovery can re-validate persisted request
+// records through the same path.
+func (s *Server) validateRequest(req api.OptimizeRequest) (*request, error) {
 	if len(req.Design) == 0 || string(req.Design) == "null" {
 		return nil, fmt.Errorf("request has no design")
 	}
@@ -247,54 +289,76 @@ func optionsKey(req api.OptimizeRequest) string {
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	pr, err := s.parseRequest(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if pr.req.Async {
 		job, err := s.submitJob(pr)
 		if err != nil {
-			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			s.writeError(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		}
 		w.Header().Set("Location", "/v1/jobs/"+job.ID)
-		writeJSON(w, http.StatusAccepted, job)
+		s.writeJSON(w, http.StatusAccepted, job)
 		return
 	}
 	resp, err := s.execute(r.Context(), pr)
 	if err != nil {
-		writeError(w, errStatus(err), "%v", err)
+		s.writeError(w, errStatus(err), "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// errServerBusy rejects admissions beyond the queue depth; it maps to
-// HTTP 503.
-type errServerBusy struct{ depth int }
+// errServerBusy rejects admissions beyond the queue depth (or during a
+// drain); it maps to HTTP 503.
+type errServerBusy struct{ reason string }
 
-func (e errServerBusy) Error() string {
-	return fmt.Sprintf("server busy: job queue full (depth %d); retry later", e.depth)
-}
+func (e errServerBusy) Error() string { return e.reason }
+
+// errClientGone marks a synchronous request abandoned by its own
+// client (connection closed while waiting for a run slot). It maps to
+// 499 — nobody reads that response, but access logs must distinguish
+// "the client hung up" from "the server was unavailable" (503), which
+// pages someone.
+type errClientGone struct{ err error }
+
+func (e errClientGone) Error() string { return fmt.Sprintf("client disconnected: %v", e.err) }
+func (e errClientGone) Unwrap() error { return e.err }
+
+// statusClientClosedRequest is nginx's non-standard 499, the de-facto
+// convention for "client closed the connection before the response".
+const statusClientClosedRequest = 499
 
 func errStatus(err error) int {
 	var busy errServerBusy
 	if errors.As(err, &busy) {
 		return http.StatusServiceUnavailable
 	}
+	var gone errClientGone
+	if errors.As(err, &gone) {
+		return statusClientClosedRequest
+	}
 	// RunDesign wraps cancellation as "module x: context canceled", so
-	// match the chain, not the sentinel value.
+	// match the chain, not the sentinel value. Reaching here the cause
+	// is the server's own run context (shutdown), not the client.
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
 }
 
-// admit reserves a queue position, failing fast when the queue is full.
-// The returned release function gives it back.
+// admit reserves a queue position, failing fast when the queue is full
+// or the server is draining. The returned release function gives it
+// back.
 func (s *Server) admit() (func(), error) {
+	if s.draining.Load() {
+		return nil, errServerBusy{reason: "server draining: not accepting new work"}
+	}
 	if n := s.admitted.Add(1); n > int64(s.cfg.QueueDepth) {
 		s.admitted.Add(-1)
-		return nil, errServerBusy{depth: s.cfg.QueueDepth}
+		return nil, errServerBusy{reason: fmt.Sprintf(
+			"server busy: job queue full (depth %d); retry later", s.cfg.QueueDepth)}
 	}
 	s.wg.Add(1)
 	return func() {
@@ -318,7 +382,10 @@ func (s *Server) execute(waitCtx context.Context, pr *request) (*api.OptimizeRes
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	case <-waitCtx.Done():
-		return nil, waitCtx.Err()
+		// The client's own context died, not the server: report 499,
+		// never the 503 that would make a monitored fleet look
+		// unavailable because one caller got impatient.
+		return nil, errClientGone{err: waitCtx.Err()}
 	case <-s.runCtx.Done():
 		return nil, s.runCtx.Err()
 	}
@@ -422,12 +489,36 @@ func (s *Server) requestWorkers(pr *request) int {
 	return s.cfg.Workers
 }
 
+// progressOption converts a request's event sink into an engine
+// progress option. fallbackModule labels events from single-module runs
+// (whose engine context has no module name of its own).
+func progressOption(pr *request, fallbackModule string) []smartly.RunOption {
+	if pr.progress == nil {
+		return nil
+	}
+	sink := pr.progress
+	return []smartly.RunOption{smartly.WithProgress(func(ev smartly.PassEvent) {
+		module := ev.Module
+		if module == "" {
+			module = fallbackModule
+		}
+		sink(api.JobEvent{
+			Type:      api.EventPass,
+			Module:    module,
+			Pass:      ev.Pass,
+			Calls:     ev.Calls,
+			ElapsedMS: float64(ev.Last) / float64(time.Millisecond),
+		})
+	})}
+}
+
 func (s *Server) runFlow(pr *request) ([]byte, error) {
 	workers := s.requestWorkers(pr)
 	opts := []smartly.RunOption{
 		smartly.WithContext(s.runCtx),
 		smartly.WithWorkers(workers),
 	}
+	opts = append(opts, progressOption(pr, "")...)
 	if pr.req.Timings {
 		opts = append(opts, smartly.WithTimings())
 	}
@@ -454,6 +545,44 @@ type payload struct {
 	Reports map[string]api.Report `json:"reports"`
 }
 
+// handleCachePut accepts one framed cache entry pushed by a peer
+// replica; bodies share the body bound of optimize requests.
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "reading cache entry: %v", err)
+		return
+	}
+	val, ok := cache.Unframe(raw)
+	if !ok {
+		s.writeError(w, http.StatusBadRequest, "malformed cache entry for %s", id)
+		return
+	}
+	// PutLocal, not Put: a peer push must not echo back out to the
+	// remote tier (with two replicas pointed at each other that would
+	// ping-pong every entry).
+	s.cache.PutLocal(id, val)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleCacheGet serves one local cache entry to a peer replica, framed
+// (magic + checksum) so transport corruption is detected exactly like
+// at-rest corruption. Misses are 404, never recomputation: the peer
+// protocol is a lookup tier, not a work queue.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	val, ok := s.cache.GetLocal(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no cache entry for %s", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := w.Write(cache.Frame(val)); err != nil {
+		s.logf("writing cache entry %s: %v", id, err)
+	}
+}
+
 func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
 	var out []api.FlowInfo
 	for _, name := range smartly.FlowNames() {
@@ -463,7 +592,7 @@ func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, api.FlowInfo{Name: name, Script: f.String(), Canonical: f.Canonical()})
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handlePasses(w http.ResponseWriter, r *http.Request) {
@@ -481,11 +610,11 @@ func (s *Server) handlePasses(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, info)
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, api.Health{
+	s.writeJSON(w, http.StatusOK, api.Health{
 		Status:   "ok",
 		UptimeMS: time.Since(s.start).Milliseconds(),
 		Jobs:     s.jobs.stats(),

@@ -1,0 +1,172 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/server/api"
+)
+
+// The durable job store persists every async job as one JSON record
+// under a directory (by default <cache-dir>/jobs), written
+// write-ahead: the record is (re)written atomically — temp file +
+// rename, like the cache's disk tier — at submission and on every
+// state transition, before the transition is observable to pollers. A
+// smartlyd killed at any instant therefore leaves a consistent store:
+// on restart, finished jobs re-serve their payloads under their
+// original ids, and queued or mid-run jobs are re-submitted (re-running
+// a half-done optimization is safe — flows are deterministic and the
+// result cache absorbs recomputation). Store I/O is fail-soft in
+// steady state: a failed record write costs durability for that job,
+// never the job itself; an unreadable record at recovery is skipped
+// and logged.
+
+// jobRecord is the on-disk form of one async job.
+type jobRecord struct {
+	ID          string    `json:"id"`
+	State       string    `json:"state"`
+	Error       string    `json:"error,omitempty"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	// Request is the original OptimizeRequest body, kept verbatim so a
+	// queued or running job can be re-validated and re-run on recovery.
+	Request json.RawMessage `json:"request,omitempty"`
+	// Result is the marshaled OptimizeResponse of a done job.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// diskJobs is the store backend. A nil *diskJobs is valid and persists
+// nothing (the in-memory-only configuration).
+type diskJobs struct {
+	dir  string
+	logf func(format string, args ...any)
+}
+
+// newDiskJobs opens (creating if needed) the store directory.
+func newDiskJobs(dir string, logf func(format string, args ...any)) (*diskJobs, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: creating job store: %w", err)
+	}
+	return &diskJobs{dir: dir, logf: logf}, nil
+}
+
+func (d *diskJobs) log(format string, args ...any) {
+	if d != nil && d.logf != nil {
+		d.logf(format, args...)
+	}
+}
+
+func (d *diskJobs) path(id string) string {
+	return filepath.Join(d.dir, id+".json")
+}
+
+// save writes one record atomically (temp + rename, 0644 like the
+// cache's disk tier so replicas under different users can share a
+// directory tree), best effort.
+func (d *diskJobs) save(rec jobRecord) {
+	if d == nil {
+		return
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		d.log("job store: marshaling %s: %v", rec.ID, err)
+		return
+	}
+	tmp, err := os.CreateTemp(d.dir, "job-*")
+	if err != nil {
+		d.log("job store: %v", err)
+		return
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		d.log("job store: writing %s: %v", rec.ID, err)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		d.log("job store: writing %s: %v", rec.ID, err)
+		return
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), d.path(rec.ID)); err != nil {
+		os.Remove(tmp.Name())
+		d.log("job store: writing %s: %v", rec.ID, err)
+	}
+}
+
+// remove forgets one record, best effort (pruned jobs 404 either way).
+func (d *diskJobs) remove(id string) {
+	if d == nil {
+		return
+	}
+	os.Remove(d.path(id))
+}
+
+// load reads every record, skipping damaged ones, in submission order
+// (ties broken by id, so recovery is deterministic).
+func (d *diskJobs) load() []jobRecord {
+	if d == nil {
+		return nil
+	}
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		d.log("job store: reading %s: %v", d.dir, err)
+		return nil
+	}
+	var recs []jobRecord
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue // temp files, strays
+		}
+		raw, err := os.ReadFile(filepath.Join(d.dir, name))
+		if err != nil {
+			d.log("job store: reading %s: %v", name, err)
+			continue
+		}
+		var rec jobRecord
+		if err := json.Unmarshal(raw, &rec); err != nil || rec.ID == "" ||
+			rec.ID+".json" != name {
+			d.log("job store: skipping damaged record %s", name)
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if !recs[i].SubmittedAt.Equal(recs[j].SubmittedAt) {
+			return recs[i].SubmittedAt.Before(recs[j].SubmittedAt)
+		}
+		return recs[i].ID < recs[j].ID
+	})
+	return recs
+}
+
+// loadResult re-hydrates the result payload of a done job whose
+// in-memory copy was pruned.
+func (d *diskJobs) loadResult(id string) (*api.OptimizeResponse, bool) {
+	if d == nil {
+		return nil, false
+	}
+	raw, err := os.ReadFile(d.path(id))
+	if err != nil {
+		return nil, false
+	}
+	var rec jobRecord
+	if err := json.Unmarshal(raw, &rec); err != nil || len(rec.Result) == 0 {
+		return nil, false
+	}
+	var resp api.OptimizeResponse
+	if err := json.Unmarshal(rec.Result, &resp); err != nil {
+		d.log("job store: damaged result payload for %s: %v", id, err)
+		return nil, false
+	}
+	return &resp, true
+}
