@@ -187,17 +187,39 @@ func terminalWaitError(ctx context.Context, err error) bool {
 	return false
 }
 
+// eventPos is a subscriber's resume position in a job's event stream:
+// the last delivered event's epoch (daemon incarnation; 0 = not yet
+// known) and seq within that epoch. See api.JobEvent for why both are
+// needed: a daemon restart re-adopts the job under a higher epoch and
+// restarts seq at 1, so seq alone cannot order events across restarts.
+type eventPos struct{ epoch, seq int }
+
+// header renders the position as a Last-Event-ID value, matching the
+// server's SSE id format once the epoch is known.
+func (p eventPos) header() string {
+	if p.epoch == 0 {
+		return strconv.Itoa(p.seq)
+	}
+	return fmt.Sprintf("%d-%d", p.epoch, p.seq)
+}
+
 // Events streams a job's progress events (lifecycle transitions and
 // per-pass completions) from GET /v1/jobs/{id}/events, invoking fn for
-// each in order. after resumes past the last seen Seq (0 streams the
+// each in order. after resumes past the last seen Seq within the
+// stream's current incarnation (0 — the common case — streams the
 // whole retained history). The call returns nil when the stream ends
 // after a terminal state event, fn's error if it rejects an event, and
 // otherwise reconnects through transient drops — resuming via
-// Last-Event-ID so no event is delivered twice — until ctx expires.
+// Last-Event-ID so no event is delivered twice, and tracking the
+// stream's epoch so a daemon restart mid-job (which replays the
+// adopted job's stream from seq 1 under a higher epoch) streams the
+// re-run instead of waiting for sequence numbers that will never come
+// — until ctx expires.
 func (c *Client) Events(ctx context.Context, id string, after int, fn func(api.JobEvent) error) error {
 	backoff := 100 * time.Millisecond
+	pos := eventPos{seq: after}
 	for {
-		terminal, err := c.streamEvents(ctx, id, &after, fn)
+		terminal, err := c.streamEvents(ctx, id, &pos, fn)
 		if terminal || err != nil {
 			return err
 		}
@@ -214,18 +236,18 @@ func (c *Client) Events(ctx context.Context, id string, after int, fn func(api.J
 	}
 }
 
-// streamEvents runs one events connection, advancing *after past every
+// streamEvents runs one events connection, advancing *pos past every
 // delivered event. terminal reports a clean end-of-stream (the job
 // reached a terminal state); err is only non-nil for errors that must
 // end the enclosing Events loop (fn rejection, 404/400, ctx expiry).
-func (c *Client) streamEvents(ctx context.Context, id string, after *int, fn func(api.JobEvent) error) (terminal bool, err error) {
+func (c *Client) streamEvents(ctx context.Context, id string, pos *eventPos, fn func(api.JobEvent) error) (terminal bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		c.baseURL+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
 		return false, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
-	req.Header.Set("Last-Event-ID", strconv.Itoa(*after))
+	req.Header.Set("Last-Event-ID", pos.header())
 	resp, err := c.httpc.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -263,13 +285,19 @@ func (c *Client) streamEvents(ctx context.Context, id string, after *int, fn fun
 				continue // unknown frame; skip
 			}
 			data = nil
-			if ev.Seq <= *after {
-				continue // replay overlap
+			if pos.epoch != 0 && ev.Epoch < pos.epoch {
+				continue // stale replay from before a known restart
 			}
+			if (pos.epoch == 0 || ev.Epoch == pos.epoch) && ev.Seq <= pos.seq {
+				continue // replay overlap within the same incarnation
+			}
+			// ev.Epoch > pos.epoch means the daemon restarted and the
+			// stream replayed from scratch: every event is new even
+			// though its seq restarted below pos.seq.
 			if err := fn(ev); err != nil {
 				return false, err
 			}
-			*after = ev.Seq
+			pos.epoch, pos.seq = ev.Epoch, ev.Seq
 			if ev.Type == api.EventState && (ev.State == api.JobDone ||
 				ev.State == api.JobFailed || ev.State == api.JobResultEvicted) {
 				terminal = true

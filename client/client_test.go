@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -258,6 +259,72 @@ func TestWaitTerminalErrors(t *testing.T) {
 	_, err = New(ts.URL).Wait(ctx, "j", 10*time.Millisecond)
 	if !errors.Is(err, ErrResultEvicted) {
 		t.Fatalf("Wait on evicted job: %v, want ErrResultEvicted", err)
+	}
+}
+
+// TestEventsReconnectAcrossDaemonEpochs: when the daemon restarts
+// mid-stream, the adopted job's event stream starts over at seq 1
+// under a higher epoch. The client's reconnect must resume with an
+// epoch-qualified Last-Event-ID and accept the replayed events even
+// though their seq is at or below what it already saw — pre-fix it
+// filtered on seq alone and silently dropped every post-restart event,
+// so the terminal state never arrived and Events spun until ctx death.
+func TestEventsReconnectAcrossDaemonEpochs(t *testing.T) {
+	sse := func(w http.ResponseWriter, evs ...api.JobEvent) {
+		for _, ev := range evs {
+			raw, _ := json.Marshal(ev)
+			fmt.Fprintf(w, "id: %d-%d\nevent: %s\ndata: %s\n\n", ev.Epoch, ev.Seq, ev.Type, raw)
+		}
+	}
+	var mu sync.Mutex
+	conns := 0
+	var resumeIDs []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		conns++
+		n := conns
+		resumeIDs = append(resumeIDs, r.Header.Get("Last-Event-ID"))
+		mu.Unlock()
+		w.Header().Set("Content-Type", "text/event-stream")
+		if n == 1 {
+			// First incarnation: three events, then the connection drops
+			// without a terminal state (the daemon is killed).
+			sse(w,
+				api.JobEvent{Epoch: 1, Seq: 1, Type: api.EventState, State: api.JobQueued},
+				api.JobEvent{Epoch: 1, Seq: 2, Type: api.EventState, State: api.JobRunning},
+				api.JobEvent{Epoch: 1, Seq: 3, Type: api.EventPass, Module: "m", Pass: "opt_expr", Calls: 1},
+			)
+			return
+		}
+		// Restarted daemon: the re-adopted job replays from scratch at
+		// epoch 2 — fewer events than the client has already seen.
+		sse(w,
+			api.JobEvent{Epoch: 2, Seq: 1, Type: api.EventState, State: api.JobQueued},
+			api.JobEvent{Epoch: 2, Seq: 2, Type: api.EventState, State: api.JobDone},
+		)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var got []api.JobEvent
+	if err := New(ts.URL).Events(ctx, "j", 0, func(ev api.JobEvent) error {
+		got = append(got, ev)
+		return nil
+	}); err != nil {
+		t.Fatalf("Events across restart: %v", err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("delivered %d events, want all 5 (3 pre-restart + 2 replayed): %+v", len(got), got)
+	}
+	final := got[len(got)-1]
+	if final.Epoch != 2 || final.State != api.JobDone {
+		t.Errorf("final event %+v, want epoch-2 done", final)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(resumeIDs) < 2 || resumeIDs[1] != "1-3" {
+		t.Errorf("reconnect resume ids %q, want second = \"1-3\" (epoch-qualified)", resumeIDs)
 	}
 }
 

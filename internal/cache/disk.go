@@ -37,8 +37,30 @@ func (c *Cache) initDisk() error {
 	return nil
 }
 
-// diskPath maps an id to its shard file. Ids are hex hashes; anything
-// else (impossible via Key.ID) would still stay inside dir.
+// diskSafeID reports whether an id may name a file in the tier. Ids
+// produced by Key.ID/ModuleKey.ID are hex hashes and always pass; an
+// id carrying a path separator or a dot could escape the cache
+// directory once filepath.Join cleans it ("../../etc/x"), so the tier
+// refuses it outright — every operation on such an id is a miss or a
+// no-op. The server's peer endpoints validate ids upstream, but the
+// tier must not depend on every caller doing so.
+func diskSafeID(id string) bool {
+	if id == "" {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		switch c := id[i]; {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// diskPath maps an id to its shard file. Callers must have checked
+// diskSafeID first.
 func (c *Cache) diskPath(id string) string {
 	shard := "00"
 	if len(id) >= 2 && !strings.ContainsAny(id[:2], `/\.`) {
@@ -52,7 +74,7 @@ func (c *Cache) diskPath(id string) string {
 // are deleted so the slot is rewritten by the recompute's Put instead
 // of failing every future lookup.
 func (c *Cache) readDisk(id string) ([]byte, bool) {
-	if c.dir == "" {
+	if c.dir == "" || !diskSafeID(id) {
 		return nil, false
 	}
 	raw, err := os.ReadFile(c.diskPath(id))
@@ -103,7 +125,7 @@ func Unframe(raw []byte) ([]byte, bool) { return unframe(raw) }
 
 // writeDisk persists a value to the disk tier, best effort.
 func (c *Cache) writeDisk(id string, val []byte) {
-	if c.dir == "" {
+	if c.dir == "" || !diskSafeID(id) {
 		return
 	}
 	path := c.diskPath(id)
@@ -147,7 +169,7 @@ func (c *Cache) writeDisk(id string, val []byte) {
 
 // removeDisk drops a disk-tier entry, best effort.
 func (c *Cache) removeDisk(id string) {
-	if c.dir == "" {
+	if c.dir == "" || !diskSafeID(id) {
 		return
 	}
 	os.Remove(c.diskPath(id))

@@ -71,6 +71,47 @@ func TestDiskEntryWorldReadable(t *testing.T) {
 	}
 }
 
+// TestDiskTierRefusesUnsafeIDs: the disk tier maps ids to file paths,
+// so an id carrying separators or dots must never reach the
+// filesystem — filepath.Join would clean "../.." into a path outside
+// the cache directory. The tier treats such ids as a miss/no-op (the
+// memory tier still serves them); the server's peer endpoints reject
+// them upstream, but the tier must hold on its own.
+func TestDiskTierRefusesUnsafeIDs(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "cache")
+	c, err := New(1024, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{
+		"../../escape", `..\..\escape`, "a/b", "a.b", "..", ".", "",
+	} {
+		c.Put(id, []byte("v"))
+		if _, ok := c.readDisk(id); ok {
+			t.Errorf("unsafe id %q readable from the disk tier", id)
+		}
+		c.Delete(id) // removeDisk must be a no-op, not an escape either
+	}
+	// Nothing was written outside (or inside) the tier's directory:
+	// the only entries under root are the cache dir itself.
+	var files []string
+	filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if len(files) != 0 {
+		t.Errorf("unsafe ids left files on disk: %v", files)
+	}
+	// Safe ids (including the short test-style ones) still round-trip.
+	c.Put("abcd", []byte("v"))
+	if _, ok := c.readDisk("abcd"); !ok {
+		t.Error("safe id not written to the disk tier")
+	}
+}
+
 func TestRemoteTierGetAndPromotion(t *testing.T) {
 	r := newFakeRemote()
 	r.vals["k"] = []byte("shared")

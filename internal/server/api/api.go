@@ -191,11 +191,18 @@ const (
 )
 
 // JobEvent is one server-sent event of GET /v1/jobs/{id}/events. Seq
-// numbers events 1.. within a job, so a reconnecting client resumes
-// with Last-Event-ID (or ?after=) and never re-sees an event.
+// numbers events 1.. within one incarnation of a job; Epoch counts the
+// incarnations (1 at submission, +1 each time a restarted daemon
+// adopts the job from its durable store, which restarts Seq at 1). The
+// SSE id is "epoch-seq": a client reconnecting with Last-Event-ID from
+// an older epoch is replayed from the start instead of resuming past a
+// Seq the new incarnation may never reach — without the epoch, a
+// re-run that emits fewer events than the client already saw would
+// never deliver its terminal state.
 type JobEvent struct {
-	Seq  int    `json:"seq"`
-	Type string `json:"type"`
+	Epoch int    `json:"epoch"`
+	Seq   int    `json:"seq"`
+	Type  string `json:"type"`
 	// State and Error are set on EventState events.
 	State string `json:"state,omitempty"`
 	Error string `json:"error,omitempty"`

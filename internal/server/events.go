@@ -5,16 +5,21 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 )
 
 // GET /v1/jobs/{id}/events streams a job's progress as server-sent
 // events: lifecycle transitions (event: state) and per-pass completions
-// (event: pass), each with its sequence number as the SSE id. The
-// stream replays buffered events first — subscribing after the job
-// finished replays its whole (retained) history — then follows the live
-// tail and ends when the job reaches a terminal state. A reconnecting
-// client resumes without duplicates via the standard Last-Event-ID
-// header (or ?after=N), both holding the last Seq it saw.
+// (event: pass), each with "epoch-seq" as the SSE id (see api.JobEvent:
+// seq numbers events within one incarnation of the job, epoch counts
+// incarnations across daemon restarts). The stream replays buffered
+// events first — subscribing after the job finished replays its whole
+// (retained) history — then follows the live tail and ends when the job
+// reaches a terminal state. A reconnecting client resumes without
+// duplicates via the standard Last-Event-ID header (or ?after=); a
+// resume position from an older epoch is stale — the adopted job's
+// stream restarted at seq 1 — and is replayed from the start instead of
+// skipping events the new incarnation may never emit.
 
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.jobs.get(r.PathValue("id"))
@@ -22,10 +27,16 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
-	after, err := eventsAfter(r)
+	epoch, after, err := eventsAfter(r)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	// An un-epoched position (plain "N", or the zero default) means the
+	// current incarnation; a mismatched one predates a restart, so the
+	// whole stream is fresh to that subscriber.
+	if epoch != 0 && epoch != j.epoch {
+		after = 0
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
@@ -42,7 +53,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				continue // wire type marshals by construction
 			}
-			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, raw); err != nil {
+			if _, err := fmt.Fprintf(w, "id: %d-%d\nevent: %s\ndata: %s\n\n", ev.Epoch, ev.Seq, ev.Type, raw); err != nil {
 				return // client gone
 			}
 			after = ev.Seq
@@ -62,19 +73,29 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 // eventsAfter resolves the resume position of an events subscription:
-// ?after=N, else the SSE-standard Last-Event-ID header, else 0 (the
-// whole retained stream).
-func eventsAfter(r *http.Request) (int, error) {
+// ?after=, else the SSE-standard Last-Event-ID header, else the whole
+// retained stream. Positions are either "epoch-seq" (as the stream's
+// SSE ids are emitted) or a bare seq, which means "seq within the
+// job's current incarnation" (epoch 0).
+func eventsAfter(r *http.Request) (epoch, after int, err error) {
 	raw := r.URL.Query().Get("after")
 	if raw == "" {
 		raw = r.Header.Get("Last-Event-ID")
 	}
 	if raw == "" {
-		return 0, nil
+		return 0, 0, nil
 	}
-	after, err := strconv.Atoi(raw)
+	seqPart := raw
+	if e, s, ok := strings.Cut(raw, "-"); ok {
+		epoch, err = strconv.Atoi(e)
+		if err != nil || epoch <= 0 {
+			return 0, 0, fmt.Errorf("bad event position %q: want SEQ or EPOCH-SEQ", raw)
+		}
+		seqPart = s
+	}
+	after, err = strconv.Atoi(seqPart)
 	if err != nil || after < 0 {
-		return 0, fmt.Errorf("bad event position %q: want a non-negative integer", raw)
+		return 0, 0, fmt.Errorf("bad event position %q: want SEQ or EPOCH-SEQ", raw)
 	}
-	return after, nil
+	return epoch, after, nil
 }

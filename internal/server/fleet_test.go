@@ -356,11 +356,15 @@ func readEvents(t *testing.T, url, id string, after int) []api.JobEvent {
 }
 
 // TestCachePeerEndpoints exercises the wire protocol replicas share
-// entries over: framed GET/PUT with checksum validation.
+// entries over: framed GET/PUT with checksum validation, on the plain
+// hex content-hash ids the protocol is restricted to.
 func TestCachePeerEndpoints(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
+	idA := strings.Repeat("ab", 32) // well-formed 64-char hex ids
+	idB := strings.Repeat("cd", 32)
+	idAbsent := strings.Repeat("ef", 32)
 
-	resp, err := http.Get(ts.URL + "/v1/cache/absent")
+	resp, err := http.Get(ts.URL + "/v1/cache/" + idAbsent)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,14 +382,14 @@ func TestCachePeerEndpoints(t *testing.T) {
 		resp.Body.Close()
 		return resp.StatusCode
 	}
-	if code := put("k", cache.Frame([]byte("payload"))); code != http.StatusNoContent {
+	if code := put(idA, cache.Frame([]byte("payload"))); code != http.StatusNoContent {
 		t.Fatalf("put: %d, want 204", code)
 	}
-	if code := put("bad", []byte("unframed junk")); code != http.StatusBadRequest {
+	if code := put(idB, []byte("unframed junk")); code != http.StatusBadRequest {
 		t.Errorf("malformed put: %d, want 400", code)
 	}
 
-	resp, err = http.Get(ts.URL + "/v1/cache/k")
+	resp, err = http.Get(ts.URL + "/v1/cache/" + idA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -398,6 +402,133 @@ func TestCachePeerEndpoints(t *testing.T) {
 	val, ok := cache.Unframe(buf.Bytes())
 	if !ok || string(val) != "payload" {
 		t.Fatalf("served entry unframed=%v %q", ok, val)
+	}
+}
+
+// TestCachePeerRejectsNonHashIDs: the unauthenticated peer endpoints
+// must refuse any id that is not a plain hex content hash *before* any
+// tier sees it. ServeMux percent-decodes path values, so a crafted
+// "..%2f..%2f" id reaches the handler carrying real traversal segments
+// — pre-fix, PUT wrote attacker-controlled bytes to arbitrary
+// daemon-writable paths through the disk tier's filepath.Join.
+func TestCachePeerRejectsNonHashIDs(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	c, err := cache.New(0, cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Cache: c})
+
+	evil := []string{
+		"..%2f..%2f..%2ftmp%2fpwned",        // decoded: ../../../tmp/pwned
+		"..%5c..%5cpwned",                   // backslash flavor
+		"%2e%2e%2fjobs%2fpwned",             // fully encoded dots
+		"short",                             // not a hash at all
+		strings.Repeat("ab", 32) + "%2fx",   // valid hash + trailing segment
+		strings.ToUpper(strings.Repeat("ab", 32)), // uppercase hex is not canonical
+	}
+	for _, id := range evil {
+		req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/cache/"+id,
+			bytes.NewReader(cache.Frame([]byte("owned"))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("PUT %s: %d, want 400", id, resp.StatusCode)
+		}
+		getResp, err := http.Get(ts.URL + "/v1/cache/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		getResp.Body.Close()
+		if getResp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: %d, want 400", id, getResp.StatusCode)
+		}
+	}
+	// Nothing escaped the cache directory: the tempdir holds only the
+	// (empty) cache tree, and no "pwned" file exists anywhere under it.
+	root := filepath.Dir(cacheDir)
+	err = filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if strings.Contains(path, "pwned") || (!info.IsDir() && strings.Contains(path, "owned")) {
+			t.Errorf("traversal artifact on disk: %s", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEventResumeAcrossRestart: event ids are epoch-qualified so a
+// subscriber resuming with a pre-restart Last-Event-ID cannot skip the
+// adopted job's events — the restarted daemon's stream starts over at
+// seq 1 under a higher epoch, and a stale position must replay it from
+// the start. Pre-fix, the seq counter silently restarted at 1 and a
+// resume past any pre-restart seq waited forever on events that would
+// never come.
+func TestEventResumeAcrossRestart(t *testing.T) {
+	designJSON := testDesignJSON(t, "../../testdata/fig3.v")
+	jobsDir := filepath.Join(t.TempDir(), "jobs")
+
+	s1, ts1 := newTestServer(t, Config{JobsDir: jobsDir})
+	job := postAsync(t, ts1.URL, api.OptimizeRequest{Design: designJSON, Flow: "yosys", NoCache: true})
+	if st := pollJob(t, ts1.URL, job.ID); st.State != api.JobDone {
+		t.Fatalf("job finished as %s (%s)", st.State, st.Error)
+	}
+	evs1 := readEvents(t, ts1.URL, job.ID, 0)
+	if len(evs1) < 3 {
+		t.Fatalf("first incarnation streamed %d events", len(evs1))
+	}
+	for _, ev := range evs1 {
+		if ev.Epoch != 1 {
+			t.Fatalf("fresh job event with epoch %d, want 1", ev.Epoch)
+		}
+	}
+	last := evs1[len(evs1)-1]
+	s1.Close()
+
+	_, ts2 := newTestServer(t, Config{JobsDir: jobsDir})
+	// Resume with the pre-restart position, epoch-qualified the way the
+	// SSE ids carried it. The adopted (done) job's stream holds exactly
+	// one terminal event at epoch 2, seq 1 — far "behind" last.Seq — and
+	// the stale-epoch position must still receive it.
+	req, err := http.NewRequest(http.MethodGet, ts2.URL+"/v1/jobs/"+job.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", fmt.Sprintf("%d-%d", last.Epoch, last.Seq))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var evs2 []api.JobEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev api.JobEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatal(err)
+		}
+		evs2 = append(evs2, ev)
+	}
+	if len(evs2) == 0 {
+		t.Fatal("stale-epoch resume delivered no events (the pre-fix hang)")
+	}
+	final := evs2[len(evs2)-1]
+	if final.Epoch != last.Epoch+1 || final.Type != api.EventState || final.State != api.JobDone {
+		t.Errorf("post-restart terminal event %+v, want epoch %d done", final, last.Epoch+1)
 	}
 }
 

@@ -43,12 +43,24 @@ type job struct {
 	result    *api.OptimizeResponse
 	done      chan struct{}
 
+	// epoch counts the job's incarnations: 1 at submission, +1 every
+	// time a restarted daemon adopts it from the durable store. Events
+	// are identified by (epoch, seq) — seq restarts at 1 per
+	// incarnation — so a subscriber resuming with a pre-restart
+	// position is replayed from the start instead of waiting for a Seq
+	// the re-run may never reach. Immutable once the job is registered.
+	epoch int
+
 	// events buffers the job's progress stream (lifecycle transitions
 	// and per-pass completions); seq numbers the next event; eventc is
 	// closed and replaced on every append, waking events subscribers.
 	events []api.JobEvent
 	seq    int
 	eventc chan struct{}
+
+	// saveMu serializes this job's durable-record writes and removals,
+	// which run outside the store mutex (see setState).
+	saveMu sync.Mutex
 }
 
 // jobStore tracks async jobs in submission order for pruning, with an
@@ -83,13 +95,15 @@ func (js *jobStore) add(request json.RawMessage) *job {
 	buf := make([]byte, 16)
 	rand.Read(buf) // never fails per crypto/rand contract
 	j := newJob(hex.EncodeToString(buf), time.Now(), api.JobQueued)
+	j.epoch = 1
 	js.mu.Lock()
-	defer js.mu.Unlock()
-	js.register(j)
+	pruned := js.register(j)
 	js.appendEventLocked(j, api.JobEvent{Type: api.EventState, State: j.state})
-	js.disk.save(jobRecord{
-		ID: j.id, State: j.state, SubmittedAt: j.submitted, Request: request,
+	js.mu.Unlock()
+	js.saveRecord(j, jobRecord{
+		ID: j.id, State: j.state, Epoch: j.epoch, SubmittedAt: j.submitted, Request: request,
 	})
+	js.removeRecords(pruned)
 	return j
 }
 
@@ -100,8 +114,8 @@ func (js *jobStore) add(request json.RawMessage) *job {
 // way again. Returns nil for a duplicate id (damaged store).
 func (js *jobStore) adopt(rec jobRecord) *job {
 	js.mu.Lock()
-	defer js.mu.Unlock()
 	if js.byID[rec.ID] != nil {
+		js.mu.Unlock()
 		return nil
 	}
 	state := rec.State
@@ -113,22 +127,29 @@ func (js *jobStore) adopt(rec jobRecord) *job {
 	}
 	j := newJob(rec.ID, rec.SubmittedAt, state)
 	j.errMsg = rec.Error
-	js.register(j)
+	// Every adoption is a new incarnation: seq restarts at 1 below, so
+	// the epoch must advance — and persist — or a second restart would
+	// reuse this incarnation's event ids.
+	j.epoch = rec.Epoch + 1
+	pruned := js.register(j)
 	js.appendEventLocked(j, api.JobEvent{Type: api.EventState, State: state, Error: rec.Error})
 	if terminal {
 		close(j.done)
-		// The result payload (if any) stays on disk and re-hydrates on
-		// demand; the record is already correct.
-	} else if rec.State != state {
-		js.disk.save(jobRecord{
-			ID: j.id, State: state, SubmittedAt: j.submitted, Request: rec.Request,
-		})
+		// The result payload (if any) stays in the record and
+		// re-hydrates on demand.
 	}
+	js.mu.Unlock()
+	rec.State = state
+	rec.Epoch = j.epoch
+	js.saveRecord(j, rec)
+	js.removeRecords(pruned)
 	return j
 }
 
-// register links a job into byID/order and prunes. Caller holds mu.
-func (js *jobStore) register(j *job) {
+// register links a job into byID/order and prunes, returning the
+// pruned jobs so the caller can remove their durable records after
+// releasing the mutex. Caller holds mu.
+func (js *jobStore) register(j *job) (pruned []*job) {
 	js.byID[j.id] = j
 	js.order = append(js.order, j)
 	for len(js.order) > maxRetainedJobs {
@@ -142,10 +163,30 @@ func (js *jobStore) register(j *job) {
 		if victim < 0 {
 			break // everything still active; keep over-retaining
 		}
-		id := js.order[victim].id
-		delete(js.byID, id)
+		pruned = append(pruned, js.order[victim])
+		delete(js.byID, js.order[victim].id)
 		js.order = append(js.order[:victim], js.order[victim+1:]...)
-		js.disk.remove(id)
+	}
+	return pruned
+}
+
+// saveRecord persists one job's record outside the store mutex: the
+// marshal and temp-file/rename dance can stall on a slow or full disk,
+// and under js.mu that stall would freeze every poll, snapshot and
+// progress append daemon-wide. saveMu keeps one job's writes ordered.
+func (js *jobStore) saveRecord(j *job, rec jobRecord) {
+	j.saveMu.Lock()
+	js.disk.save(rec)
+	j.saveMu.Unlock()
+}
+
+// removeRecords drops the durable records of pruned jobs, outside the
+// store mutex for the same reason saveRecord runs there.
+func (js *jobStore) removeRecords(pruned []*job) {
+	for _, j := range pruned {
+		j.saveMu.Lock()
+		js.disk.remove(j.id)
+		j.saveMu.Unlock()
 	}
 }
 
@@ -156,17 +197,22 @@ func (js *jobStore) get(id string) *job {
 	return js.byID[id]
 }
 
-// setState transitions a job, persists the record write-ahead (before
-// the transition is observable through done), appends the lifecycle
-// event, and on terminal states prunes in-memory payloads of older
-// finished jobs.
+// setState transitions a job, appends the lifecycle event, persists
+// the record (outside the store mutex; a terminal record always lands
+// before done closes), and on terminal states prunes in-memory
+// payloads of older finished jobs.
 func (js *jobStore) setState(j *job, state, errMsg string, result *api.OptimizeResponse, request json.RawMessage) {
+	terminal := state == api.JobDone || state == api.JobFailed
 	js.mu.Lock()
 	j.state = state
 	j.errMsg = errMsg
 	j.result = result
-	terminal := state == api.JobDone || state == api.JobFailed
-	rec := jobRecord{ID: j.id, State: state, Error: errMsg, SubmittedAt: j.submitted}
+	js.appendEventLocked(j, api.JobEvent{Type: api.EventState, State: state, Error: errMsg})
+	if terminal {
+		js.pruneResultsLocked()
+	}
+	js.mu.Unlock()
+	rec := jobRecord{ID: j.id, State: state, Error: errMsg, Epoch: j.epoch, SubmittedAt: j.submitted}
 	if result != nil {
 		if raw, err := json.Marshal(result); err == nil {
 			rec.Result = raw
@@ -178,12 +224,7 @@ func (js *jobStore) setState(j *job, state, errMsg string, result *api.OptimizeR
 		// error is what matters now, and done jobs re-serve, not re-run).
 		rec.Request = request
 	}
-	js.disk.save(rec)
-	js.appendEventLocked(j, api.JobEvent{Type: api.EventState, State: state, Error: errMsg})
-	if terminal {
-		js.pruneResultsLocked()
-	}
-	js.mu.Unlock()
+	js.saveRecord(j, rec)
 	if terminal {
 		close(j.done)
 	}
@@ -193,6 +234,7 @@ func (js *jobStore) setState(j *job, state, errMsg string, result *api.OptimizeR
 // holds mu.
 func (js *jobStore) appendEventLocked(j *job, ev api.JobEvent) {
 	j.seq++
+	ev.Epoch = j.epoch
 	ev.Seq = j.seq
 	j.events = append(j.events, ev)
 	if len(j.events) > maxRetainedEvents {

@@ -68,7 +68,13 @@ type Server struct {
 
 	sem      chan struct{} // admission: one token per running optimization
 	admitted atomic.Int64  // running + waiting requests
-	draining atomic.Bool   // Drain called: admit nothing new
+
+	// drainMu makes the draining check and wg.Add one atomic step:
+	// without it a request could pass the check, lose the CPU, and
+	// wg.Add after Drain's wg.Wait already observed zero — Drain would
+	// return with that request still starting.
+	drainMu  sync.Mutex
+	draining bool // Drain called: admit nothing new
 	wg       sync.WaitGroup
 
 	jobs jobStore
@@ -146,7 +152,9 @@ func (s *Server) Close() { s.stop() }
 // — has finished, or ctx expires. Without the admission stop a steady
 // stream of new requests could keep the wait from ever completing.
 func (s *Server) Drain(ctx context.Context) error {
-	s.draining.Store(true)
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
 	done := make(chan struct{})
 	go func() { s.wg.Wait(); close(done) }()
 	select {
@@ -352,15 +360,19 @@ func errStatus(err error) int {
 // or the server is draining. The returned release function gives it
 // back.
 func (s *Server) admit() (func(), error) {
-	if s.draining.Load() {
+	s.drainMu.Lock()
+	if s.draining {
+		s.drainMu.Unlock()
 		return nil, errServerBusy{reason: "server draining: not accepting new work"}
 	}
+	s.wg.Add(1)
+	s.drainMu.Unlock()
 	if n := s.admitted.Add(1); n > int64(s.cfg.QueueDepth) {
 		s.admitted.Add(-1)
+		s.wg.Done()
 		return nil, errServerBusy{reason: fmt.Sprintf(
 			"server busy: job queue full (depth %d); retry later", s.cfg.QueueDepth)}
 	}
-	s.wg.Add(1)
 	return func() {
 		s.admitted.Add(-1)
 		s.wg.Done()
@@ -545,10 +557,35 @@ type payload struct {
 	Reports map[string]api.Report `json:"reports"`
 }
 
+// validCacheID admits exactly the ids the peer protocol can legally
+// carry: plain lowercase-hex content hashes (Key.ID/ModuleKey.ID are
+// 64-char SHA-256; the range leaves room for other digest sizes).
+// Everything else is rejected before any tier sees it — ServeMux
+// percent-decodes path values, so without this check a crafted request
+// ("..%2f..%2f...") hands the disk tier an id with traversal segments
+// that filepath.Join would happily clean into a path outside the cache
+// directory.
+func validCacheID(id string) bool {
+	if len(id) < 16 || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // handleCachePut accepts one framed cache entry pushed by a peer
 // replica; bodies share the body bound of optimize requests.
 func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if !validCacheID(id) {
+		s.writeError(w, http.StatusBadRequest, "invalid cache id %q: want a lowercase hex content hash", id)
+		return
+	}
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "reading cache entry: %v", err)
@@ -572,6 +609,10 @@ func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
 // protocol is a lookup tier, not a work queue.
 func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if !validCacheID(id) {
+		s.writeError(w, http.StatusBadRequest, "invalid cache id %q: want a lowercase hex content hash", id)
+		return
+	}
 	val, ok := s.cache.GetLocal(id)
 	if !ok {
 		s.writeError(w, http.StatusNotFound, "no cache entry for %s", id)

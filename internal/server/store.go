@@ -13,11 +13,16 @@ import (
 )
 
 // The durable job store persists every async job as one JSON record
-// under a directory (by default <cache-dir>/jobs), written
-// write-ahead: the record is (re)written atomically — temp file +
-// rename, like the cache's disk tier — at submission and on every
-// state transition, before the transition is observable to pollers. A
-// smartlyd killed at any instant therefore leaves a consistent store:
+// under a directory (by default <cache-dir>/jobs), (re)written
+// atomically — temp file + rename, like the cache's disk tier — at
+// submission and on every state transition. Record I/O happens outside
+// the job-store mutex (a slow disk must not stall every poll and
+// progress event daemon-wide), serialized per job, and a terminal
+// record always lands before the job's done channel closes; the only
+// crash window is between a poller observing a new state and the
+// record hitting disk, which on restart re-runs the job — never loses
+// it. A smartlyd killed at any instant therefore leaves a consistent
+// store:
 // on restart, finished jobs re-serve their payloads under their
 // original ids, and queued or mid-run jobs are re-submitted (re-running
 // a half-done optimization is safe — flows are deterministic and the
@@ -28,9 +33,14 @@ import (
 
 // jobRecord is the on-disk form of one async job.
 type jobRecord struct {
-	ID          string    `json:"id"`
-	State       string    `json:"state"`
-	Error       string    `json:"error,omitempty"`
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+	// Epoch counts the job's incarnations: 1 at submission, +1 per
+	// adoption by a restarted daemon. Persisting it keeps event ids
+	// ("epoch-seq", see api.JobEvent) unambiguous across any number of
+	// restarts — each incarnation restarts Seq at 1 under a fresh epoch.
+	Epoch       int       `json:"epoch,omitempty"`
 	SubmittedAt time.Time `json:"submitted_at"`
 	// Request is the original OptimizeRequest body, kept verbatim so a
 	// queued or running job can be re-validated and re-run on recovery.
