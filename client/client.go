@@ -216,12 +216,21 @@ func (p eventPos) header() string {
 // re-run instead of waiting for sequence numbers that will never come
 // — until ctx expires.
 func (c *Client) Events(ctx context.Context, id string, after int, fn func(api.JobEvent) error) error {
-	backoff := 100 * time.Millisecond
+	const baseBackoff = 100 * time.Millisecond
+	backoff := baseBackoff
 	pos := eventPos{seq: after}
 	for {
-		terminal, err := c.streamEvents(ctx, id, &pos, fn)
+		connected, terminal, err := c.streamEvents(ctx, id, &pos, fn)
 		if terminal || err != nil {
 			return err
+		}
+		if connected {
+			// The server accepted the stream before this drop, so the
+			// outage that grew the backoff is over: start the next retry
+			// ladder from the base. Without the reset a subscriber that
+			// ever saw one slow patch would pay the max backoff after
+			// every later drop for the rest of a long job.
+			backoff = baseBackoff
 		}
 		// The stream dropped mid-job (daemon restarting, connection
 		// reset): reconnect and resume after the last delivered event.
@@ -237,23 +246,25 @@ func (c *Client) Events(ctx context.Context, id string, after int, fn func(api.J
 }
 
 // streamEvents runs one events connection, advancing *pos past every
-// delivered event. terminal reports a clean end-of-stream (the job
-// reached a terminal state); err is only non-nil for errors that must
-// end the enclosing Events loop (fn rejection, 404/400, ctx expiry).
-func (c *Client) streamEvents(ctx context.Context, id string, pos *eventPos, fn func(api.JobEvent) error) (terminal bool, err error) {
+// delivered event. connected reports that the server accepted the
+// stream (status 200) — the signal that resets the reconnect backoff;
+// terminal reports a clean end-of-stream (the job reached a terminal
+// state); err is only non-nil for errors that must end the enclosing
+// Events loop (fn rejection, 404/400, ctx expiry).
+func (c *Client) streamEvents(ctx context.Context, id string, pos *eventPos, fn func(api.JobEvent) error) (connected, terminal bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		c.baseURL+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
-		return false, err
+		return false, false, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
 	req.Header.Set("Last-Event-ID", pos.header())
 	resp, err := c.httpc.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
-			return false, ctx.Err()
+			return false, false, ctx.Err()
 		}
-		return false, nil // transient; reconnect
+		return false, false, nil // transient; reconnect
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -263,9 +274,9 @@ func (c *Client) streamEvents(ctx context.Context, id string, pos *eventPos, fn 
 		}
 		apiErr := &APIError{Status: resp.StatusCode, Message: e.Error}
 		if terminalWaitError(ctx, apiErr) {
-			return false, apiErr
+			return false, false, apiErr
 		}
-		return false, nil // transient (e.g. 503 during drain); reconnect
+		return false, false, nil // transient (e.g. 503 during drain); reconnect
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20) // events carry design-free payloads, but be generous
@@ -295,7 +306,7 @@ func (c *Client) streamEvents(ctx context.Context, id string, pos *eventPos, fn 
 			// stream replayed from scratch: every event is new even
 			// though its seq restarted below pos.seq.
 			if err := fn(ev); err != nil {
-				return false, err
+				return true, false, err
 			}
 			pos.epoch, pos.seq = ev.Epoch, ev.Seq
 			if ev.Type == api.EventState && (ev.State == api.JobDone ||
@@ -305,11 +316,11 @@ func (c *Client) streamEvents(ctx context.Context, id string, pos *eventPos, fn 
 		}
 	}
 	if ctx.Err() != nil {
-		return false, ctx.Err()
+		return true, false, ctx.Err()
 	}
 	// A clean server-side close after a terminal state event is the
 	// normal end of stream; anything else is a drop to heal.
-	return terminal, nil
+	return true, terminal, nil
 }
 
 // Flows lists the daemon's registered named flows.

@@ -328,6 +328,71 @@ func TestEventsReconnectAcrossDaemonEpochs(t *testing.T) {
 	}
 }
 
+// TestEventsBackoffResetsAfterReconnect: the reconnect backoff must
+// restart from its base once a connection succeeds. Pre-fix it only
+// ever doubled, so a subscriber that survived one slow patch (a pair
+// of 503s during a drain, here) paid the accumulated backoff after
+// every later drop for the rest of the job — this test's fourth
+// connection would arrive ~400ms after the third instead of ~100ms.
+// The resume position must ride every reconnect as Last-Event-ID.
+func TestEventsBackoffResetsAfterReconnect(t *testing.T) {
+	var mu sync.Mutex
+	conns := 0
+	var connAt []time.Time
+	var resumeIDs []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		conns++
+		n := conns
+		connAt = append(connAt, time.Now())
+		resumeIDs = append(resumeIDs, r.Header.Get("Last-Event-ID"))
+		mu.Unlock()
+		switch n {
+		case 1, 2:
+			// A draining daemon: transient, retried with growing backoff.
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(api.Error{Error: "server draining"})
+		case 3:
+			// Healthy again: one event, then the connection drops.
+			w.Header().Set("Content-Type", "text/event-stream")
+			raw, _ := json.Marshal(api.JobEvent{Epoch: 1, Seq: 1, Type: api.EventState, State: api.JobRunning})
+			fmt.Fprintf(w, "id: 1-1\nevent: state\ndata: %s\n\n", raw)
+		default:
+			w.Header().Set("Content-Type", "text/event-stream")
+			raw, _ := json.Marshal(api.JobEvent{Epoch: 1, Seq: 2, Type: api.EventState, State: api.JobDone})
+			fmt.Fprintf(w, "id: 1-2\nevent: state\ndata: %s\n\n", raw)
+		}
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var got []api.JobEvent
+	if err := New(ts.URL).Events(ctx, "j", 0, func(ev api.JobEvent) error {
+		got = append(got, ev)
+		return nil
+	}); err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	if len(got) != 2 || got[1].State != api.JobDone {
+		t.Fatalf("delivered %+v, want running then done", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(connAt) != 4 {
+		t.Fatalf("%d connections, want 4", len(connAt))
+	}
+	// After the successful third connection the backoff is back at its
+	// 100ms base; un-reset it would have grown to 400ms by now.
+	if gap := connAt[3].Sub(connAt[2]); gap > 350*time.Millisecond {
+		t.Errorf("reconnect after successful stream took %v, want ~100ms (backoff not reset)", gap)
+	}
+	// Every reconnect resumes from the last delivered event.
+	if resumeIDs[3] != "1-1" {
+		t.Errorf("fourth connection resumed from %q, want \"1-1\"", resumeIDs[3])
+	}
+}
+
 // TestEventsStream follows a job's progress through the client SSE
 // wrapper: ordered lifecycle, at least one pass event for an uncached
 // run, and a clean return at the terminal state.

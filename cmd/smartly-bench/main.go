@@ -5,7 +5,7 @@
 // Usage:
 //
 //	smartly-bench [-scale 1.0] [-table 2|3|all] [-industrial n] [-j n] [-check] [-v]
-//	              [-json] [-server] [-replica n] [-design n] [-sat] [-egraph] [-corpus dir] [-flow name|name=script]...
+//	              [-json] [-server] [-replica n] [-design n] [-load n] [-sat] [-egraph] [-corpus dir] [-flow name|name=script]...
 //
 // Scale 1.0 runs the calibrated case sizes (minutes); smaller scales
 // reproduce the table shape faster. The paper's absolute circuit sizes
@@ -56,6 +56,7 @@ type benchConfig struct {
 	server     bool
 	replica    int
 	design     int
+	load       int
 	sat        bool
 	egraph     bool
 	corpus     string
@@ -74,6 +75,7 @@ func main() {
 	flag.BoolVar(&cfg.server, "server", false, "also measure serving-layer cold vs warm cache latency (in-process smartlyd)")
 	flag.IntVar(&cfg.replica, "replica", 0, "also measure the two-replica shared cache tier (HTTP peer protocol) on an n-module design (0 = off)")
 	flag.IntVar(&cfg.design, "design", 0, "also measure design-mode sharding cold/warm/incremental latency on an n-module design (0 = off)")
+	flag.IntVar(&cfg.load, "load", 0, "also measure the daemon under n concurrent clients on a mixed cold/warm/design workload: throughput + p50/p95/p99 per class (0 = off)")
 	flag.BoolVar(&cfg.sat, "sat", false, "also measure the incremental SAT oracle (counters + wall-clock vs the sim_filter=false ablation and the per-query-solver oracle) on the sat and full flows")
 	flag.BoolVar(&cfg.egraph, "egraph", false, "also measure verified e-graph rewriting on the datapath benchmark set (yosys vs pre-egraph full vs datapath vs full)")
 	flag.StringVar(&cfg.corpus, "corpus", "", "also measure an external benchmark-corpus directory (manifest.json + Verilog) under the yosys/seq/full flows")
@@ -154,6 +156,14 @@ func runBench(cfg benchConfig, out io.Writer) error {
 		}
 		designBench = &db
 	}
+	var loadBench *harness.LoadBench
+	if cfg.load > 0 {
+		lb, err := harness.RunLoadBench(loadBenchCase, cfg.load, serverBenchFlow(cfg.flows), cfg.scale, 2)
+		if err != nil {
+			return err
+		}
+		loadBench = &lb
+	}
 	var satBench *harness.SatBench
 	if cfg.sat {
 		sb, err := harness.RunSatBench([]string{harness.FlowSAT, harness.FlowFull}, cfg.scale)
@@ -184,6 +194,7 @@ func runBench(cfg benchConfig, out io.Writer) error {
 		rep.Server = serverBench
 		rep.Replica = replicaBench
 		rep.Design = designBench
+		rep.Load = loadBench
 		rep.Sat = satBench
 		rep.Egraph = egraphBench
 		rep.Corpus = corpusBench
@@ -214,6 +225,9 @@ func runBench(cfg benchConfig, out io.Writer) error {
 	if designBench != nil {
 		fmt.Fprintln(out, designBench.String())
 	}
+	if loadBench != nil {
+		fmt.Fprintln(out, loadBench.String())
+	}
 	if satBench != nil {
 		fmt.Fprintln(out, satBench.String())
 	}
@@ -229,6 +243,10 @@ func runBench(cfg benchConfig, out io.Writer) error {
 // serverBenchCase is the fixed case the -server latency smoke measures:
 // the first public benchmark, so numbers are comparable across runs.
 const serverBenchCase = "top_cache_axi"
+
+// loadBenchCase is the fixed case of the -load concurrent smoke: the
+// smallest public benchmark, so n clients' cold requests stay CI-sized.
+const loadBenchCase = "ethernet"
 
 // serverBenchFlow picks the daemon-side flow for -server: the first
 // -flow spec when it is a bare registered name, else "full".

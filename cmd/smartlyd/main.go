@@ -7,7 +7,8 @@
 //
 //	smartlyd [-addr :8080] [-jobs n] [-queue n] [-workers n]
 //	         [-cache-dir dir] [-cache-size mib] [-cache-peer url]
-//	         [-jobs-dir dir] [-flow full] [-mode whole|design] [-q]
+//	         [-jobs-dir dir] [-jobs-gc ttl] [-jobs-gc-size mib]
+//	         [-flow full] [-mode whole|design] [-q]
 //
 // Endpoints (see docs/api.md):
 //
@@ -19,13 +20,18 @@
 //	PUT  /v1/cache/{id}        peer cache push
 //	GET  /v1/flows             registered named flows
 //	GET  /v1/passes            pass registry with options
-//	GET  /healthz              liveness + job/cache counters
+//	GET  /healthz              liveness + job/cache/latency summary
+//	GET  /metrics              Prometheus text exposition
 //
 // With -cache-dir set, async jobs persist to <cache-dir>/jobs (override
 // with -jobs-dir): a restarted daemon re-serves finished jobs and
-// re-runs interrupted ones under their original ids. With -cache-peer
-// set, misses consult the peer replica's cache before computing and
-// stores push to it, fail-soft.
+// re-runs interrupted ones under their original ids. -jobs-gc and
+// -jobs-gc-size bound the store: finished job records older than the
+// TTL or beyond the byte budget are collected by a background sweep
+// (live jobs are never touched); orphaned and damaged record files
+// from crashed prior incarnations are cleaned at startup either way.
+// With -cache-peer set, misses consult the peer replica's cache before
+// computing and stores push to it, fail-soft.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests and
 // accepted async jobs finish (bounded by -drain), new work is refused.
@@ -60,6 +66,8 @@ type options struct {
 	cacheMiB  int64
 	cachePeer string
 	jobsDir   string
+	jobsTTL   time.Duration
+	jobsMiB   int64
 	flow      string
 	mode      string
 	drain     time.Duration
@@ -76,6 +84,8 @@ func main() {
 	flag.Int64Var(&o.cacheMiB, "cache-size", 0, "memory cache bound in MiB (0 = default, 256)")
 	flag.StringVar(&o.cachePeer, "cache-peer", "", "base URL of a peer replica whose cache backs misses (empty = none)")
 	flag.StringVar(&o.jobsDir, "jobs-dir", "", "durable job store directory (empty = <cache-dir>/jobs, or memory only without -cache-dir)")
+	flag.DurationVar(&o.jobsTTL, "jobs-gc", 0, "collect finished job records older than this (0 = keep forever)")
+	flag.Int64Var(&o.jobsMiB, "jobs-gc-size", 0, "job store byte budget in MiB; oldest finished records are collected beyond it (0 = unbounded)")
 	flag.StringVar(&o.flow, "flow", "full", "flow run when a request names none")
 	flag.StringVar(&o.mode, "mode", api.ModeWhole, "cache granularity for requests that set none: whole (one entry per design) or design (per-module entries, incremental resubmits)")
 	flag.DurationVar(&o.drain, "drain", 30*time.Second, "graceful shutdown budget")
@@ -117,14 +127,16 @@ func newServer(o options) (*server.Server, error) {
 		logf = nil
 	}
 	return server.New(server.Config{
-		Jobs:        o.jobs,
-		QueueDepth:  o.queue,
-		Workers:     o.workers,
-		DefaultFlow: o.flow,
-		DefaultMode: o.mode,
-		Cache:       c,
-		JobsDir:     jobsDir,
-		Logf:        logf,
+		Jobs:         o.jobs,
+		QueueDepth:   o.queue,
+		Workers:      o.workers,
+		DefaultFlow:  o.flow,
+		DefaultMode:  o.mode,
+		Cache:        c,
+		JobsDir:      jobsDir,
+		JobsTTL:      o.jobsTTL,
+		JobsMaxBytes: o.jobsMiB << 20,
+		Logf:         logf,
 	}), nil
 }
 

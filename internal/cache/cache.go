@@ -83,6 +83,10 @@ type Stats struct {
 	// disk tier set).
 	RemoteHits   uint64 `json:"remote_hits,omitempty"`
 	RemoteErrors uint64 `json:"remote_errors,omitempty"`
+	// Puts counts values stored (Put and PutLocal, so local computes
+	// and peer pushes both): with Hits+Misses it gives operators the
+	// cache's full operation mix.
+	Puts uint64 `json:"puts"`
 	// Coalesced counts Do callers that waited on an identical in-flight
 	// computation instead of running their own.
 	Coalesced uint64 `json:"coalesced"`
@@ -233,6 +237,7 @@ func (c *Cache) GetLocal(id string) ([]byte, bool) {
 // this replica's own remote tier (no echo loops between peers).
 func (c *Cache) PutLocal(id string, val []byte) {
 	c.mu.Lock()
+	c.stats.Puts++
 	c.insert(id, val)
 	c.mu.Unlock()
 	c.writeDisk(id, val)

@@ -32,6 +32,11 @@ type BenchReport struct {
 	// latency smoke (smartly-bench -design); absent when the mode did
 	// not run.
 	Design *DesignBench `json:"design,omitempty"`
+	// Load holds the concurrent-load measurement (smartly-bench
+	// -load n): throughput and p50/p95/p99 per workload class, with the
+	// daemon's own histogram summary for cross-checking; absent when
+	// the mode did not run.
+	Load *LoadBench `json:"load,omitempty"`
 	// Sat holds the incremental SAT oracle's counters and
 	// incremental-vs-per-query-solver wall-clock (smartly-bench -sat);
 	// absent when the mode did not run.

@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestRunLoadBench is the e2e check of the load bench AND of the
+// /metrics latency instrumentation: the daemon's histogram-estimated
+// percentiles (scraped through /healthz) must agree with the bench's
+// own sort-based client-side percentiles over the same requests —
+// within one histogram bucket growth factor upward (the documented
+// estimation bound) and the client's transport overhead downward.
+func TestRunLoadBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins a server and optimizes under concurrent load")
+	}
+	if _, err := RunLoadBench("fig3-chain", 2, "yosys", 0.1, 1); err == nil {
+		t.Fatal("unknown case accepted")
+	}
+	b, err := RunLoadBench("ethernet", 3, "yosys", 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shape: every class measured, cold slower than warm, positive
+	// throughput.
+	for _, class := range []string{"cold", "warm", "design", "all"} {
+		c := b.Class(class)
+		if c == nil || c.Requests == 0 || c.P50MS <= 0 {
+			t.Fatalf("class %s not measured: %+v", class, c)
+		}
+		if c.P50MS > c.P95MS || c.P95MS > c.P99MS || c.P99MS > c.MaxMS {
+			t.Errorf("class %s percentiles not monotone: %+v", class, c)
+		}
+	}
+	if cold, warm := b.Class("cold"), b.Class("warm"); cold.P50MS <= warm.P50MS {
+		t.Errorf("cold p50 %.3fms not slower than warm p50 %.3fms", cold.P50MS, warm.P50MS)
+	}
+	if b.ThroughputRPS <= 0 || b.ElapsedMS <= 0 {
+		t.Errorf("throughput not measured: %+v", b)
+	}
+
+	// Cross-check: the server histogram observed exactly the requests
+	// the client measured ("all" includes the priming pair), and its
+	// percentile estimates bracket the client-side reference.
+	all := b.Class("all")
+	if got, want := b.ServerSync.Count, uint64(all.Requests); got != want {
+		t.Fatalf("server histogram count %d, client measured %d", got, want)
+	}
+	growth := metrics.GrowthFactor()
+	check := func(name string, server, client float64) {
+		// Upward: a histogram quantile may overshoot the true value by
+		// one bucket growth factor (plus a little float slack). Downward:
+		// the client measures the server span plus HTTP transport, so
+		// the server value may sit well below — but not implausibly so.
+		if server > client*growth+1 {
+			t.Errorf("%s: server %.3fms exceeds client %.3fms beyond the %.2fx bucket bound",
+				name, server, client, growth)
+		}
+		if server < client*0.2-1 {
+			t.Errorf("%s: server %.3fms implausibly far below client %.3fms",
+				name, server, client)
+		}
+	}
+	check("p50", b.ServerSync.P50MS, all.P50MS)
+	check("p95", b.ServerSync.P95MS, all.P95MS)
+	check("p99", b.ServerSync.P99MS, all.P99MS)
+	check("max", b.ServerSync.MaxMS, all.MaxMS)
+
+	if !strings.Contains(b.String(), "req/s") || !strings.Contains(b.String(), "optimize_sync") {
+		t.Errorf("String() = %q", b.String())
+	}
+}

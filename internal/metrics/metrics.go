@@ -1,0 +1,445 @@
+// Package metrics provides the daemon's operational instrumentation:
+// atomic counters and gauges, bounded log-scaled latency histograms,
+// and a registry that renders everything in the Prometheus text
+// exposition format. It has no external dependencies and no background
+// goroutines — every observation is a handful of atomic operations, so
+// instruments can sit directly on the serving hot path (the worker
+// pool, the admission queue, the cache) without a lock hierarchy of
+// their own.
+//
+// Histograms use geometric buckets: each bucket's upper bound is the
+// previous one's times a fixed growth factor, so a fixed number of
+// buckets spans six orders of magnitude of latency (tens of
+// microseconds to minutes) with a bounded relative quantile error of
+// one growth factor. Quantiles additionally clamp to the observed
+// min/max, which makes the zero- and single-observation cases exact.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Set overwrites the value. It exists for counters that mirror an
+// externally maintained monotonic source (the cache's own stats
+// snapshot, the job store's transition totals) at scrape time; counters
+// incremented in place should use Inc/Add only.
+func (c *Counter) Set(n uint64) { c.v.Store(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (queue depths, subscriber
+// counts, byte totals).
+type Gauge struct{ v atomic.Int64 }
+
+// Set overwrites the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to decrement).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram bucket layout: histBuckets geometric buckets starting at
+// histMinBound with ratio histGrowth between consecutive upper bounds,
+// plus one overflow bucket. 100µs × 1.25^71 ≈ 780s, so any plausible
+// request latency lands in a finite bucket; observations beyond the
+// top bound are counted in the overflow bucket and quantiles there
+// report the observed maximum.
+const (
+	histBuckets  = 72
+	histMinBound = 100 * time.Microsecond
+	histGrowth   = 1.25
+)
+
+// histBounds holds each bucket's inclusive upper bound in nanoseconds.
+var histBounds = func() [histBuckets]int64 {
+	var b [histBuckets]int64
+	bound := float64(histMinBound)
+	for i := range b {
+		b[i] = int64(bound)
+		bound *= histGrowth
+	}
+	return b
+}()
+
+// bucketFor returns the index of the finite bucket covering v, or
+// histBuckets for the overflow bucket.
+func bucketFor(v int64) int {
+	if v <= histBounds[0] {
+		return 0
+	}
+	if v > histBounds[histBuckets-1] {
+		return histBuckets
+	}
+	// Geometric layout means the index is a logarithm; compute it
+	// directly instead of scanning 72 bounds per observation.
+	idx := int(math.Ceil(math.Log(float64(v)/float64(histMinBound)) / math.Log(histGrowth)))
+	// Float rounding can land one bucket off either way; nudge onto the
+	// invariant bounds[idx-1] < v <= bounds[idx].
+	for idx > 0 && v <= histBounds[idx-1] {
+		idx--
+	}
+	for idx < histBuckets && v > histBounds[idx] {
+		idx++
+	}
+	return idx
+}
+
+// Histogram is a fixed-bucket log-scaled latency histogram. All methods
+// are safe for concurrent use; Observe is lock-free.
+type Histogram struct {
+	counts [histBuckets + 1]atomic.Uint64 // [histBuckets] = overflow
+	sum    atomic.Int64                   // nanoseconds
+	min    atomic.Int64                   // nanoseconds; math.MaxInt64 until first Observe
+	max    atomic.Int64                   // nanoseconds
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// Observe records one duration (negative durations clamp to zero).
+func (h *Histogram) Observe(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketFor(v)].Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// snapshotCounts copies the bucket counts once, so a quantile walk sees
+// one consistent-enough view under concurrent Observes.
+func (h *Histogram) snapshotCounts() (c [histBuckets + 1]uint64, total uint64) {
+	for i := range h.counts {
+		c[i] = h.counts[i].Load()
+		total += c[i]
+	}
+	return c, total
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	_, total := h.snapshotCounts()
+	return total
+}
+
+// Sum returns the sum of all observed durations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Quantile returns the q-quantile (0 < q <= 1) as a duration. With no
+// observations it returns 0. The result is a bucket upper bound clamped
+// to the observed [min, max], so it never exceeds the true quantile by
+// more than one growth factor (and is exact for a single observation).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	counts, total := h.snapshotCounts()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	mn, mx := h.min.Load(), h.max.Load()
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum < rank {
+			continue
+		}
+		v := mx
+		if i < histBuckets {
+			v = histBounds[i]
+		}
+		if v > mx {
+			v = mx
+		}
+		if v < mn {
+			v = mn
+		}
+		return time.Duration(v)
+	}
+	return time.Duration(mx) // unreachable: cum reaches total
+}
+
+// Summary is a point-in-time digest of a histogram.
+type Summary struct {
+	Count uint64        `json:"count"`
+	Sum   time.Duration `json:"-"`
+	Min   time.Duration `json:"-"`
+	Max   time.Duration `json:"-"`
+	P50   time.Duration `json:"-"`
+	P95   time.Duration `json:"-"`
+	P99   time.Duration `json:"-"`
+}
+
+// Snapshot digests the histogram (count, sum, min/max, p50/p95/p99).
+func (h *Histogram) Snapshot() Summary {
+	s := Summary{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+	if s.Count > 0 {
+		s.Min = time.Duration(h.min.Load())
+		s.Max = time.Duration(h.max.Load())
+	}
+	return s
+}
+
+// Labels attaches dimension values to an instrument. The same
+// (name, labels) pair always resolves to the same instrument.
+type Labels map[string]string
+
+// render produces the canonical `{k="v",...}` form (keys sorted), or ""
+// for no labels. Values are escaped per the Prometheus text format.
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q escapes quotes, backslashes and newlines Go-style, which
+		// coincides with the exposition format's label escaping.
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// instrument kinds.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// child is one labeled instrument of a family.
+type child struct {
+	labels string // rendered
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family is all instruments sharing one metric name.
+type family struct {
+	name, help, kind string
+	children         map[string]*child
+}
+
+// Registry holds instruments and renders them. The zero value is not
+// usable; construct with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// lookup finds or creates the (family, child) pair, enforcing kind
+// consistency — registering one name under two kinds is a programming
+// error, caught loudly.
+func (r *Registry) lookup(name, help, kind string, labels Labels) *child {
+	rendered := labels.render()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, children: map[string]*child{}}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s registered as both %s and %s", name, f.kind, kind))
+	}
+	ch := f.children[rendered]
+	if ch == nil {
+		ch = &child{labels: rendered}
+		switch kind {
+		case kindCounter:
+			ch.c = &Counter{}
+		case kindGauge:
+			ch.g = &Gauge{}
+		case kindHistogram:
+			ch.h = newHistogram()
+		}
+		f.children[rendered] = ch
+	}
+	return ch
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use. help is recorded on first registration of the name.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	return r.lookup(name, help, kindCounter, labels).c
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	return r.lookup(name, help, kindGauge, labels).g
+}
+
+// Histogram returns the histogram for (name, labels), creating it on
+// first use.
+func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
+	return r.lookup(name, help, kindHistogram, labels).h
+}
+
+// WritePrometheus renders every instrument in the text exposition
+// format, families sorted by name and children by label set, so the
+// output is deterministic and diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		// Children sorted by rendered label set; instruments are never
+		// removed, so holding no lock here only risks missing a child
+		// registered mid-render.
+		r.mu.Lock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		children := make([]*child, len(keys))
+		for i, k := range keys {
+			children[i] = f.children[k]
+		}
+		r.mu.Unlock()
+		for _, ch := range children {
+			if err := writeChild(w, f, ch); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeChild(w io.Writer, f *family, ch *child) error {
+	switch f.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, ch.labels, ch.c.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, ch.labels, ch.g.Value())
+		return err
+	case kindHistogram:
+		return writeHistogram(w, f.name, ch)
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram child with cumulative le-labeled
+// buckets in seconds, plus _sum and _count, per the Prometheus
+// histogram convention. Empty leading buckets are skipped (the first
+// emitted bucket still carries the full cumulative count, so quantile
+// math downstream is unaffected) to keep the page readable.
+func writeHistogram(w io.Writer, name string, ch *child) error {
+	counts, total := ch.h.snapshotCounts()
+	var cum uint64
+	started := false
+	for i := 0; i < histBuckets; i++ {
+		cum += counts[i]
+		if !started && counts[i] == 0 {
+			continue
+		}
+		started = true
+		if err := writeBucket(w, name, ch.labels, fmt.Sprintf("%g", float64(histBounds[i])/1e9), cum); err != nil {
+			return err
+		}
+	}
+	if err := writeBucket(w, name, ch.labels, "+Inf", total); err != nil {
+		return err
+	}
+	sumSec := float64(ch.h.sum.Load()) / 1e9
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", name, ch.labels, sumSec); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, ch.labels, total)
+	return err
+}
+
+// writeBucket writes one cumulative bucket sample, merging the le label
+// into any existing label set.
+func writeBucket(w io.Writer, name, labels, le string, cum uint64) error {
+	if labels == "" {
+		_, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+		return err
+	}
+	inner := labels[1 : len(labels)-1] // strip { }
+	_, err := fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", name, inner, le, cum)
+	return err
+}
+
+// GrowthFactor exposes the histogram bucket ratio: the bound on the
+// relative error of Quantile for values within the finite bucket range.
+// Benchmarks and tests use it to set agreement tolerances instead of
+// hard-coding the layout.
+func GrowthFactor() float64 { return histGrowth }

@@ -1,0 +1,245 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	c.Set(3)
+	if c.Value() != 3 {
+		t.Fatalf("counter after Set = %d, want 3", c.Value())
+	}
+	var g Gauge
+	g.Add(2)
+	g.Add(-5)
+	if g.Value() != -3 {
+		t.Fatalf("gauge = %d, want -3", g.Value())
+	}
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Fatalf("gauge after Set = %d, want 7", g.Value())
+	}
+}
+
+// TestHistogramZeroObservations: every accessor of an empty histogram
+// is well-defined and zero.
+func TestHistogramZeroObservations(t *testing.T) {
+	h := newHistogram()
+	if got := h.Count(); got != 0 {
+		t.Errorf("Count = %d, want 0", got)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("Quantile(%g) = %v on empty histogram, want 0", q, got)
+		}
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Min != 0 || s.Max != 0 || s.P50 != 0 || s.P99 != 0 {
+		t.Errorf("empty snapshot %+v, want all zero", s)
+	}
+}
+
+// TestHistogramSingleObservation: min/max clamping makes every quantile
+// of a one-sample histogram exact, not a bucket bound.
+func TestHistogramSingleObservation(t *testing.T) {
+	for _, v := range []time.Duration{0, 1, 137 * time.Microsecond, 3 * time.Millisecond, 90 * time.Second} {
+		h := newHistogram()
+		h.Observe(v)
+		for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); got != v {
+				t.Errorf("one sample %v: Quantile(%g) = %v, want exact", v, q, got)
+			}
+		}
+		s := h.Snapshot()
+		if s.Count != 1 || s.Min != v || s.Max != v || s.Sum != v {
+			t.Errorf("one sample %v: snapshot %+v", v, s)
+		}
+	}
+}
+
+// TestHistogramOverflowBucket: values beyond the top finite bound land
+// in the overflow bucket and quantiles there report the observed max.
+func TestHistogramOverflowBucket(t *testing.T) {
+	top := time.Duration(histBounds[histBuckets-1])
+	h := newHistogram()
+	huge := 4 * top
+	h.Observe(huge)
+	h.Observe(2 * top)
+	if got := h.Quantile(0.99); got != huge {
+		t.Errorf("overflow Quantile(0.99) = %v, want observed max %v", got, huge)
+	}
+	if got := h.counts[histBuckets].Load(); got != 2 {
+		t.Errorf("overflow bucket count = %d, want 2", got)
+	}
+	// Negative durations clamp to zero instead of corrupting a bucket
+	// index.
+	h.Observe(-time.Second)
+	if got := h.counts[0].Load(); got != 1 {
+		t.Errorf("negative observation bucket0 = %d, want 1", got)
+	}
+}
+
+// TestBucketForInvariant pins the bucket-selection invariant
+// bounds[i-1] < v <= bounds[i] across bucket edges, where float log
+// rounding is most likely to land one off.
+func TestBucketForInvariant(t *testing.T) {
+	probe := func(v int64) {
+		i := bucketFor(v)
+		if i == histBuckets {
+			if v <= histBounds[histBuckets-1] {
+				t.Fatalf("bucketFor(%d) overflow, but top bound is %d", v, histBounds[histBuckets-1])
+			}
+			return
+		}
+		if v > histBounds[i] || (i > 0 && v <= histBounds[i-1]) {
+			lo := int64(-1)
+			if i > 0 {
+				lo = histBounds[i-1]
+			}
+			t.Fatalf("bucketFor(%d) = %d, bounds (%d, %d]", v, i, lo, histBounds[i])
+		}
+	}
+	for i := 0; i < histBuckets; i++ {
+		for _, d := range []int64{-1, 0, 1} {
+			if v := histBounds[i] + d; v > 0 {
+				probe(v)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	for n := 0; n < 10000; n++ {
+		probe(1 + rng.Int63n(int64(time.Hour)))
+	}
+}
+
+// TestHistogramPercentileAccuracy: against a sort-based reference,
+// every quantile must be within one bucket growth factor for values
+// inside the finite bucket range (the documented bound), modulo the
+// min/max clamp which can only tighten it.
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		h := newHistogram()
+		n := 100 + rng.Intn(4000)
+		vals := make([]float64, n)
+		for i := range vals {
+			// Log-uniform over [200µs, 60s): a realistic latency spread
+			// inside the finite bucket range.
+			lo, hi := math.Log(200e3), math.Log(60e9)
+			v := math.Exp(lo + rng.Float64()*(hi-lo))
+			vals[i] = v
+			h.Observe(time.Duration(v))
+		}
+		sort.Float64s(vals)
+		for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 1} {
+			rank := int(math.Ceil(q * float64(n)))
+			if rank < 1 {
+				rank = 1
+			}
+			ref := vals[rank-1]
+			got := float64(h.Quantile(q))
+			if got < ref-1 || got > ref*histGrowth+1 {
+				t.Fatalf("trial %d n=%d q=%g: histogram %v, reference %v (allowed [ref, ref*%g])",
+					trial, n, q, time.Duration(got), time.Duration(ref), histGrowth)
+			}
+		}
+	}
+}
+
+// TestHistogramConcurrentObserve: concurrent observers from many
+// goroutines (the worker-pool shape) must be race-clean and lose no
+// observations.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram()
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(rng.Int63n(int64(10 * time.Second))))
+				if i%64 == 0 {
+					h.Quantile(0.99) // readers race writers
+					h.Snapshot()
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("Count = %d after concurrent Observe, want %d", got, workers*per)
+	}
+}
+
+// TestRegistryPrometheusFormat pins the exposition format: family
+// ordering, label rendering, cumulative histogram buckets, _sum/_count.
+func TestRegistryPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("d_requests_total", "requests", Labels{"endpoint": "optimize", "status": "200"}).Add(3)
+	r.Counter("d_requests_total", "requests", Labels{"endpoint": "healthz", "status": "200"}).Inc()
+	r.Gauge("d_subscribers", "live subscribers", nil).Set(2)
+	h := r.Histogram("d_latency_seconds", "latency", Labels{"kind": "sync"})
+	h.Observe(time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(10 * time.Minute) // overflow
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE d_latency_seconds histogram",
+		"# TYPE d_requests_total counter",
+		"# TYPE d_subscribers gauge",
+		`d_requests_total{endpoint="healthz",status="200"} 1`,
+		`d_requests_total{endpoint="optimize",status="200"} 3`,
+		"d_subscribers 2",
+		`d_latency_seconds_bucket{kind="sync",le="+Inf"} 3`,
+		`d_latency_seconds_count{kind="sync"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Histogram family ordering: the counter families must each render
+	// exactly once with children together.
+	if strings.Count(out, "# TYPE d_requests_total counter") != 1 {
+		t.Errorf("family header repeated:\n%s", out)
+	}
+	// The sum must be in seconds.
+	if !strings.Contains(out, `d_latency_seconds_sum{kind="sync"} 600.003`) {
+		t.Errorf("sum not in seconds:\n%s", out)
+	}
+	// Same (name, labels) resolves to the same instrument.
+	if got := r.Counter("d_requests_total", "", Labels{"status": "200", "endpoint": "optimize"}).Value(); got != 3 {
+		t.Errorf("re-lookup returned fresh counter (value %d, want 3)", got)
+	}
+}
+
+// TestRegistryKindConflict: one name under two kinds is a programming
+// error and must fail loudly.
+func TestRegistryKindConflict(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic registering one name as counter and gauge")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x_total", "", nil)
+	r.Gauge("x_total", "", nil)
+}

@@ -224,12 +224,53 @@ type JobStats struct {
 	Failed  int `json:"failed"`
 }
 
+// StoreStats describes the durable job store's on-disk footprint, so
+// operators can watch the GC keep it bounded.
+type StoreStats struct {
+	// Records is the number of record files, Bytes their total size.
+	Records int   `json:"records"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// LatencySummary digests one latency histogram for /healthz. The full
+// bucket detail is on GET /metrics; percentiles here are histogram
+// estimates (within one bucket growth factor of exact).
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+// MetricsSummary is the /healthz digest of the daemon's /metrics
+// instruments.
+type MetricsSummary struct {
+	// Requests counts every HTTP request served since startup.
+	Requests uint64 `json:"requests"`
+	// OptimizeSync summarizes successful synchronous optimize latency
+	// (admission to response ready); OptimizeAsync the run span of
+	// async jobs (background start to terminal state); QueueWait the
+	// run-slot wait of admitted requests.
+	OptimizeSync  LatencySummary `json:"optimize_sync"`
+	OptimizeAsync LatencySummary `json:"optimize_async"`
+	QueueWait     LatencySummary `json:"queue_wait"`
+	// SSESubscribers is the number of currently connected events
+	// streams.
+	SSESubscribers int64 `json:"sse_subscribers"`
+}
+
 // Health is the body of GET /healthz.
 type Health struct {
 	Status   string      `json:"status"`
 	UptimeMS int64       `json:"uptime_ms"`
 	Jobs     JobStats    `json:"jobs"`
 	Cache    cache.Stats `json:"cache"`
+	// Store reports the durable job store's footprint; absent when jobs
+	// are memory-only.
+	Store *StoreStats `json:"store,omitempty"`
+	// Metrics summarizes the /metrics instruments.
+	Metrics *MetricsSummary `json:"metrics,omitempty"`
 }
 
 // FlowInfo is one entry of GET /v1/flows.

@@ -43,6 +43,8 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotImplemented, "streaming unsupported by this connection")
 		return
 	}
+	s.metrics.sse.Add(1)
+	defer s.metrics.sse.Add(-1)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)

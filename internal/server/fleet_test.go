@@ -420,11 +420,11 @@ func TestCachePeerRejectsNonHashIDs(t *testing.T) {
 	_, ts := newTestServer(t, Config{Cache: c})
 
 	evil := []string{
-		"..%2f..%2f..%2ftmp%2fpwned",        // decoded: ../../../tmp/pwned
-		"..%5c..%5cpwned",                   // backslash flavor
-		"%2e%2e%2fjobs%2fpwned",             // fully encoded dots
-		"short",                             // not a hash at all
-		strings.Repeat("ab", 32) + "%2fx",   // valid hash + trailing segment
+		"..%2f..%2f..%2ftmp%2fpwned",              // decoded: ../../../tmp/pwned
+		"..%5c..%5cpwned",                         // backslash flavor
+		"%2e%2e%2fjobs%2fpwned",                   // fully encoded dots
+		"short",                                   // not a hash at all
+		strings.Repeat("ab", 32) + "%2fx",         // valid hash + trailing segment
 		strings.ToUpper(strings.Repeat("ab", 32)), // uppercase hex is not canonical
 	}
 	for _, id := range evil {

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"sort"
+	"time"
+)
+
+// The job-store GC bounds the durable store of a long-lived daemon.
+// Without it every async job ever finished leaves a record file behind
+// (pruning only fires past maxRetainedJobs), and a crashed prior
+// incarnation can leave records and temp files nothing will ever
+// clean. The GC runs once at startup — after recovery, so everything
+// adoptable has been adopted and whatever records remain unowned are
+// garbage by construction — and then on a background ticker when a
+// retention policy (Config.JobsTTL, Config.JobsMaxBytes) is set.
+//
+// Three invariants keep it safe against the serving path:
+//   - Live (queued or running) jobs are never collected: only terminal
+//     jobs leave the in-memory store, and only after their terminal
+//     record landed (setState persists before closing done).
+//   - Orphan deletion cannot race a submission: add and adopt register
+//     the job in memory before its record file exists, so a record
+//     seen by scan whose id resolves to no in-memory job is either
+//     damaged (recovery skipped it) or mid-removal by the pruner —
+//     deleting it is correct in the first case and a no-op in the
+//     second.
+//   - Record removal serializes with that job's writes via saveMu,
+//     exactly like the pruner's removeRecords.
+
+// staleTempAge guards the background sweep from unlinking a temp file
+// an in-flight save is still writing; any temp this old is a leftover
+// of a crashed write. The startup sweep skips the guard — recovery has
+// finished and the listener is not up, so no save can be in flight.
+const staleTempAge = 15 * time.Minute
+
+// startJobsGC runs the startup sweep and, when a retention policy is
+// configured, starts the background GC goroutine (stopped by Close via
+// runCtx; gcDone closes when it exits).
+func (s *Server) startJobsGC() {
+	if s.jobs.disk == nil {
+		close(s.gcDone)
+		return
+	}
+	s.sweepJobs(true)
+	if s.cfg.JobsTTL <= 0 && s.cfg.JobsMaxBytes <= 0 {
+		close(s.gcDone)
+		return
+	}
+	interval := s.cfg.JobsGCInterval
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	go func() {
+		defer close(s.gcDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.sweepJobs(false)
+			case <-s.runCtx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// sweepJobs is one GC pass: stray temp files, orphaned records, then
+// the age policy, then the size policy (oldest-finished first until
+// the byte budget holds).
+func (s *Server) sweepJobs(startup bool) {
+	d := s.jobs.disk
+	now := time.Now()
+	var strays, orphans, expired, overBudget int
+
+	// terminal records surviving the age policy, candidates for the
+	// size policy
+	type candidate struct {
+		info     recordInfo
+		finished time.Time
+	}
+	var candidates []candidate
+	var total int64
+
+	for _, info := range d.scan() {
+		if info.id == "" {
+			if startup || now.Sub(info.mtime) > staleTempAge {
+				d.removeStray(info.name)
+				strays++
+			}
+			continue
+		}
+		finished, terminal, exists := s.jobs.recordState(info.id)
+		if !exists {
+			d.remove(info.id)
+			orphans++
+			continue
+		}
+		if terminal && finished.IsZero() {
+			finished = info.mtime // record predates FinishedAt
+		}
+		if terminal && s.cfg.JobsTTL > 0 && now.Sub(finished) > s.cfg.JobsTTL {
+			if s.collectJob(info.id) {
+				expired++
+				continue
+			}
+		}
+		total += info.size
+		if terminal {
+			candidates = append(candidates, candidate{info, finished})
+		}
+	}
+
+	if s.cfg.JobsMaxBytes > 0 && total > s.cfg.JobsMaxBytes {
+		sort.Slice(candidates, func(i, j int) bool {
+			return candidates[i].finished.Before(candidates[j].finished)
+		})
+		for _, c := range candidates {
+			if total <= s.cfg.JobsMaxBytes {
+				break
+			}
+			if s.collectJob(c.info.id) {
+				total -= c.info.size
+				overBudget++
+			}
+		}
+	}
+
+	s.metrics.gcCollected("stray", strays)
+	s.metrics.gcCollected("orphan", orphans)
+	s.metrics.gcCollected("ttl", expired)
+	s.metrics.gcCollected("bytes", overBudget)
+	if n := strays + orphans + expired + overBudget; n > 0 {
+		s.logf("job store gc: collected %d files (%d expired, %d over budget, %d orphaned, %d stray temps)",
+			n, expired, overBudget, orphans, strays)
+	}
+}
+
+// collectJob forgets one terminal job from the in-memory store and
+// removes its durable record; pollers get 404 afterwards, like for
+// pruned jobs. Reports false when the job turned non-collectable since
+// the sweep's snapshot (gone already, or somehow live again).
+func (s *Server) collectJob(id string) bool {
+	j := s.jobs.forget(id)
+	if j == nil {
+		return false
+	}
+	j.saveMu.Lock()
+	s.jobs.disk.remove(id)
+	j.saveMu.Unlock()
+	return true
+}

@@ -43,6 +43,10 @@ type job struct {
 	result    *api.OptimizeResponse
 	done      chan struct{}
 
+	// finished is when the job reached its terminal state (zero while
+	// pending); the job-store GC ages terminal jobs by it.
+	finished time.Time
+
 	// epoch counts the job's incarnations: 1 at submission, +1 every
 	// time a restarted daemon adopts it from the durable store. Events
 	// are identified by (epoch, seq) — seq restarts at 1 per
@@ -70,11 +74,21 @@ type jobStore struct {
 	byID  map[string]*job
 	order []*job
 	disk  *diskJobs // nil = in-memory only
+
+	// onTransition observes every lifecycle transition (the entered
+	// state) for the metrics facility; never nil after init. Called
+	// outside mu — it only touches atomic counters, but the store's
+	// locks owe it nothing.
+	onTransition func(state string)
 }
 
-func (js *jobStore) init(disk *diskJobs) {
+func (js *jobStore) init(disk *diskJobs, onTransition func(state string)) {
 	js.byID = map[string]*job{}
 	js.disk = disk
+	js.onTransition = onTransition
+	if js.onTransition == nil {
+		js.onTransition = func(string) {}
+	}
 }
 
 // newJob allocates a job in the given state without registering it.
@@ -100,6 +114,7 @@ func (js *jobStore) add(request json.RawMessage) *job {
 	pruned := js.register(j)
 	js.appendEventLocked(j, api.JobEvent{Type: api.EventState, State: j.state})
 	js.mu.Unlock()
+	js.onTransition(j.state)
 	js.saveRecord(j, jobRecord{
 		ID: j.id, State: j.state, Epoch: j.epoch, SubmittedAt: j.submitted, Request: request,
 	})
@@ -131,6 +146,14 @@ func (js *jobStore) adopt(rec jobRecord) *job {
 	// the epoch must advance — and persist — or a second restart would
 	// reuse this incarnation's event ids.
 	j.epoch = rec.Epoch + 1
+	if terminal {
+		j.finished = rec.FinishedAt
+		if j.finished.IsZero() {
+			// Pre-FinishedAt record: age from the restart, not from 1970
+			// (which would make the GC collect it instantly).
+			j.finished = time.Now()
+		}
+	}
 	pruned := js.register(j)
 	js.appendEventLocked(j, api.JobEvent{Type: api.EventState, State: state, Error: rec.Error})
 	if terminal {
@@ -139,8 +162,10 @@ func (js *jobStore) adopt(rec jobRecord) *job {
 		// re-hydrates on demand.
 	}
 	js.mu.Unlock()
+	js.onTransition(state)
 	rec.State = state
 	rec.Epoch = j.epoch
+	rec.FinishedAt = j.finished
 	js.saveRecord(j, rec)
 	js.removeRecords(pruned)
 	return j
@@ -197,6 +222,40 @@ func (js *jobStore) get(id string) *job {
 	return js.byID[id]
 }
 
+// recordState reports what the GC needs to know about one record's
+// in-memory job: when it finished, whether it is terminal, and whether
+// it exists at all (false marks the record an orphan).
+func (js *jobStore) recordState(id string) (finished time.Time, terminal, exists bool) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	j := js.byID[id]
+	if j == nil {
+		return time.Time{}, false, false
+	}
+	return j.finished, j.state == api.JobDone || j.state == api.JobFailed, true
+}
+
+// forget unregisters a terminal job (pollers get 404 afterwards) and
+// returns it so the caller can remove its durable record under saveMu;
+// nil if the job is gone or not terminal (live jobs are never
+// forgotten).
+func (js *jobStore) forget(id string) *job {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	j := js.byID[id]
+	if j == nil || (j.state != api.JobDone && j.state != api.JobFailed) {
+		return nil
+	}
+	delete(js.byID, id)
+	for i, o := range js.order {
+		if o == j {
+			js.order = append(js.order[:i], js.order[i+1:]...)
+			break
+		}
+	}
+	return j
+}
+
 // setState transitions a job, appends the lifecycle event, persists
 // the record (outside the store mutex; a terminal record always lands
 // before done closes), and on terminal states prunes in-memory
@@ -207,12 +266,17 @@ func (js *jobStore) setState(j *job, state, errMsg string, result *api.OptimizeR
 	j.state = state
 	j.errMsg = errMsg
 	j.result = result
+	if terminal {
+		j.finished = time.Now()
+	}
 	js.appendEventLocked(j, api.JobEvent{Type: api.EventState, State: state, Error: errMsg})
 	if terminal {
 		js.pruneResultsLocked()
 	}
 	js.mu.Unlock()
-	rec := jobRecord{ID: j.id, State: state, Error: errMsg, Epoch: j.epoch, SubmittedAt: j.submitted}
+	js.onTransition(state)
+	rec := jobRecord{ID: j.id, State: state, Error: errMsg, Epoch: j.epoch,
+		SubmittedAt: j.submitted, FinishedAt: j.finished}
 	if result != nil {
 		if raw, err := json.Marshal(result); err == nil {
 			rec.Result = raw
@@ -351,15 +415,23 @@ func (s *Server) runJob(j *job, pr *request, request json.RawMessage, release fu
 	pr.progress = func(ev api.JobEvent) { s.jobs.appendEvent(j, ev) }
 	go func() {
 		defer release()
+		start := time.Now()
 		// The slot wait and the run are bounded by the server lifetime
 		// only: the submitting client has already disconnected.
 		select {
 		case s.sem <- struct{}{}:
+			s.metrics.queueWait.Observe(time.Since(start))
 			defer func() { <-s.sem }()
 		case <-s.runCtx.Done():
 			s.jobs.setState(j, api.JobFailed, s.runCtx.Err().Error(), nil, nil)
 			return
 		}
+		// The async histogram observes the run span of every completed
+		// job — slot wait included, failures included: an async caller's
+		// Wait experiences the whole span either way, unlike the sync
+		// histogram where a fast rejection would pollute the latency of
+		// served responses.
+		defer func() { s.metrics.optAsync.Observe(time.Since(start)) }()
 		s.jobs.setState(j, api.JobRunning, "", nil, request)
 		resp, err := s.serve(pr)
 		if err != nil {

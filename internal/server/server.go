@@ -46,6 +46,19 @@ type Config struct {
 	// jobs in memory only (they die with the process, and long-pruned
 	// results report result_evicted instead of re-hydrating).
 	JobsDir string
+	// JobsTTL bounds how long terminal job records are retained in the
+	// durable store: records whose job finished more than JobsTTL ago
+	// are collected by the background GC (and at startup). 0 disables
+	// the age policy. Ignored without JobsDir.
+	JobsTTL time.Duration
+	// JobsMaxBytes bounds the durable job store's total size: beyond
+	// it, the oldest-finished terminal records are collected until the
+	// bound holds. 0 disables the size policy. Ignored without JobsDir.
+	JobsMaxBytes int64
+	// JobsGCInterval is the background GC period (0 = 1 minute when a
+	// policy is set). The startup sweep — which also collects orphaned
+	// records left by crashed prior incarnations — runs regardless.
+	JobsGCInterval time.Duration
 	// Logf receives one structured line per request; nil discards.
 	Logf func(format string, args ...any)
 	// MaxBodyBytes bounds request bodies (0 = 512 MiB).
@@ -77,7 +90,13 @@ type Server struct {
 	draining bool // Drain called: admit nothing new
 	wg       sync.WaitGroup
 
-	jobs jobStore
+	jobs    jobStore
+	metrics *serverMetrics
+
+	// gcDone closes when the background job-store GC goroutine (if
+	// configured) has exited; Close waits for nothing — the goroutine
+	// watches runCtx — but tests join on it.
+	gcDone chan struct{}
 }
 
 // New builds a Server. The flow registry must be populated (importing
@@ -104,13 +123,15 @@ func New(cfg Config) *Server {
 	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:    cfg,
-		cache:  c,
-		mux:    http.NewServeMux(),
-		start:  time.Now(),
-		runCtx: ctx,
-		stop:   stop,
-		sem:    make(chan struct{}, cfg.Jobs),
+		cfg:     cfg,
+		cache:   c,
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		runCtx:  ctx,
+		stop:    stop,
+		sem:     make(chan struct{}, cfg.Jobs),
+		metrics: newServerMetrics(),
+		gcDone:  make(chan struct{}),
 	}
 	var disk *diskJobs
 	if cfg.JobsDir != "" {
@@ -124,16 +145,18 @@ func New(cfg Config) *Server {
 			disk = nil
 		}
 	}
-	s.jobs.init(disk)
-	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
-	s.mux.HandleFunc("GET /v1/cache/{id}", s.handleCacheGet)
-	s.mux.HandleFunc("PUT /v1/cache/{id}", s.handleCachePut)
-	s.mux.HandleFunc("GET /v1/flows", s.handleFlows)
-	s.mux.HandleFunc("GET /v1/passes", s.handlePasses)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.jobs.init(disk, s.metrics.jobTransition)
+	s.mux.HandleFunc("POST /v1/optimize", s.instrument("optimize", s.handleOptimize))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("job", s.handleJob))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("job_events", s.handleJobEvents))
+	s.mux.HandleFunc("GET /v1/cache/{id}", s.instrument("cache_get", s.handleCacheGet))
+	s.mux.HandleFunc("PUT /v1/cache/{id}", s.instrument("cache_put", s.handleCachePut))
+	s.mux.HandleFunc("GET /v1/flows", s.instrument("flows", s.handleFlows))
+	s.mux.HandleFunc("GET /v1/passes", s.instrument("passes", s.handlePasses))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.recoverJobs()
+	s.startJobsGC()
 	return s
 }
 
@@ -384,6 +407,7 @@ func (s *Server) admit() (func(), error) {
 // the computation itself runs under the server's run context so that a
 // result shared via the cache does not die with one impatient client.
 func (s *Server) execute(waitCtx context.Context, pr *request) (*api.OptimizeResponse, error) {
+	start := time.Now()
 	release, err := s.admit()
 	if err != nil {
 		return nil, err
@@ -392,6 +416,7 @@ func (s *Server) execute(waitCtx context.Context, pr *request) (*api.OptimizeRes
 
 	select {
 	case s.sem <- struct{}{}:
+		s.metrics.queueWait.Observe(time.Since(start))
 		defer func() { <-s.sem }()
 	case <-waitCtx.Done():
 		// The client's own context died, not the server: report 499,
@@ -401,7 +426,14 @@ func (s *Server) execute(waitCtx context.Context, pr *request) (*api.OptimizeRes
 	case <-s.runCtx.Done():
 		return nil, s.runCtx.Err()
 	}
-	return s.serve(pr)
+	resp, err := s.serve(pr)
+	if err == nil {
+		// Only successes: folding 503 rejections or mid-run failures into
+		// the latency distribution would drag the percentiles below what
+		// a successful request actually experiences.
+		s.metrics.optSync.Observe(time.Since(start))
+	}
+	return resp, err
 }
 
 // serve produces the response for a request that holds a run slot:
@@ -655,10 +687,20 @@ func (s *Server) handlePasses(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, api.Health{
+	// Each field is its own consistent snapshot (taken under the
+	// respective mutex, or from atomic instruments); the body is
+	// assembled once and written once, so a reader never sees a
+	// half-updated view even under concurrent traffic.
+	h := api.Health{
 		Status:   "ok",
 		UptimeMS: time.Since(s.start).Milliseconds(),
 		Jobs:     s.jobs.stats(),
 		Cache:    s.cache.Stats(),
-	})
+		Metrics:  s.metricsSummary(),
+	}
+	if s.jobs.disk != nil {
+		records, bytes := s.jobs.disk.usage()
+		h.Store = &api.StoreStats{Records: records, Bytes: bytes}
+	}
+	s.writeJSON(w, http.StatusOK, h)
 }

@@ -42,6 +42,10 @@ type jobRecord struct {
 	// restarts — each incarnation restarts Seq at 1 under a fresh epoch.
 	Epoch       int       `json:"epoch,omitempty"`
 	SubmittedAt time.Time `json:"submitted_at"`
+	// FinishedAt is when the job reached its terminal state; the GC's
+	// age policy counts retention from it (falling back to the record
+	// file's mtime for records written before this field existed).
+	FinishedAt time.Time `json:"finished_at,omitempty"`
 	// Request is the original OptimizeRequest body, kept verbatim so a
 	// queued or running job can be re-validated and re-run on recovery.
 	Request json.RawMessage `json:"request,omitempty"`
@@ -157,6 +161,68 @@ func (d *diskJobs) load() []jobRecord {
 		return recs[i].ID < recs[j].ID
 	})
 	return recs
+}
+
+// recordInfo is one store file as the GC sees it: the job id (or ""
+// for a stray temp file), and the file's size and mtime.
+type recordInfo struct {
+	id    string // "" = not a record (job-* temp file)
+	name  string
+	size  int64
+	mtime time.Time
+}
+
+// scan lists the store's files without decoding them — the GC ages and
+// sizes records from file metadata, so a sweep over thousands of
+// records costs one ReadDir, not thousands of JSON parses.
+func (d *diskJobs) scan() []recordInfo {
+	if d == nil {
+		return nil
+	}
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		d.log("job store: reading %s: %v", d.dir, err)
+		return nil
+	}
+	var infos []recordInfo
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		fi, err := e.Info()
+		if err != nil {
+			continue // unlinked between ReadDir and Info
+		}
+		info := recordInfo{name: name, size: fi.Size(), mtime: fi.ModTime()}
+		if strings.HasSuffix(name, ".json") {
+			info.id = strings.TrimSuffix(name, ".json")
+		}
+		infos = append(infos, info)
+	}
+	return infos
+}
+
+// usage reports the store's current footprint (record files only; a
+// concurrent save's unrenamed temp file is not yet a record).
+func (d *diskJobs) usage() (records int, bytes int64) {
+	for _, info := range d.scan() {
+		if info.id == "" {
+			continue
+		}
+		records++
+		bytes += info.size
+	}
+	return records, bytes
+}
+
+// removeStray unlinks a non-record file (a stray temp) by name,
+// guarding against path escapes since the name came from ReadDir.
+func (d *diskJobs) removeStray(name string) {
+	if d == nil || name != filepath.Base(name) {
+		return
+	}
+	os.Remove(filepath.Join(d.dir, name))
 }
 
 // loadResult re-hydrates the result payload of a done job whose
